@@ -1,0 +1,146 @@
+package mantra
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/addr"
+	"repro/internal/core/collect"
+	"repro/internal/core/tables"
+)
+
+// AggregateTarget is the synthetic target name under which combined
+// results are published when aggregation is enabled.
+const AggregateTarget = "aggregate"
+
+// EnableAggregation turns on the enhancement the paper's conclusion
+// announces as work in progress: collecting from multiple routers
+// concurrently and generating combined results in real time. Each cycle,
+// the per-router snapshots are merged into a global view published under
+// the AggregateTarget name: sessions and participants are deduplicated
+// across collection points (a pair seen at several routers is one pair),
+// and routes are merged on best metric.
+func (m *Monitor) EnableAggregation() {
+	m.aggregate = true
+}
+
+// RunCycleConcurrent is RunCycle with parallel collection: every target
+// is dialed and dumped on its own goroutine, then the snapshots are
+// processed in registration order so results stay deterministic. With
+// aggregation enabled, the merged view is processed last.
+func (m *Monitor) RunCycleConcurrent(now time.Time) ([]CycleStats, error) {
+	type result struct {
+		idx int
+		sn  *tables.Snapshot
+		err error
+	}
+	results := make([]result, len(m.targets))
+	var wg sync.WaitGroup
+	for i, t := range m.targets {
+		wg.Add(1)
+		go func(i int, t Target) {
+			defer wg.Done()
+			dumps, err := collect.CollectAll(t, m.Commands, now)
+			if err != nil {
+				results[i] = result{idx: i, err: fmt.Errorf("mantra: %w", err)}
+				return
+			}
+			sn, err := tables.BuildSnapshot(dumps)
+			if err != nil {
+				err = fmt.Errorf("mantra: %w", err)
+			}
+			results[i] = result{idx: i, sn: sn, err: err}
+		}(i, t)
+	}
+	wg.Wait()
+
+	var out []CycleStats
+	var snaps []*tables.Snapshot
+	for _, r := range results {
+		if r.err != nil {
+			return out, r.err
+		}
+		m.log.Append(r.sn)
+		st := m.proc.Ingest(r.sn)
+		m.observeStability(r.sn)
+		m.latest[r.sn.Target] = r.sn
+		m.refreshTables(r.sn.Target, r.sn)
+		out = append(out, st)
+		snaps = append(snaps, r.sn)
+	}
+	if m.aggregate && len(snaps) > 0 {
+		agg := MergeSnapshots(AggregateTarget, now, snaps...)
+		m.log.Append(agg)
+		st := m.proc.Ingest(agg)
+		m.latest[AggregateTarget] = agg
+		m.refreshTables(AggregateTarget, agg)
+		out = append(out, st)
+	}
+	return out, nil
+}
+
+// MergeSnapshots combines several routers' cycle snapshots into one
+// aggregate view:
+//
+//   - Pair table: deduplicated on (source, group); the highest observed
+//     rate wins (different routers see the same stream at different
+//     points of its tree), counters take the maximum, uptime the longest.
+//   - Route table: deduplicated on prefix with the best (lowest) metric.
+//
+// This is the "aggregate views from multiple collection points" the
+// paper's conclusion calls for once sparse mode made any single vantage
+// incomplete.
+func MergeSnapshots(name string, at time.Time, snaps ...*tables.Snapshot) *tables.Snapshot {
+	out := &tables.Snapshot{Target: name, At: at}
+	type pk struct{ s, g addr.IP }
+	pairs := make(map[pk]tables.PairEntry)
+	routes := make(map[addr.Prefix]tables.RouteEntry)
+	for _, sn := range snaps {
+		if sn == nil {
+			continue
+		}
+		for _, e := range sn.Pairs {
+			k := pk{s: e.Source, g: e.Group}
+			cur, ok := pairs[k]
+			if !ok {
+				pairs[k] = e
+				continue
+			}
+			if e.RateKbps > cur.RateKbps {
+				cur.RateKbps = e.RateKbps
+			}
+			if e.Packets > cur.Packets {
+				cur.Packets = e.Packets
+			}
+			if e.Uptime > cur.Uptime {
+				cur.Uptime = e.Uptime
+				cur.Since = e.Since
+			}
+			pairs[k] = cur
+		}
+		for _, e := range sn.Routes {
+			cur, ok := routes[e.Prefix]
+			if !ok || e.Metric < cur.Metric {
+				routes[e.Prefix] = e
+			}
+		}
+	}
+	for _, e := range pairs {
+		out.Pairs = append(out.Pairs, e)
+	}
+	sort.Slice(out.Pairs, func(i, j int) bool {
+		if out.Pairs[i].Group != out.Pairs[j].Group {
+			return out.Pairs[i].Group < out.Pairs[j].Group
+		}
+		return out.Pairs[i].Source < out.Pairs[j].Source
+	})
+	for _, e := range routes {
+		out.Routes = append(out.Routes, e)
+	}
+	sort.Slice(out.Routes, func(i, j int) bool {
+		return out.Routes[i].Prefix.Compare(out.Routes[j].Prefix) < 0
+	})
+	return out
+}

@@ -1,0 +1,206 @@
+package mantra_test
+
+import (
+	"testing"
+	"time"
+
+	mantra "repro"
+	"repro/internal/addr"
+	"repro/internal/core/collect"
+	"repro/internal/core/tables"
+	"repro/internal/netsim"
+	"repro/internal/sim"
+	"repro/internal/topo"
+	"repro/internal/workload"
+)
+
+func TestMergeSnapshotsDedup(t *testing.T) {
+	s1 := &tables.Snapshot{Target: "a", At: sim.Epoch, Pairs: tables.PairTable{
+		{Source: addr.MustParse("1.1.1.1"), Group: addr.MustParse("224.1.1.1"), RateKbps: 64, Packets: 100, Uptime: time.Hour},
+		{Source: addr.MustParse("2.2.2.2"), Group: addr.MustParse("224.1.1.1"), RateKbps: 1},
+	}, Routes: tables.RouteTable{
+		{Prefix: addr.MustParsePrefix("10.0.0.0/8"), Metric: 3},
+	}}
+	s2 := &tables.Snapshot{Target: "b", At: sim.Epoch, Pairs: tables.PairTable{
+		// Same pair seen elsewhere with lower rate but longer uptime.
+		{Source: addr.MustParse("1.1.1.1"), Group: addr.MustParse("224.1.1.1"), RateKbps: 50, Packets: 200, Uptime: 2 * time.Hour},
+		{Source: addr.MustParse("3.3.3.3"), Group: addr.MustParse("224.1.1.2"), RateKbps: 2},
+	}, Routes: tables.RouteTable{
+		{Prefix: addr.MustParsePrefix("10.0.0.0/8"), Metric: 1},
+		{Prefix: addr.MustParsePrefix("11.0.0.0/8"), Metric: 2},
+	}}
+	agg := mantra.MergeSnapshots("aggregate", sim.Epoch, s1, s2, nil)
+	if agg.Target != "aggregate" {
+		t.Errorf("target = %q", agg.Target)
+	}
+	if len(agg.Pairs) != 3 {
+		t.Fatalf("pairs = %d, want 3 (dedup)", len(agg.Pairs))
+	}
+	first := agg.Pairs[0]
+	if first.RateKbps != 64 || first.Packets != 200 || first.Uptime != 2*time.Hour {
+		t.Errorf("merged pair = %+v", first)
+	}
+	if len(agg.Routes) != 2 {
+		t.Fatalf("routes = %d", len(agg.Routes))
+	}
+	if agg.Routes[0].Metric != 1 {
+		t.Errorf("merged route metric = %d, want best (1)", agg.Routes[0].Metric)
+	}
+}
+
+func TestConcurrentCollectionWithAggregation(t *testing.T) {
+	n, m := newMonitoredNetwork(t)
+	m.EnableAggregation()
+	for i := 0; i < 4; i++ {
+		n.Step()
+		stats, err := m.RunCycleConcurrent(n.Now())
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Two real targets plus the aggregate.
+		if len(stats) != 3 {
+			t.Fatalf("stats = %d entries", len(stats))
+		}
+		agg := stats[2]
+		if agg.Target != mantra.AggregateTarget {
+			t.Fatalf("last stats target = %q", agg.Target)
+		}
+		// The combined view can never see fewer sessions or participants
+		// than any single vantage.
+		for _, st := range stats[:2] {
+			if agg.Sessions < st.Sessions {
+				t.Errorf("aggregate sessions %d < %s's %d", agg.Sessions, st.Target, st.Sessions)
+			}
+			if agg.Participants < st.Participants {
+				t.Errorf("aggregate participants %d < %s's %d", agg.Participants, st.Target, st.Participants)
+			}
+			if agg.Routes < st.Routes {
+				t.Errorf("aggregate routes %d < %s's %d", agg.Routes, st.Target, st.Routes)
+			}
+		}
+	}
+	if m.Series(mantra.AggregateTarget, mantra.MetricSessions).Len() != 4 {
+		t.Error("aggregate series not maintained")
+	}
+	if m.Latest(mantra.AggregateTarget) == nil {
+		t.Error("aggregate snapshot not stored")
+	}
+	if m.Log().Cycles(mantra.AggregateTarget) != 4 {
+		t.Error("aggregate cycles not logged")
+	}
+}
+
+func TestConcurrentCollectionMatchesSequential(t *testing.T) {
+	// The same network monitored concurrently and sequentially must
+	// produce identical statistics (collection itself is read-only).
+	n1, m1 := newMonitoredNetwork(t)
+	n2, m2 := newMonitoredNetwork(t)
+	for i := 0; i < 3; i++ {
+		n1.Step()
+		n2.Step()
+		s1, err := m1.RunCycle(n1.Now())
+		if err != nil {
+			t.Fatal(err)
+		}
+		s2, err := m2.RunCycleConcurrent(n2.Now())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(s1) != len(s2) {
+			t.Fatalf("lengths differ: %d vs %d", len(s1), len(s2))
+		}
+		for j := range s1 {
+			if s1[j] != s2[j] {
+				t.Errorf("cycle %d target %d: %+v vs %+v", i, j, s1[j], s2[j])
+			}
+		}
+	}
+}
+
+func TestAggregationRecoversPostTransitionCoverage(t *testing.T) {
+	// The paper's concluding observation: after the sparse-mode
+	// transition, no single vantage tracks global usage; results must be
+	// aggregated from multiple collection points. Monitor FIXW, the UCSB
+	// router and a native domain border, and show the combined view sees
+	// meaningfully more than FIXW alone.
+	cfg := topo.DefaultInternetConfig()
+	cfg.NumDomains = 6
+	inet := topo.BuildInternet(cfg)
+	wl := workload.New(workload.DefaultConfig(), inet.Topo)
+	n := netsim.New(inet, wl, netsim.DefaultConfig())
+	if err := n.Track("fixw", "ucsb-r1", "dom00-gw"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		n.Step()
+	}
+	for _, d := range n.Topo.Domains() {
+		if d.Name != "ucsb" {
+			n.TransitionDomain(d.Name)
+		}
+	}
+	m := mantra.New()
+	m.EnableAggregation()
+	for _, name := range []string{"fixw", "ucsb-r1", "dom00-gw"} {
+		r := n.Router(name)
+		r.Password = "pw"
+		m.AddTarget(mantra.Target{
+			Name:     name,
+			Dialer:   collect.PipeDialer{Router: r},
+			Password: "pw",
+			Prompt:   name + "> ",
+		})
+	}
+	var fixwParts, aggParts float64
+	for i := 0; i < 10; i++ {
+		n.Step()
+		stats, err := m.RunCycleConcurrent(n.Now())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, st := range stats {
+			switch st.Target {
+			case "fixw":
+				fixwParts += float64(st.Participants)
+			case mantra.AggregateTarget:
+				aggParts += float64(st.Participants)
+			}
+		}
+	}
+	if aggParts <= fixwParts*1.1 {
+		t.Errorf("aggregate view (%0.f) does not meaningfully exceed FIXW alone (%0.f)", aggParts, fixwParts)
+	}
+	t.Logf("post-transition participant coverage: fixw=%.0f aggregate=%.0f (+%.0f%%)",
+		fixwParts/10, aggParts/10, 100*(aggParts-fixwParts)/fixwParts)
+}
+
+func TestMonitorRouteStability(t *testing.T) {
+	n, m := newMonitoredNetwork(t)
+	for i := 0; i < 12; i++ {
+		n.Step()
+		if _, err := m.RunCycle(n.Now()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rs := m.RouteStability("fixw")
+	if rs == nil {
+		t.Fatal("no stability tracker")
+	}
+	if rs.Cycles() != 12 {
+		t.Errorf("cycles = %d", rs.Cycles())
+	}
+	sum := rs.Summary()
+	if sum.Prefixes < 100 {
+		t.Errorf("tracked prefixes = %d", sum.Prefixes)
+	}
+	if sum.MeanAvailability <= 0 || sum.MeanAvailability > 1 {
+		t.Errorf("availability = %f", sum.MeanAvailability)
+	}
+	// With the flap model on, some prefixes should have flapped.
+	if sum.TotalFlaps == 0 {
+		t.Log("no flaps in 12 cycles (possible at this seed)")
+	}
+	if m.RouteStability("ghost") != nil {
+		t.Error("unknown target should be nil")
+	}
+}

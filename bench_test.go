@@ -1,0 +1,395 @@
+// Benchmarks regenerating the paper's evaluation artifacts. One benchmark
+// per figure drives the exact pipeline that produces that figure's data
+// series (simulated network + CLI scrape + table processing + statistics),
+// reported in cycles per second of monitored time. Ablation benchmarks
+// quantify the design choices §III calls out: delta logging, CLI scraping
+// versus direct state reads, and the 4 kbps sender threshold.
+package mantra_test
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	mantra "repro"
+	"repro/internal/applayer"
+	"repro/internal/core/collect"
+	"repro/internal/core/logger"
+	"repro/internal/core/process"
+	"repro/internal/core/tables"
+	"repro/internal/dvmrp"
+	"repro/internal/experiments"
+	"repro/internal/netsim"
+	"repro/internal/sim"
+	"repro/internal/snmp"
+	"repro/internal/topo"
+	"repro/internal/workload"
+)
+
+// usageBench lazily builds one Quick usage runner shared by the usage
+// figure benchmarks; each benchmark advances it by b.N monitored cycles,
+// so state continues naturally between them.
+var (
+	usageOnce   sync.Once
+	usageRunner *experiments.Runner
+)
+
+func getUsageRunner(b *testing.B) *experiments.Runner {
+	b.Helper()
+	usageOnce.Do(func() {
+		r, err := experiments.NewRunner(experiments.UsageConfig(experiments.Quick))
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Warm up so every series has data before measurement.
+		if err := r.RunCycles(4); err != nil {
+			b.Fatal(err)
+		}
+		usageRunner = r
+	})
+	return usageRunner
+}
+
+func benchCycles(b *testing.B, r *experiments.Runner) {
+	b.Helper()
+	b.ResetTimer()
+	if err := r.RunCycles(b.N); err != nil {
+		b.Fatal(err)
+	}
+	b.StopTimer()
+}
+
+// BenchmarkFig3SessionParticipant regenerates the Figure 3 series:
+// sessions, participants, active sessions and senders per cycle at FIXW.
+func BenchmarkFig3SessionParticipant(b *testing.B) {
+	r := getUsageRunner(b)
+	benchCycles(b, r)
+	s := r.Mon.Series("fixw", process.MetricSessions)
+	b.ReportMetric(s.Last(), "sessions")
+	b.ReportMetric(r.Mon.Series("fixw", process.MetricParticipants).Last(), "participants")
+}
+
+// BenchmarkFig4Density regenerates the Figure 4 series: average session
+// density alongside the counts it correlates with.
+func BenchmarkFig4Density(b *testing.B) {
+	r := getUsageRunner(b)
+	benchCycles(b, r)
+	b.ReportMetric(r.Mon.Series("fixw", process.MetricAvgDensity).Last(), "avg_density")
+}
+
+// BenchmarkFig5Bandwidth regenerates the Figure 5 series: multicast
+// bandwidth through FIXW and the estimated unicast-equivalent multiple.
+func BenchmarkFig5Bandwidth(b *testing.B) {
+	r := getUsageRunner(b)
+	benchCycles(b, r)
+	mean, _, _, _, _ := r.Mon.Series("fixw", process.MetricBandwidthKbps).Stats()
+	b.ReportMetric(mean, "mean_kbps")
+	b.ReportMetric(r.Mon.Series("fixw", process.MetricSavedFactor).Last(), "saved_x")
+}
+
+// BenchmarkFig6ActiveRatios regenerates the Figure 6 series: the active-
+// session and sender-participant ratios.
+func BenchmarkFig6ActiveRatios(b *testing.B) {
+	r := getUsageRunner(b)
+	benchCycles(b, r)
+	b.ReportMetric(r.Mon.Series("fixw", process.MetricActiveRatio).Last(), "active_ratio")
+	b.ReportMetric(r.Mon.Series("fixw", process.MetricSenderRatio).Last(), "sender_ratio")
+}
+
+// BenchmarkFig7DVMRPRoutes regenerates the Figure 7 series: DVMRP route
+// counts at the two vantages, including the flap/loss dynamics.
+func BenchmarkFig7DVMRPRoutes(b *testing.B) {
+	r := getUsageRunner(b)
+	benchCycles(b, r)
+	b.ReportMetric(r.Mon.Series("fixw", process.MetricRoutes).Last(), "fixw_routes")
+	b.ReportMetric(r.Mon.Series("ucsb-r1", process.MetricRoutes).Last(), "ucsb_routes")
+}
+
+// BenchmarkFig8DVMRPDecline regenerates the Figure 8 scenario: the
+// long-term decline of DVMRP as domains migrate off it.
+func BenchmarkFig8DVMRPDecline(b *testing.B) {
+	r, err := experiments.NewRunner(experiments.LongTermConfig(experiments.Quick))
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchCycles(b, r)
+	b.ReportMetric(r.Mon.Series("fixw", process.MetricRoutes).Last(), "fixw_routes")
+}
+
+// BenchmarkFig9RouteInjection regenerates the Figure 9 scenario: the
+// injection watch at five-to-fifteen-minute cycles. Setup advances the
+// scenario to just before the injection instant so the measured cycles
+// cross it and the detector metric is meaningful.
+func BenchmarkFig9RouteInjection(b *testing.B) {
+	cfg := experiments.InjectionConfig(experiments.Quick)
+	r, err := experiments.NewRunner(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	warm := int(cfg.InjectAt.Sub(cfg.Start)/cfg.Cycle) - 4
+	for i := 0; i < warm; i++ {
+		r.Net.Step()
+	}
+	if _, err := r.Mon.RunCycle(r.Net.Now()); err != nil {
+		b.Fatal(err)
+	}
+	benchCycles(b, r)
+	b.ReportMetric(float64(len(r.Mon.Anomalies())), "anomalies")
+}
+
+// BenchmarkClaimDensityDistribution computes the §IV-B distribution
+// claims (≤2-member share, top-6% participant share) on live snapshots.
+func BenchmarkClaimDensityDistribution(b *testing.B) {
+	r := getUsageRunner(b)
+	sn := r.Mon.Latest("fixw")
+	if sn == nil {
+		b.Fatal("no snapshot")
+	}
+	var atMost2, topShare float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		atMost2, topShare = mantra.DensityDistribution(sn, 2, 0.06)
+	}
+	b.StopTimer()
+	b.ReportMetric(atMost2*100, "pct_le2")
+	b.ReportMetric(topShare*100, "pct_top6")
+}
+
+// --- Ablations -----------------------------------------------------------
+
+// BenchmarkAblationDeltaLog measures delta-encoded logging of realistic
+// snapshots and reports the achieved storage compression.
+func BenchmarkAblationDeltaLog(b *testing.B) {
+	r := getUsageRunner(b)
+	sn := r.Mon.Latest("fixw")
+	if sn == nil {
+		b.Fatal("no snapshot")
+	}
+	l := logger.New()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cp := *sn
+		cp.At = sn.At.Add(time.Duration(i) * time.Hour)
+		l.Append(&cp)
+	}
+	// The time per append is the measurement; realistic compression
+	// ratios are asserted in the logger and monitor tests (an unchanged
+	// snapshot re-appended b.N times would report a degenerate ratio).
+}
+
+// BenchmarkAblationFullLog is the no-delta baseline: every cycle logged
+// as a fresh target (nothing to diff against), i.e. full-snapshot cost.
+func BenchmarkAblationFullLog(b *testing.B) {
+	r := getUsageRunner(b)
+	sn := r.Mon.Latest("fixw")
+	if sn == nil {
+		b.Fatal("no snapshot")
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l := logger.New()
+		l.Append(sn)
+	}
+}
+
+// BenchmarkAblationCLIScrape measures the paper's collection path: CLI
+// login, dump, pre-process, parse.
+func BenchmarkAblationCLIScrape(b *testing.B) {
+	r := getUsageRunner(b)
+	rt := r.Net.Router("fixw")
+	tgt := mantra.Target{
+		Name:   "fixw",
+		Dialer: collect.PipeDialer{Router: rt},
+		Prompt: "fixw> ",
+	}
+	// The router already has a password from the runner; clear for bench.
+	rt.Password = ""
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dumps, err := collect.CollectAll(tgt, collect.StandardCommands, r.Net.Now())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := tables.BuildSnapshot(dumps); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationDirectRead is the hypothetical SNMP-like alternative:
+// building the same snapshot straight from router state, skipping the
+// text round trip. The gap against BenchmarkAblationCLIScrape is the cost
+// Mantra pays for working without multicast MIBs.
+func BenchmarkAblationDirectRead(b *testing.B) {
+	r := getUsageRunner(b)
+	rt := r.Net.Router("fixw")
+	now := r.Net.Now()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sn := &tables.Snapshot{Target: "fixw", At: now}
+		for _, e := range rt.FWD.Entries() {
+			sn.Pairs = append(sn.Pairs, tables.PairEntry{
+				Source: e.Key.Source, Group: e.Key.Group,
+				Flags: e.Flags.String(), RateKbps: e.RateKbps,
+				Packets: e.Packets, Uptime: now.Sub(e.Created),
+			})
+		}
+		for _, route := range r.Net.DVMRP.Table(rt.Spec.ID) {
+			sn.Routes = append(sn.Routes, tables.RouteEntry{
+				Prefix: route.Prefix, Metric: route.Metric,
+				Uptime: now.Sub(route.Since),
+			})
+		}
+	}
+}
+
+// BenchmarkAblationSenderThreshold sweeps the classification threshold
+// the paper fixes at 4 kbps, reporting how sender counts respond.
+func BenchmarkAblationSenderThreshold(b *testing.B) {
+	r := getUsageRunner(b)
+	sn := r.Mon.Latest("fixw")
+	if sn == nil {
+		b.Fatal("no snapshot")
+	}
+	for _, thr := range []float64{1, 4, 16} {
+		b.Run(thresholdName(thr), func(b *testing.B) {
+			var senders int
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				p := process.New()
+				p.SenderThresholdKbps = thr
+				st := p.Ingest(sn)
+				senders = st.Senders
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(senders), "senders")
+		})
+	}
+}
+
+func thresholdName(thr float64) string {
+	switch thr {
+	case 1:
+		return "1kbps"
+	case 16:
+		return "16kbps"
+	}
+	return "4kbps"
+}
+
+// --- Micro-benchmarks on the substrates ----------------------------------
+
+// BenchmarkDVMRPTick measures one protocol tick of the full-size cloud.
+func BenchmarkDVMRPTick(b *testing.B) {
+	inet := topo.BuildInternet(topo.DefaultInternetConfig())
+	cloud := dvmrp.NewCloud(inet.Topo, sim.NewRNG(1), 30*time.Minute)
+	for _, r := range inet.Topo.Routers() {
+		if r.Mode == topo.ModeDVMRP || r.Mode == topo.ModeBorder {
+			cloud.EnsureRouter(r.ID)
+		}
+	}
+	now := sim.Epoch
+	for _, d := range inet.Topo.Domains() {
+		cloud.Originate(d.Border(), now, 1, d.Prefixes...)
+	}
+	cloud.Tick(now)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		now = now.Add(30 * time.Minute)
+		cloud.Tick(now)
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(cloud.RouteCount(inet.FIXW.ID)), "routes")
+}
+
+// BenchmarkNetworkStep measures one unmonitored simulation cycle at the
+// paper's full scale.
+func BenchmarkNetworkStep(b *testing.B) {
+	inet := topo.BuildInternet(topo.DefaultInternetConfig())
+	wl := workload.New(workload.DefaultConfig(), inet.Topo)
+	n := netsim.New(inet, wl, netsim.DefaultConfig())
+	if err := n.Track("fixw", "ucsb-r1"); err != nil {
+		b.Fatal(err)
+	}
+	n.Step()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n.Step()
+	}
+}
+
+// BenchmarkParseMroute measures forwarding-table parsing throughput.
+func BenchmarkParseMroute(b *testing.B) {
+	var sb strings.Builder
+	sb.WriteString("IP Multicast Forwarding Table - 1000 entries\n")
+	sb.WriteString("Source           Group            Flags  IIF  OIFs           Kbps      Pkts        Uptime\n")
+	for i := 0; i < 1000; i++ {
+		sb.WriteString("128.111.41.2     224.2.0.1        DP     12   3,4            64.0      123456      12:30:00\n")
+	}
+	lines := collect.Preprocess(sb.String())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tables.ParseMroute(lines); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(len(sb.String())))
+}
+
+// BenchmarkCLIDump measures the router-side rendering of the two primary
+// tables.
+func BenchmarkCLIDump(b *testing.B) {
+	r := getUsageRunner(b)
+	rt := r.Net.Router("fixw")
+	b.ResetTimer()
+	var n int
+	for i := 0; i < b.N; i++ {
+		out := rt.Execute("show ip dvmrp route")
+		out2 := rt.Execute("show ip mroute")
+		n = len(out) + len(out2)
+	}
+	b.StopTimer()
+	b.SetBytes(int64(n))
+}
+
+// BenchmarkAblationSNMPWalk measures the SNMP alternative collecting the
+// two tables the era's MIBs covered, for comparison with the CLI scrape.
+func BenchmarkAblationSNMPWalk(b *testing.B) {
+	r := getUsageRunner(b)
+	rt := r.Net.Router("fixw")
+	agent := snmp.NewAgent("public")
+	agent.SetView(snmp.BuildView(rt, r.Net.Now()))
+	c := snmp.NewClient("public", snmp.AgentTransport(agent))
+	b.ResetTimer()
+	var routes int
+	for i := 0; i < b.N; i++ {
+		tbls, err := collect.CollectSNMP(c)
+		if err != nil {
+			b.Fatal(err)
+		}
+		routes = len(tbls.RouteRows)
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(routes), "routes")
+}
+
+// BenchmarkBaselineAppLayer measures the application-layer observer the
+// paper compares against and reports its coverage next to the network
+// layer's at the same instant.
+func BenchmarkBaselineAppLayer(b *testing.B) {
+	r := getUsageRunner(b)
+	vantage := r.Net.Topo.RouterByName("ucsb-r1")
+	m := applayer.New(vantage.ID)
+	var sn applayer.Snapshot
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sn = m.Observe(r.Net)
+	}
+	b.StopTimer()
+	nlSessions, nlParticipants := applayer.NetworkLayerView(r.Net, "fixw")
+	b.ReportMetric(float64(sn.Sessions), "app_sessions")
+	b.ReportMetric(float64(sn.Participants), "app_participants")
+	b.ReportMetric(float64(nlSessions), "net_sessions")
+	b.ReportMetric(float64(nlParticipants), "net_participants")
+}

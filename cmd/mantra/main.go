@@ -1,0 +1,96 @@
+// Command mantra is the monitoring daemon: it polls the configured router
+// CLIs on an interval, processes the dumps through the full Mantra
+// pipeline, and serves results over HTTP — the paper's web-based output
+// interface.
+//
+//	mantra -target fixw=127.0.0.1:2601 -target ucsb-r1=127.0.0.1:2602 \
+//	       -password mantra -interval 2s -http 127.0.0.1:8080
+//
+// Endpoints: /  /series/<target>/<metric>  /graph/<target>/<metric>
+// /tables/<name>  /anomalies
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"strings"
+	"time"
+
+	mantra "repro"
+	"repro/internal/core/collect"
+)
+
+type targetFlags []string
+
+func (t *targetFlags) String() string { return strings.Join(*t, ",") }
+func (t *targetFlags) Set(v string) error {
+	*t = append(*t, v)
+	return nil
+}
+
+func main() {
+	var targets targetFlags
+	flag.Var(&targets, "target", "name=addr pair, e.g. fixw=127.0.0.1:2601 (repeatable)")
+	password := flag.String("password", "mantra", "CLI password")
+	interval := flag.Duration("interval", 5*time.Second, "polling interval (wall clock)")
+	httpAddr := flag.String("http", "127.0.0.1:8080", "HTTP address serving results")
+	cycles := flag.Int("cycles", 0, "stop after N cycles (0 = run forever)")
+	concurrent := flag.Bool("concurrent", false, "collect all targets in parallel")
+	aggregate := flag.Bool("aggregate", false, "publish a combined multi-router view (implies -concurrent)")
+	flag.Parse()
+
+	if len(targets) == 0 {
+		targets = targetFlags{"fixw=127.0.0.1:2601", "ucsb-r1=127.0.0.1:2602"}
+	}
+
+	m := mantra.New()
+	if *aggregate {
+		m.EnableAggregation()
+		*concurrent = true
+	}
+	for _, spec := range targets {
+		parts := strings.SplitN(spec, "=", 2)
+		if len(parts) != 2 {
+			log.Fatalf("mantra: bad -target %q (want name=addr)", spec)
+		}
+		m.AddTarget(mantra.Target{
+			Name:     parts[0],
+			Dialer:   collect.TCPDialer{Addr: parts[1]},
+			Password: *password,
+			Prompt:   parts[0] + "> ",
+			Timeout:  10 * time.Second,
+		})
+	}
+
+	go func() {
+		log.Printf("mantra: serving results on http://%s/", *httpAddr)
+		if err := http.ListenAndServe(*httpAddr, m.Handler()); err != nil {
+			log.Fatalf("mantra: http: %v", err)
+		}
+	}()
+
+	for i := 0; *cycles == 0 || i < *cycles; i++ {
+		now := time.Now().UTC()
+		var stats []mantra.CycleStats
+		var err error
+		if *concurrent {
+			stats, err = m.RunCycleConcurrent(now)
+		} else {
+			stats, err = m.RunCycle(now)
+		}
+		if err != nil {
+			log.Printf("mantra: cycle failed: %v", err)
+		}
+		for _, st := range stats {
+			fmt.Printf("%s %-10s sessions=%-5d participants=%-5d active=%-4d senders=%-4d bw=%.0fkbps routes=%d churn=%d\n",
+				now.Format("15:04:05"), st.Target, st.Sessions, st.Participants,
+				st.ActiveSessions, st.Senders, st.BandwidthKbps, st.Routes, st.RouteChurn)
+		}
+		for _, a := range m.Anomalies() {
+			log.Printf("mantra: ANOMALY %s at %s: %s", a.Kind, a.Target, a.Detail)
+		}
+		time.Sleep(*interval)
+	}
+}

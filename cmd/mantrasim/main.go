@@ -1,0 +1,114 @@
+// Command mantrasim runs one of the paper's evaluation scenarios from
+// start to finish — simulated network plus monitoring pipeline — and
+// writes the resulting figure series and shape report.
+//
+//	mantrasim -scenario usage -scale standard -out out/
+//
+// Scenarios: usage (Figs 3–6 + 7), longterm (Fig 8), injection (Fig 9).
+// Scales: quick, standard, full.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	scenario := flag.String("scenario", "usage", "usage | longterm | injection")
+	scale := flag.String("scale", "standard", "quick | standard | full")
+	out := flag.String("out", "out", "output directory")
+	quiet := flag.Bool("q", false, "suppress progress output")
+	flag.Parse()
+
+	var sc experiments.Scale
+	switch *scale {
+	case "quick":
+		sc = experiments.Quick
+	case "standard":
+		sc = experiments.Standard
+	case "full":
+		sc = experiments.Full
+	default:
+		log.Fatalf("mantrasim: unknown scale %q", *scale)
+	}
+
+	var cfg experiments.Config
+	switch *scenario {
+	case "usage":
+		cfg = experiments.UsageConfig(sc)
+	case "longterm":
+		cfg = experiments.LongTermConfig(sc)
+	case "injection":
+		cfg = experiments.InjectionConfig(sc)
+	default:
+		log.Fatalf("mantrasim: unknown scenario %q", *scenario)
+	}
+
+	r, err := experiments.NewRunner(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	start := time.Now()
+	progress := func(i int, now time.Time) {
+		if !*quiet && i%200 == 0 {
+			fmt.Fprintf(os.Stderr, "mantrasim: cycle %d, %s\r", i, now.Format("2006-01-02"))
+		}
+	}
+	if err := r.Run(progress); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "\nmantrasim: %s/%s done in %v\n", *scenario, *scale, time.Since(start).Round(time.Second))
+
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		log.Fatal(err)
+	}
+	var figs []experiments.FigureResult
+	var report experiments.ShapeReport
+	switch *scenario {
+	case "usage":
+		figs = []experiments.FigureResult{r.Figure3(), r.Figure4(), r.Figure5(), r.Figure6(), r.Figure7()}
+		report = r.UsageShape()
+		route := r.RouteShape()
+		report.Checks = append(report.Checks, route.Checks...)
+	case "longterm":
+		figs = []experiments.FigureResult{r.Figure8()}
+		report = r.DeclineShape()
+	case "injection":
+		figs = []experiments.FigureResult{r.Figure9()}
+		report = r.InjectionShape()
+	}
+	for _, fig := range figs {
+		if err := writeFigure(*out, fig); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Print(report)
+	reportPath := filepath.Join(*out, *scenario+"-report.txt")
+	if err := os.WriteFile(reportPath, []byte(report.String()), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("mantrasim: wrote %d figures and %s\n", len(figs), reportPath)
+}
+
+func writeFigure(dir string, fig experiments.FigureResult) error {
+	csv, err := os.Create(filepath.Join(dir, fig.ID+".csv"))
+	if err != nil {
+		return err
+	}
+	defer csv.Close()
+	if err := fig.WriteCSV(csv); err != nil {
+		return err
+	}
+	txt, err := os.Create(filepath.Join(dir, fig.ID+".txt"))
+	if err != nil {
+		return err
+	}
+	defer txt.Close()
+	return fig.RenderASCII(txt, 110, 16)
+}

@@ -1,0 +1,122 @@
+// Command mrouted runs a simulated multicast internetwork and serves the
+// routers' CLIs over TCP, playing the role of the live routers Mantra
+// logged into. Each named router gets a telnet-style endpoint; the
+// simulation advances in real time (one monitoring cycle of virtual time
+// per -tick of wall time).
+//
+// Typical use, paired with cmd/mantra:
+//
+//	mrouted -listen 127.0.0.1:2601=fixw -listen 127.0.0.1:2602=ucsb-r1 &
+//	mantra -target fixw=127.0.0.1:2601 -target ucsb-r1=127.0.0.1:2602
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/netsim"
+	"repro/internal/snmp"
+	"repro/internal/topo"
+	"repro/internal/workload"
+)
+
+type listenFlags []string
+
+func (l *listenFlags) String() string { return strings.Join(*l, ",") }
+func (l *listenFlags) Set(v string) error {
+	*l = append(*l, v)
+	return nil
+}
+
+func main() {
+	var listens listenFlags
+	flag.Var(&listens, "listen", "addr=router pair, e.g. 127.0.0.1:2601=fixw (repeatable)")
+	domains := flag.Int("domains", 8, "number of leaf domains besides ucsb")
+	password := flag.String("password", "mantra", "CLI password for every router")
+	community := flag.String("community", "public", "SNMP community string")
+	snmpBase := flag.Int("snmp", 0, "base UDP port for per-router SNMP agents (0 disables)")
+	tick := flag.Duration("tick", 2*time.Second, "wall-clock time per simulated monitoring cycle")
+	cycle := flag.Duration("cycle", 30*time.Minute, "simulated monitoring cycle length")
+	seed := flag.Int64("seed", 1998, "simulation seed")
+	flag.Parse()
+
+	if len(listens) == 0 {
+		listens = listenFlags{"127.0.0.1:2601=fixw", "127.0.0.1:2602=ucsb-r1"}
+	}
+
+	tcfg := topo.DefaultInternetConfig()
+	tcfg.NumDomains = *domains
+	tcfg.Seed = *seed
+	inet := topo.BuildInternet(tcfg)
+	wcfg := workload.DefaultConfig()
+	wcfg.Seed = *seed + 7
+	wl := workload.New(wcfg, inet.Topo)
+	ncfg := netsim.DefaultConfig()
+	ncfg.Cycle = *cycle
+	ncfg.Seed = *seed + 13
+	net_ := netsim.New(inet, wl, ncfg)
+
+	type served struct {
+		name  string
+		agent *snmp.Agent
+	}
+	var agents []served
+	for i, spec := range listens {
+		parts := strings.SplitN(spec, "=", 2)
+		if len(parts) != 2 {
+			log.Fatalf("mrouted: bad -listen %q (want addr=router)", spec)
+		}
+		addr, name := parts[0], parts[1]
+		r := net_.Router(name)
+		if r == nil {
+			log.Fatalf("mrouted: unknown router %q", name)
+		}
+		if err := net_.Track(name); err != nil {
+			log.Fatal(err)
+		}
+		r.Password = *password
+		l, err := net.Listen("tcp", addr)
+		if err != nil {
+			log.Fatalf("mrouted: listen %s: %v", addr, err)
+		}
+		fmt.Printf("mrouted: %s CLI on %s (password %q, prompt %q)\n", name, l.Addr(), *password, name+"> ")
+		go func(rt interface {
+			ServeTCP(net.Listener) error
+		}, l net.Listener) {
+			if err := rt.ServeTCP(l); err != nil {
+				log.Printf("mrouted: serve: %v", err)
+			}
+		}(r, l)
+
+		if *snmpBase > 0 {
+			agent := snmp.NewAgent(*community)
+			pc, err := net.ListenPacket("udp", fmt.Sprintf("127.0.0.1:%d", *snmpBase+i))
+			if err != nil {
+				log.Fatalf("mrouted: snmp listen: %v", err)
+			}
+			fmt.Printf("mrouted: %s SNMP on %s (community %q)\n", name, pc.LocalAddr(), *community)
+			go func() { _ = agent.ServeUDP(pc) }()
+			agents = append(agents, served{name: name, agent: agent})
+		}
+	}
+
+	fmt.Printf("mrouted: %d routers, %d links; advancing %v of virtual time every %v\n",
+		len(inet.Topo.Routers()), len(inet.Topo.Links()), *cycle, *tick)
+	for {
+		net_.Step()
+		for _, s := range agents {
+			s.agent.SetView(snmp.BuildView(net_.Router(s.name), net_.Now()))
+		}
+		fmt.Fprintf(os.Stderr, "mrouted: %s fixw-routes=%d fixw-mroutes=%d sessions=%d\r",
+			net_.Now().Format("2006-01-02 15:04"),
+			net_.DVMRP.RouteCount(inet.FIXW.ID),
+			net_.Router("fixw").FWD.Len(),
+			wl.SessionCount())
+		time.Sleep(*tick)
+	}
+}

@@ -1,0 +1,47 @@
+// Command mstat is a one-shot query tool in the spirit of Merit's mstat:
+// it logs into one router CLI, runs the given show commands (or the
+// standard dump set), and prints the raw tables.
+//
+//	mstat -addr 127.0.0.1:2601 -password mantra -prompt "fixw> " \
+//	      "show ip dvmrp route" "show ip mroute"
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/core/collect"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:2601", "router CLI address")
+	password := flag.String("password", "mantra", "CLI password")
+	prompt := flag.String("prompt", "", "CLI prompt (required, e.g. \"fixw> \")")
+	timeout := flag.Duration("timeout", 10*time.Second, "per-command timeout")
+	flag.Parse()
+
+	if *prompt == "" {
+		log.Fatal("mstat: -prompt is required (e.g. \"fixw> \")")
+	}
+	commands := flag.Args()
+	if len(commands) == 0 {
+		commands = collect.StandardCommands
+	}
+
+	tgt := collect.Target{
+		Name:     "mstat",
+		Dialer:   collect.TCPDialer{Addr: *addr},
+		Password: *password,
+		Prompt:   *prompt,
+		Timeout:  *timeout,
+	}
+	dumps, err := collect.CollectAll(tgt, commands, time.Now().UTC())
+	if err != nil {
+		log.Fatalf("mstat: %v", err)
+	}
+	for _, d := range dumps {
+		fmt.Printf("### %s\n%s\n", d.Command, d.Raw)
+	}
+}

@@ -1,0 +1,77 @@
+// Anomaly detection: reproduces Figure 9 — the October 14 1998 incident
+// in which unicast routes leaked into the UCSB mrouted's DVMRP table.
+// Mantra's route monitor watches the table size and flags the step jump.
+//
+//	go run ./examples/anomaly
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	mantra "repro"
+	"repro/internal/core/collect"
+	"repro/internal/core/output"
+	"repro/internal/netsim"
+	"repro/internal/topo"
+	"repro/internal/workload"
+)
+
+func main() {
+	tcfg := topo.DefaultInternetConfig()
+	tcfg.NumDomains = 6
+	inet := topo.BuildInternet(tcfg)
+	wl := workload.New(workload.DefaultConfig(), inet.Topo)
+	ncfg := netsim.DefaultConfig()
+	ncfg.Cycle = 15 * time.Minute
+	net := netsim.New(inet, wl, ncfg)
+	if err := net.Track("ucsb-r1"); err != nil {
+		log.Fatal(err)
+	}
+
+	r := net.Router("ucsb-r1")
+	r.Password = "mantra"
+	m := mantra.New()
+	m.AddTarget(mantra.Target{
+		Name:     "ucsb-r1",
+		Dialer:   collect.PipeDialer{Router: r},
+		Password: "mantra",
+		Prompt:   "ucsb-r1> ",
+	})
+
+	// The fault: at 14:00, ~600 unicast /24s leak into the DVMRP table
+	// for two hours (a misconfigured route redistribution).
+	injectAt := net.Now().Add(14 * time.Hour)
+	if err := net.InjectUnicastRoutes("ucsb-gw", 600, injectAt, 2*time.Hour); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("scheduled unicast route injection at %s\n\n", injectAt.Format("15:04"))
+
+	// Monitor one day at 15-minute cycles.
+	for i := 0; i < 24*4; i++ {
+		net.Step()
+		if _, err := m.RunCycle(net.Now()); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// Plot the day's route counts (the Figure 9 chart).
+	g := output.NewGraph("DVMRP routes at ucsb-r1, October 14 1998", "routes")
+	g.Overlay("ucsb-r1", m.Series("ucsb-r1", mantra.MetricRoutes))
+	if err := g.RenderASCII(os.Stdout, 96, 16); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println()
+	anomalies := m.Anomalies()
+	if len(anomalies) == 0 {
+		fmt.Println("no anomalies detected (unexpected)")
+		return
+	}
+	for _, a := range anomalies {
+		fmt.Printf("DETECTED %s at %s on %s: %s\n",
+			a.Kind, a.At.Format("15:04"), a.Target, a.Detail)
+	}
+}

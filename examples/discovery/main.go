@@ -1,0 +1,76 @@
+// Topology discovery and path tracing: the mwatch/mtrace side of the
+// paper's tool survey. The example crawls the DVMRP cloud from FIXW by
+// recursively querying router CLIs for their neighbors, then runs an
+// mtrace along a live session's distribution tree.
+//
+//	go run ./examples/discovery
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/core/collect"
+	"repro/internal/core/discover"
+	"repro/internal/netsim"
+	"repro/internal/topo"
+	"repro/internal/workload"
+)
+
+func main() {
+	tcfg := topo.DefaultInternetConfig()
+	tcfg.NumDomains = 6
+	inet := topo.BuildInternet(tcfg)
+	wl := workload.New(workload.DefaultConfig(), inet.Topo)
+	n := netsim.New(inet, wl, netsim.DefaultConfig())
+	if err := n.Track("fixw", "ucsb-gw", "ucsb-r1"); err != nil {
+		log.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		n.Step()
+	}
+
+	// mwatch-style crawl: every router is reachable by its CLI.
+	dialers := func(name string) (collect.Dialer, bool) {
+		r := n.Router(name)
+		if r == nil {
+			return nil, false
+		}
+		r.Password = "mantra"
+		return collect.PipeDialer{Router: r}, true
+	}
+	m := discover.Crawl("fixw", dialers, discover.Config{Password: "mantra", Timeout: 5 * time.Second})
+	fmt.Printf("discovered %d multicast routers from fixw:\n", len(m.Order))
+	for i, name := range m.Order {
+		node := m.Nodes[name]
+		fmt.Printf("  %2d. %-12s neighbors=%d\n", i+1, name, len(node.Neighbors))
+	}
+	links := m.Links()
+	fmt.Printf("%d distinct links; first few:\n", len(links))
+	for i, l := range links {
+		if i == 5 {
+			break
+		}
+		fmt.Printf("  %s <-> %s\n", l[0], l[1])
+	}
+
+	// mtrace along a live flow: pick a sender and a remote member.
+	for _, s := range wl.Sessions() {
+		for _, snd := range s.Senders() {
+			for _, mem := range s.MemberList() {
+				if mem.Host == snd.Host || mem.Edge == snd.Edge {
+					continue
+				}
+				hops, err := n.Mtrace(snd.Host, s.Group, mem.Host)
+				if err != nil {
+					continue
+				}
+				fmt.Println()
+				fmt.Print(netsim.FormatTrace(snd.Host, s.Group, hops))
+				return
+			}
+		}
+	}
+	fmt.Println("no cross-router flow live at this instant")
+}

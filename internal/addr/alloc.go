@@ -1,0 +1,88 @@
+package addr
+
+import "fmt"
+
+// Allocator hands out host addresses sequentially from a prefix.
+// It is used by topology builders to assign interface and host addresses
+// deterministically. Allocator is not safe for concurrent use.
+type Allocator struct {
+	prefix Prefix
+	next   IP
+}
+
+// NewAllocator returns an allocator over p. The network and broadcast
+// addresses of p are never handed out.
+func NewAllocator(p Prefix) *Allocator {
+	return &Allocator{prefix: p, next: p.First() + 1}
+}
+
+// Prefix returns the pool the allocator draws from.
+func (a *Allocator) Prefix() Prefix { return a.prefix }
+
+// Next allocates the next free address. It returns an error when the pool
+// is exhausted.
+func (a *Allocator) Next() (IP, error) {
+	if a.next >= a.prefix.Last() {
+		return 0, fmt.Errorf("addr: pool %s exhausted", a.prefix)
+	}
+	ip := a.next
+	a.next++
+	return ip, nil
+}
+
+// MustNext is like Next but panics on exhaustion; topology builders use it
+// with pools sized generously.
+func (a *Allocator) MustNext() IP {
+	ip, err := a.Next()
+	if err != nil {
+		panic(err)
+	}
+	return ip
+}
+
+// Remaining reports how many addresses are still available.
+func (a *Allocator) Remaining() uint64 {
+	if a.next >= a.prefix.Last() {
+		return 0
+	}
+	return uint64(a.prefix.Last() - a.next)
+}
+
+// GroupAllocator hands out multicast group addresses sequentially from a
+// class-D block, skipping the link-local control range.
+type GroupAllocator struct {
+	next IP
+	max  IP
+}
+
+// NewGroupAllocator returns an allocator over the given multicast block.
+// It panics if the block is not multicast space.
+func NewGroupAllocator(block Prefix) *GroupAllocator {
+	if !block.Addr.IsMulticast() {
+		panic(fmt.Sprintf("addr: %s is not multicast space", block))
+	}
+	next := block.First()
+	if next <= LinkLocalMulticastMax {
+		next = LinkLocalMulticastMax + 1
+	}
+	return &GroupAllocator{next: next, max: block.Last()}
+}
+
+// Next allocates the next group address.
+func (g *GroupAllocator) Next() (IP, error) {
+	if g.next > g.max {
+		return 0, fmt.Errorf("addr: multicast pool exhausted")
+	}
+	ip := g.next
+	g.next++
+	return ip, nil
+}
+
+// MustNext is like Next but panics on exhaustion.
+func (g *GroupAllocator) MustNext() IP {
+	ip, err := g.Next()
+	if err != nil {
+		panic(err)
+	}
+	return ip
+}

@@ -1,0 +1,149 @@
+// Package applayer implements the application-layer monitoring baseline
+// the paper argues against (§II-C): an mlisten/rtpmon/sdr-monitor-style
+// observer that sits at one campus as an ordinary host, learns sessions
+// from SAP announcements, joins them, and counts the participants whose
+// RTCP reports actually arrive.
+//
+// Its blind spots are exactly the paper's: sessions that are never
+// announced are invisible; participants whose applications do not send
+// RTCP are invisible; and when multicast connectivity from a participant
+// to the vantage breaks, the participant silently disappears with no
+// indication of whether the cause is the application or the network.
+package applayer
+
+import (
+	"repro/internal/netsim"
+	"repro/internal/sap"
+	"repro/internal/topo"
+	"repro/internal/workload"
+)
+
+// DefaultRTCPAdherence is the fraction of applications that implement
+// RTCP feedback; the paper notes "not all the multicast applications
+// adhere to the RTCP standard".
+const DefaultRTCPAdherence = 0.8
+
+// Monitor is an application-layer observer at one vantage domain.
+type Monitor struct {
+	// Vantage is the edge router whose subnet hosts the observer.
+	Vantage topo.NodeID
+	// RTCPAdherence in [0,1] is the fraction of hosts emitting RTCP.
+	RTCPAdherence float64
+	// SAP is the observer's announcement cache (the sdr cache): session
+	// knowledge persists for the announcement lifetime even when an
+	// announcement is missed, and survives briefly after a session ends.
+	SAP *sap.Cache
+}
+
+// New returns an observer behind the given edge router.
+func New(vantage topo.NodeID) *Monitor {
+	return &Monitor{
+		Vantage:       vantage,
+		RTCPAdherence: DefaultRTCPAdherence,
+		SAP:           sap.NewCache(0),
+	}
+}
+
+// Snapshot is what the application layer sees in one cycle.
+type Snapshot struct {
+	// AnnouncedSessions is the SAP cache size after this observation —
+	// every session the observer knows to exist.
+	AnnouncedSessions int
+	// Sessions with at least one heard participant.
+	Sessions int
+	// Participants heard via RTCP.
+	Participants int
+	// SilentlyMissing counts announced-session participants that exist
+	// but are invisible here (no RTCP, or broken delivery) — the
+	// undiagnosable loss the paper criticizes.
+	SilentlyMissing int
+}
+
+// announced reports whether a session class is advertised via SAP:
+// scheduled content (broadcasts, conferences) is; ad-hoc experimental
+// sessions and unadvertised idle groups are not.
+func announced(c workload.Class) bool {
+	return c == workload.ClassBroadcast || c == workload.ClassConference
+}
+
+// adheresRTCP deterministically assigns RTCP support per host.
+func (m *Monitor) adheresRTCP(host uint32) bool {
+	if m.RTCPAdherence >= 1 {
+		return true
+	}
+	if m.RTCPAdherence <= 0 {
+		return false
+	}
+	h := host * 2654435761 // Knuth multiplicative hash
+	return float64(h%1000) < m.RTCPAdherence*1000
+}
+
+// Observe computes one cycle's application-layer view of the network:
+// SAP announcements that reach the vantage refresh the cache, the cache
+// ages, and RTCP is counted for cached sessions only.
+func (m *Monitor) Observe(n *netsim.Network) Snapshot {
+	now := n.Now()
+	var sn Snapshot
+	live := make(map[uint32]*workload.Session)
+	for _, s := range n.Workload.Sessions() {
+		if !announced(s.Class) {
+			continue
+		}
+		live[uint32(s.Group)] = s
+		// The announcer is the session's first member; the announcement
+		// arrives only if multicast delivery to the vantage works.
+		members := s.MemberList()
+		if len(members) == 0 {
+			continue
+		}
+		origin := members[0]
+		if n.MulticastPath(m.Vantage, origin.Edge) != nil {
+			m.SAP.Hear(s.Group, origin.Host, s.Class.String(), now)
+		}
+	}
+	m.SAP.Expire(now)
+	sn.AnnouncedSessions = m.SAP.Len()
+
+	// RTCP listening on cached sessions.
+	for _, e := range m.SAP.Entries() {
+		s := live[uint32(e.Group)]
+		if s == nil {
+			continue // stale cache entry: the session already ended
+		}
+		heard := 0
+		for _, mem := range s.MemberList() {
+			if !m.adheresRTCP(uint32(mem.Host)) {
+				sn.SilentlyMissing++
+				continue
+			}
+			if n.MulticastPath(m.Vantage, mem.Edge) == nil {
+				sn.SilentlyMissing++
+				continue
+			}
+			heard++
+		}
+		if heard > 0 {
+			sn.Sessions++
+			sn.Participants += heard
+		}
+	}
+	return sn
+}
+
+// NetworkLayerView is the comparable count from router state: sessions
+// and participants in the tracked router's forwarding table — what
+// Mantra sees at the same instant (including unannounced sessions and
+// RTCP-less participants).
+func NetworkLayerView(n *netsim.Network, routerName string) (sessions, participants int) {
+	r := n.Router(routerName)
+	if r == nil {
+		return 0, 0
+	}
+	groups := make(map[uint32]bool)
+	hosts := make(map[uint32]bool)
+	for _, e := range r.FWD.Entries() {
+		groups[uint32(e.Key.Group)] = true
+		hosts[uint32(e.Key.Source)] = true
+	}
+	return len(groups), len(hosts)
+}

@@ -1,0 +1,115 @@
+package applayer_test
+
+import (
+	"testing"
+
+	"repro/internal/applayer"
+	"repro/internal/netsim"
+	"repro/internal/topo"
+	"repro/internal/workload"
+)
+
+func buildNet(t *testing.T) *netsim.Network {
+	t.Helper()
+	cfg := topo.DefaultInternetConfig()
+	cfg.NumDomains = 6
+	inet := topo.BuildInternet(cfg)
+	wl := workload.New(workload.DefaultConfig(), inet.Topo)
+	n := netsim.New(inet, wl, netsim.DefaultConfig())
+	if err := n.Track("fixw"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		n.Step()
+	}
+	return n
+}
+
+func TestAppLayerSeesOnlyAnnouncedSessions(t *testing.T) {
+	n := buildNet(t)
+	vantage := n.Topo.RouterByName("ucsb-r1")
+	m := applayer.New(vantage.ID)
+	sn := m.Observe(n)
+
+	announced := 0
+	total := 0
+	for _, s := range n.Workload.Sessions() {
+		total++
+		if s.Class == workload.ClassBroadcast || s.Class == workload.ClassConference {
+			announced++
+		}
+	}
+	if sn.AnnouncedSessions != announced {
+		t.Errorf("announced = %d, want %d", sn.AnnouncedSessions, announced)
+	}
+	if sn.Sessions > sn.AnnouncedSessions {
+		t.Error("heard more sessions than announced")
+	}
+	// The network layer sees every class, so its session count dominates.
+	nlSessions, nlParticipants := applayer.NetworkLayerView(n, "fixw")
+	if nlSessions <= sn.Sessions && total > announced {
+		t.Errorf("network layer sessions %d should exceed app layer %d", nlSessions, sn.Sessions)
+	}
+	if nlParticipants <= sn.Participants {
+		t.Errorf("network layer participants %d should exceed app layer %d", nlParticipants, sn.Participants)
+	}
+}
+
+func TestRTCPAdherenceFiltersHosts(t *testing.T) {
+	n := buildNet(t)
+	vantage := n.Topo.RouterByName("ucsb-r1")
+
+	full := applayer.New(vantage.ID)
+	full.RTCPAdherence = 1.0
+	all := full.Observe(n)
+
+	none := applayer.New(vantage.ID)
+	none.RTCPAdherence = 0
+	zero := none.Observe(n)
+
+	if zero.Participants != 0 || zero.Sessions != 0 {
+		t.Errorf("zero adherence still heard %d participants", zero.Participants)
+	}
+	if zero.SilentlyMissing == 0 {
+		t.Error("missing participants not counted")
+	}
+	partial := applayer.New(vantage.ID)
+	got := partial.Observe(n)
+	if got.Participants >= all.Participants && all.Participants > 5 {
+		t.Errorf("80%% adherence (%d) should hear fewer than 100%% (%d)", got.Participants, all.Participants)
+	}
+}
+
+func TestConnectivityLossIsSilent(t *testing.T) {
+	// Post-transition with a vantage in the dense world: participants in
+	// native domains become invisible when no border path exists — and
+	// the app layer cannot tell why.
+	n := buildNet(t)
+	vantage := n.Topo.RouterByName("ucsb-r1")
+	m := applayer.New(vantage.ID)
+	m.RTCPAdherence = 1.0
+	before := m.Observe(n)
+
+	for _, d := range n.Topo.Domains() {
+		if d.Name != "ucsb" {
+			n.TransitionDomain(d.Name)
+		}
+	}
+	// Sever the border: FIXW's native links go down, partitioning the
+	// vantage from every native participant.
+	for _, l := range n.Topo.LinksOf(n.Inet.FIXW.ID) {
+		if n.Topo.NativeLinks()(l) {
+			l.Up = false
+		}
+	}
+	for i := 0; i < 4; i++ {
+		n.Step()
+	}
+	after := m.Observe(n)
+	if after.Participants >= before.Participants && before.Participants > 10 {
+		t.Errorf("partition did not reduce heard participants: %d -> %d", before.Participants, after.Participants)
+	}
+	if after.SilentlyMissing == 0 {
+		t.Error("partitioned participants should be silently missing")
+	}
+}

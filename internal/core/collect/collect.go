@@ -1,0 +1,235 @@
+// Package collect implements Mantra's Data Collector module: it logs into
+// multicast routers, captures raw table dumps, and pre-processes them for
+// the router-table processor.
+//
+// As in the paper, collection works by driving a router's interactive CLI
+// with expect-style scripts — log in with a password, wait for the
+// prompt, issue `show` commands, capture everything until the next prompt
+// — rather than via SNMP (whose MIBs did not cover the newer multicast
+// protocols). Targets can be in-process simulated routers or real TCP
+// endpoints; both travel through the same line-oriented session code.
+package collect
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"strings"
+	"time"
+
+	"repro/internal/router"
+)
+
+// ErrTimeout reports that an expected pattern did not arrive in time.
+var ErrTimeout = errors.New("collect: timed out waiting for pattern")
+
+// ErrLogin reports failed authentication.
+var ErrLogin = errors.New("collect: login failed")
+
+// Dialer opens a byte-stream session to a router CLI.
+type Dialer interface {
+	Dial() (io.ReadWriteCloser, error)
+}
+
+// TCPDialer connects to a router CLI over TCP.
+type TCPDialer struct {
+	Addr string
+	// Timeout bounds the connection attempt; zero means 5 s.
+	Timeout time.Duration
+}
+
+// Dial implements Dialer.
+func (d TCPDialer) Dial() (io.ReadWriteCloser, error) {
+	to := d.Timeout
+	if to <= 0 {
+		to = 5 * time.Second
+	}
+	return net.DialTimeout("tcp", d.Addr, to)
+}
+
+// PipeDialer runs sessions against an in-process simulated router through
+// a synchronous pipe — the same session logic as TCP without a socket.
+type PipeDialer struct {
+	Router *router.Router
+}
+
+// Dial implements Dialer.
+func (d PipeDialer) Dial() (io.ReadWriteCloser, error) {
+	if d.Router == nil {
+		return nil, errors.New("collect: nil router")
+	}
+	client, server := net.Pipe()
+	go func() {
+		_ = d.Router.HandleSession(server)
+		server.Close()
+	}()
+	return client, nil
+}
+
+// Target is one monitored router.
+type Target struct {
+	// Name labels the collection point ("fixw", "ucsb").
+	Name string
+	// Dialer opens sessions.
+	Dialer Dialer
+	// Password authenticates; must match the router's.
+	Password string
+	// Prompt is the CLI prompt to wait for, e.g. "fixw> ".
+	Prompt string
+	// Timeout bounds each expect step; zero means 10 s.
+	Timeout time.Duration
+}
+
+// Session is an authenticated CLI session.
+type Session struct {
+	conn    io.ReadWriteCloser
+	prompt  string
+	timeout time.Duration
+	buf     []byte
+}
+
+// deadliner is implemented by net.Conn and net.Pipe ends.
+type deadliner interface {
+	SetReadDeadline(time.Time) error
+}
+
+// readUntil consumes the stream until pattern appears, returning
+// everything read including the pattern.
+func (s *Session) readUntil(pattern string) (string, error) {
+	var sb strings.Builder
+	deadline := time.Now().Add(s.timeout)
+	if d, ok := s.conn.(deadliner); ok {
+		_ = d.SetReadDeadline(deadline)
+		defer d.SetReadDeadline(time.Time{})
+	}
+	tmp := make([]byte, 4096)
+	for {
+		if strings.Contains(sb.String(), pattern) {
+			return sb.String(), nil
+		}
+		if time.Now().After(deadline) {
+			return sb.String(), fmt.Errorf("%w: %q", ErrTimeout, pattern)
+		}
+		n, err := s.conn.Read(tmp)
+		sb.Write(tmp[:n])
+		if err != nil {
+			if strings.Contains(sb.String(), pattern) {
+				return sb.String(), nil
+			}
+			return sb.String(), err
+		}
+	}
+}
+
+func (s *Session) send(line string) error {
+	_, err := io.WriteString(s.conn, line+"\n")
+	return err
+}
+
+// Login opens and authenticates a session against t.
+func Login(t Target) (*Session, error) {
+	conn, err := t.Dialer.Dial()
+	if err != nil {
+		return nil, err
+	}
+	timeout := t.Timeout
+	if timeout <= 0 {
+		timeout = 10 * time.Second
+	}
+	s := &Session{conn: conn, prompt: t.Prompt, timeout: timeout}
+	if t.Password != "" {
+		if _, err := s.readUntil("Password: "); err != nil {
+			conn.Close()
+			return nil, fmt.Errorf("%w: no password prompt: %v", ErrLogin, err)
+		}
+		if err := s.send(t.Password); err != nil {
+			conn.Close()
+			return nil, err
+		}
+	}
+	if _, err := s.readUntil(t.Prompt); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("%w: no prompt after login: %v", ErrLogin, err)
+	}
+	return s, nil
+}
+
+// Run issues one command and returns its raw output with the command echo
+// and trailing prompt stripped.
+func (s *Session) Run(cmd string) (string, error) {
+	if err := s.send(cmd); err != nil {
+		return "", err
+	}
+	out, err := s.readUntil(s.prompt)
+	if err != nil {
+		return "", err
+	}
+	out = strings.TrimSuffix(out, s.prompt)
+	// Strip a leading echo of the command, if the transport echoes.
+	out = strings.TrimPrefix(out, cmd+"\n")
+	return out, nil
+}
+
+// Close logs out and closes the connection.
+func (s *Session) Close() error {
+	_ = s.send("exit")
+	return s.conn.Close()
+}
+
+// Dump is one captured table.
+type Dump struct {
+	Target  string
+	Command string
+	Raw     string
+	At      time.Time
+}
+
+// StandardCommands is the dump set Mantra collects each cycle: the DVMRP
+// route table and the multicast forwarding table are the two primary data
+// sets (§IV-A); the rest capture the newer protocols' state.
+var StandardCommands = []string{
+	"show ip dvmrp route",
+	"show ip mroute",
+	"show ip igmp groups",
+	"show ip pim group",
+	"show ip msdp sa-cache",
+	"show ip mbgp",
+}
+
+// CollectAll logs into the target once and captures every command.
+// Dumps carry the collection timestamp now.
+func CollectAll(t Target, commands []string, now time.Time) ([]Dump, error) {
+	s, err := Login(t)
+	if err != nil {
+		return nil, fmt.Errorf("collect %s: %w", t.Name, err)
+	}
+	defer s.Close()
+	dumps := make([]Dump, 0, len(commands))
+	for _, cmd := range commands {
+		raw, err := s.Run(cmd)
+		if err != nil {
+			return dumps, fmt.Errorf("collect %s %q: %w", t.Name, cmd, err)
+		}
+		dumps = append(dumps, Dump{Target: t.Name, Command: cmd, Raw: raw, At: now})
+	}
+	return dumps, nil
+}
+
+// Preprocess cleans a raw dump into trimmed, non-empty lines: excess
+// whitespace collapsed, delimiters and prompt remnants removed — the
+// paper's pre-processing step ahead of table mapping.
+func Preprocess(raw string) []string {
+	var out []string
+	for _, line := range strings.Split(raw, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "%") { // CLI error remnants
+			continue
+		}
+		out = append(out, strings.Join(strings.Fields(line), " "))
+	}
+	return out
+}

@@ -1,0 +1,179 @@
+package collect_test
+
+import (
+	"errors"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core/collect"
+	"repro/internal/netsim"
+	"repro/internal/topo"
+	"repro/internal/workload"
+)
+
+func testNetwork(t *testing.T) *netsim.Network {
+	t.Helper()
+	cfg := topo.DefaultInternetConfig()
+	cfg.NumDomains = 3
+	inet := topo.BuildInternet(cfg)
+	wl := workload.New(workload.DefaultConfig(), inet.Topo)
+	n := netsim.New(inet, wl, netsim.DefaultConfig())
+	if err := n.Track("fixw", "ucsb-gw"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		n.Step()
+	}
+	return n
+}
+
+func target(n *netsim.Network, name, password string) collect.Target {
+	r := n.Router(name)
+	r.Password = password
+	return collect.Target{
+		Name:     name,
+		Dialer:   collect.PipeDialer{Router: r},
+		Password: password,
+		Prompt:   name + "> ",
+		Timeout:  5 * time.Second,
+	}
+}
+
+func TestLoginAndRun(t *testing.T) {
+	n := testNetwork(t)
+	s, err := collect.Login(target(n, "fixw", "pw"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	out, err := s.Run("show ip dvmrp route")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "DVMRP Routing Table") {
+		t.Errorf("missing table header")
+	}
+	if strings.Contains(out, "fixw> ") {
+		t.Error("prompt not stripped")
+	}
+	// Second command on the same session.
+	out, err = s.Run("show ip mroute")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "Forwarding Table") {
+		t.Error("second command failed")
+	}
+}
+
+func TestLoginWrongPassword(t *testing.T) {
+	n := testNetwork(t)
+	tgt := target(n, "fixw", "right")
+	tgt.Password = "wrong"
+	tgt.Timeout = 500 * time.Millisecond
+	if _, err := collect.Login(tgt); err == nil {
+		t.Fatal("login succeeded with wrong password")
+	}
+}
+
+func TestLoginNoPassword(t *testing.T) {
+	n := testNetwork(t)
+	tgt := target(n, "fixw", "")
+	s, err := collect.Login(tgt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+}
+
+func TestCollectAll(t *testing.T) {
+	n := testNetwork(t)
+	now := n.Now()
+	dumps, err := collect.CollectAll(target(n, "fixw", "pw"), collect.StandardCommands, now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dumps) != len(collect.StandardCommands) {
+		t.Fatalf("dumps = %d", len(dumps))
+	}
+	for i, d := range dumps {
+		if d.Target != "fixw" || d.Command != collect.StandardCommands[i] || !d.At.Equal(now) {
+			t.Errorf("dump %d metadata wrong: %+v", i, d)
+		}
+		if d.Raw == "" {
+			t.Errorf("dump %d empty", i)
+		}
+	}
+}
+
+func TestCollectOverTCP(t *testing.T) {
+	n := testNetwork(t)
+	r := n.Router("ucsb-gw")
+	r.Password = "s3cret"
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go r.ServeTCP(l)
+	tgt := collect.Target{
+		Name:     "ucsb",
+		Dialer:   collect.TCPDialer{Addr: l.Addr().String()},
+		Password: "s3cret",
+		Prompt:   "ucsb-gw> ",
+		Timeout:  5 * time.Second,
+	}
+	dumps, err := collect.CollectAll(tgt, []string{"show ip dvmrp route"}, n.Now())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dumps) != 1 || !strings.Contains(dumps[0].Raw, "DVMRP Routing Table") {
+		t.Errorf("TCP collection failed: %+v", dumps)
+	}
+}
+
+func TestTCPDialerUnreachable(t *testing.T) {
+	d := collect.TCPDialer{Addr: "127.0.0.1:1", Timeout: 200 * time.Millisecond}
+	if _, err := d.Dial(); err == nil {
+		t.Error("dial to closed port succeeded")
+	}
+}
+
+func TestPipeDialerNilRouter(t *testing.T) {
+	if _, err := (collect.PipeDialer{}).Dial(); err == nil {
+		t.Error("nil router accepted")
+	}
+}
+
+func TestCollectErrorWrapsLogin(t *testing.T) {
+	n := testNetwork(t)
+	tgt := target(n, "fixw", "good")
+	tgt.Password = "bad"
+	tgt.Timeout = 300 * time.Millisecond
+	_, err := collect.CollectAll(tgt, collect.StandardCommands, n.Now())
+	if err == nil {
+		t.Fatal("expected login error")
+	}
+	if !errors.Is(err, collect.ErrLogin) && !errors.Is(err, collect.ErrTimeout) {
+		t.Errorf("unexpected error type: %v", err)
+	}
+}
+
+func TestPreprocess(t *testing.T) {
+	raw := "  Header   Line  \n\n\n  a    b\tc  \n% oops\nlast"
+	lines := collect.Preprocess(raw)
+	want := []string{"Header Line", "a b c", "last"}
+	if len(lines) != len(want) {
+		t.Fatalf("lines = %q", lines)
+	}
+	for i := range want {
+		if lines[i] != want[i] {
+			t.Errorf("line %d = %q, want %q", i, lines[i], want[i])
+		}
+	}
+	if collect.Preprocess("") != nil {
+		t.Error("empty input should give nil")
+	}
+}

@@ -1,0 +1,86 @@
+package collect
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+)
+
+// Step is one expect-script action: wait for Expect to appear in the
+// stream (if non-empty), then send Send (if non-empty).
+type Step struct {
+	Expect string
+	Send   string
+	// Capture names the output consumed while waiting; captured text is
+	// returned keyed by this name. Empty means discard.
+	Capture string
+}
+
+// Script is an ordered list of steps — Mantra's collection mechanism, as
+// the paper describes it: "a set of expect scripts, which it launches at
+// frequent intervals to collect the latest monitoring data".
+type Script []Step
+
+// LoginScript builds the standard login-and-dump script for a router:
+// authenticate, disable paging, run each command, and log out. Each
+// prompt-wait captures the output of the command sent before it, so one
+// step both harvests the previous dump and issues the next command.
+func LoginScript(password, prompt string, commands ...string) Script {
+	var s Script
+	if password != "" {
+		s = append(s, Step{Expect: "Password: ", Send: password})
+	}
+	s = append(s, Step{Expect: prompt, Send: "terminal length 0"})
+	prev := ""
+	for _, cmd := range commands {
+		s = append(s, Step{Expect: prompt, Send: cmd, Capture: prev})
+		prev = cmd
+	}
+	s = append(s, Step{Expect: prompt, Send: "exit", Capture: prev})
+	return s
+}
+
+// RunScript drives rw through the script and returns the captured
+// sections. The timeout applies per expect step.
+func RunScript(rw io.ReadWriter, script Script, timeout time.Duration) (map[string]string, error) {
+	if timeout <= 0 {
+		timeout = 10 * time.Second
+	}
+	s := &Session{conn: nopCloser{rw}, timeout: timeout}
+	captures := make(map[string]string)
+	for i, step := range script {
+		if step.Expect != "" {
+			out, err := s.readUntil(step.Expect)
+			if err != nil {
+				return captures, fmt.Errorf("collect: script step %d: %w", i, err)
+			}
+			if step.Capture != "" {
+				captures[step.Capture] = strings.TrimSuffix(out, step.Expect)
+			}
+		}
+		if step.Send != "" {
+			if err := s.send(step.Send); err != nil {
+				return captures, fmt.Errorf("collect: script step %d: %w", i, err)
+			}
+		}
+	}
+	return captures, nil
+}
+
+// nopCloser adapts an io.ReadWriter to the session's closer requirement,
+// passing read deadlines through when the underlying stream supports them
+// (net.Conn, net.Pipe ends). Streams without deadline support rely on the
+// peer eventually producing the expected text or closing.
+type nopCloser struct{ io.ReadWriter }
+
+// Close implements io.Closer as a no-op.
+func (nopCloser) Close() error { return nil }
+
+// SetReadDeadline forwards to the underlying stream when possible.
+func (n nopCloser) SetReadDeadline(t time.Time) error {
+	if d, ok := n.ReadWriter.(deadliner); ok {
+		return d.SetReadDeadline(t)
+	}
+	return nil
+}

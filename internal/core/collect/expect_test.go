@@ -1,0 +1,54 @@
+package collect_test
+
+import (
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core/collect"
+)
+
+func TestRunScriptAgainstRouter(t *testing.T) {
+	n := testNetwork(t)
+	r := n.Router("fixw")
+	r.Password = "mantra"
+	client, server := net.Pipe()
+	done := make(chan struct{})
+	go func() {
+		_ = r.HandleSession(server)
+		close(done)
+	}()
+
+	script := collect.LoginScript("mantra", "fixw> ",
+		"show ip dvmrp route", "show version")
+	captures, err := collect.RunScript(client, script, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	client.Close()
+	<-done
+
+	dump, ok := captures["show ip dvmrp route"]
+	if !ok || !strings.Contains(dump, "DVMRP Routing Table") {
+		t.Errorf("route dump missing: %v", captures)
+	}
+	ver := captures["show version"]
+	if !strings.Contains(ver, "fixw uptime") {
+		t.Errorf("version capture: %q", ver)
+	}
+	// Captures must not include the trailing prompt.
+	if strings.Contains(dump, "fixw> ") {
+		t.Error("prompt leaked into capture")
+	}
+}
+
+func TestRunScriptTimeout(t *testing.T) {
+	client, server := net.Pipe()
+	defer client.Close()
+	defer server.Close()
+	script := collect.Script{{Expect: "never-appears"}}
+	if _, err := collect.RunScript(client, script, 200*time.Millisecond); err == nil {
+		t.Error("expected timeout")
+	}
+}

@@ -1,0 +1,65 @@
+package collect_test
+
+import (
+	"testing"
+
+	"repro/internal/core/collect"
+	"repro/internal/snmp"
+)
+
+func TestCollectSNMPMatchesRouterState(t *testing.T) {
+	n := testNetwork(t)
+	r := n.Router("ucsb-gw")
+	agent := snmp.NewAgent("public")
+	agent.SetView(snmp.BuildView(r, n.Now()))
+	c := snmp.NewClient("public", snmp.AgentTransport(agent))
+
+	tbls, err := collect.CollectSNMP(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbls.RouteRows) != n.DVMRP.RouteCount(r.Spec.ID) {
+		t.Errorf("snmp routes = %d, router holds %d", len(tbls.RouteRows), n.DVMRP.RouteCount(r.Spec.ID))
+	}
+	if len(tbls.PairRows) != r.FWD.Len() {
+		t.Errorf("snmp pairs = %d, router holds %d", len(tbls.PairRows), r.FWD.Len())
+	}
+	// Spot-check one route's metric against the routing table.
+	for _, rt := range n.DVMRP.Table(r.Spec.ID) {
+		row, ok := tbls.RouteRows[rt.Prefix]
+		if !ok {
+			t.Fatalf("route %v missing from SNMP view", rt.Prefix)
+		}
+		if row.Metric != rt.Metric {
+			t.Fatalf("route %v metric %d != %d", rt.Prefix, row.Metric, rt.Metric)
+		}
+		break
+	}
+}
+
+func TestCollectSNMPAgainstCLI(t *testing.T) {
+	// Both collection paths must agree on the route count; only the CLI
+	// path carries protocol flags and the newer protocols' state.
+	n := testNetwork(t)
+	r := n.Router("fixw")
+	r.Password = ""
+
+	agent := snmp.NewAgent("public")
+	agent.SetView(snmp.BuildView(r, n.Now()))
+	c := snmp.NewClient("public", snmp.AgentTransport(agent))
+	viaSNMP, err := collect.CollectSNMP(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tgt := collect.Target{Name: "fixw", Dialer: collect.PipeDialer{Router: r}, Prompt: "fixw> "}
+	dumps, err := collect.CollectAll(tgt, []string{"show ip dvmrp route"}, n.Now())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cliLines := collect.Preprocess(dumps[0].Raw)
+	cliRoutes := len(cliLines) - 2 // header rows
+	if cliRoutes != len(viaSNMP.RouteRows) {
+		t.Errorf("CLI sees %d routes, SNMP sees %d", cliRoutes, len(viaSNMP.RouteRows))
+	}
+}

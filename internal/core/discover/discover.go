@@ -1,0 +1,132 @@
+// Package discover implements topology discovery in the spirit of mwatch:
+// starting from one known router, it recursively asks each discovered
+// router for its DVMRP neighbors (the mrinfo query of the era) and crawls
+// outward until the reachable multicast topology is mapped.
+//
+// Discovery is what let MBone operators find "all the multicast routers
+// across all the multicast networks" without any registry; Mantra uses it
+// to learn what there is to monitor.
+package discover
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/core/collect"
+)
+
+// Node is one discovered router.
+type Node struct {
+	// Name is the router's CLI name; Address its loopback.
+	Name    string
+	Address string
+	// Neighbors lists the names of adjacent DVMRP routers.
+	Neighbors []string
+	// Err records a failed visit (unreachable, bad credentials).
+	Err error
+}
+
+// Map is a discovered topology.
+type Map struct {
+	// Nodes by name, in discovery order.
+	Order []string
+	Nodes map[string]*Node
+}
+
+// Links returns the undirected adjacency pairs (a < b), sorted.
+func (m *Map) Links() [][2]string {
+	seen := make(map[[2]string]bool)
+	for name, n := range m.Nodes {
+		for _, nb := range n.Neighbors {
+			a, b := name, nb
+			if a > b {
+				a, b = b, a
+			}
+			seen[[2]string{a, b}] = true
+		}
+	}
+	out := make([][2]string, 0, len(seen))
+	for l := range seen {
+		out = append(out, l)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i][0] != out[j][0] {
+			return out[i][0] < out[j][0]
+		}
+		return out[i][1] < out[j][1]
+	})
+	return out
+}
+
+// DialerFor resolves a router name to a way of reaching its CLI. The
+// crawler asks for a dialer for every neighbor name it learns.
+type DialerFor func(name string) (collect.Dialer, bool)
+
+// Config parameterizes a crawl.
+type Config struct {
+	// Password and Timeout apply to every visited router.
+	Password string
+	Timeout  time.Duration
+	// MaxNodes bounds the crawl (0 = 1024).
+	MaxNodes int
+}
+
+// Crawl discovers the DVMRP topology reachable from start.
+func Crawl(start string, dialers DialerFor, cfg Config) *Map {
+	if cfg.MaxNodes <= 0 {
+		cfg.MaxNodes = 1024
+	}
+	m := &Map{Nodes: make(map[string]*Node)}
+	queue := []string{start}
+	for len(queue) > 0 && len(m.Order) < cfg.MaxNodes {
+		name := queue[0]
+		queue = queue[1:]
+		if _, seen := m.Nodes[name]; seen {
+			continue
+		}
+		node := &Node{Name: name}
+		m.Nodes[name] = node
+		m.Order = append(m.Order, name)
+
+		dialer, ok := dialers(name)
+		if !ok {
+			node.Err = fmt.Errorf("discover: no dialer for %q", name)
+			continue
+		}
+		tgt := collect.Target{
+			Name:     name,
+			Dialer:   dialer,
+			Password: cfg.Password,
+			Prompt:   name + "> ",
+			Timeout:  cfg.Timeout,
+		}
+		dumps, err := collect.CollectAll(tgt, []string{"show ip dvmrp neighbor"}, time.Time{})
+		if err != nil {
+			node.Err = err
+			continue
+		}
+		addr, neighbors := parseNeighbors(dumps[0].Raw)
+		node.Address = addr
+		node.Neighbors = neighbors
+		queue = append(queue, neighbors...)
+	}
+	return m
+}
+
+// parseNeighbors extracts neighbor names from a `show ip dvmrp neighbor`
+// dump. The router's own address is not in the dump; returns "" for it.
+func parseNeighbors(raw string) (self string, neighbors []string) {
+	for _, line := range collect.Preprocess(raw) {
+		if strings.HasPrefix(line, "DVMRP Neighbor Table") || strings.HasPrefix(line, "Address") {
+			continue
+		}
+		f := strings.Fields(line)
+		if len(f) != 2 {
+			continue
+		}
+		neighbors = append(neighbors, f[1])
+	}
+	return "", neighbors
+}

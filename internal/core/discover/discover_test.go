@@ -1,0 +1,101 @@
+package discover_test
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core/collect"
+	"repro/internal/core/discover"
+	"repro/internal/netsim"
+	"repro/internal/topo"
+	"repro/internal/workload"
+)
+
+// crawlNetwork builds a network where every router is reachable by name.
+func crawlNetwork(t *testing.T) (*netsim.Network, discover.DialerFor) {
+	t.Helper()
+	cfg := topo.DefaultInternetConfig()
+	cfg.NumDomains = 4
+	inet := topo.BuildInternet(cfg)
+	wl := workload.New(workload.DefaultConfig(), inet.Topo)
+	n := netsim.New(inet, wl, netsim.DefaultConfig())
+	for i := 0; i < 3; i++ {
+		n.Step()
+	}
+	dialers := func(name string) (collect.Dialer, bool) {
+		r := n.Router(name)
+		if r == nil {
+			return nil, false
+		}
+		r.Password = "mantra"
+		return collect.PipeDialer{Router: r}, true
+	}
+	return n, dialers
+}
+
+func TestCrawlFindsDVMRPCloud(t *testing.T) {
+	n, dialers := crawlNetwork(t)
+	m := discover.Crawl("fixw", dialers, discover.Config{Password: "mantra", Timeout: 5 * time.Second})
+
+	// Every DVMRP router reachable from FIXW must be discovered.
+	want := 0
+	for _, r := range n.Topo.Routers() {
+		if r.Mode == topo.ModeDVMRP || r.Mode == topo.ModeBorder {
+			want++
+		}
+	}
+	if len(m.Order) != want {
+		t.Errorf("discovered %d routers, want %d (%v)", len(m.Order), want, m.Order)
+	}
+	for name, node := range m.Nodes {
+		if node.Err != nil {
+			t.Errorf("visit %s failed: %v", name, node.Err)
+		}
+	}
+	// The link set is symmetric and non-empty.
+	links := m.Links()
+	if len(links) == 0 {
+		t.Fatal("no links discovered")
+	}
+	for _, l := range links {
+		if l[0] >= l[1] {
+			t.Errorf("unnormalized link %v", l)
+		}
+	}
+	// UCSB routers hang off the ucsb gateway.
+	if _, ok := m.Nodes["ucsb-r1"]; !ok {
+		t.Error("crawl missed ucsb-r1")
+	}
+}
+
+func TestCrawlRecordsUnreachable(t *testing.T) {
+	_, dialers := crawlNetwork(t)
+	// A dialer map that denies one known router.
+	blocked := func(name string) (collect.Dialer, bool) {
+		if name == "ucsb-r1" {
+			return nil, false
+		}
+		return dialers(name)
+	}
+	m := discover.Crawl("fixw", blocked, discover.Config{Password: "mantra", Timeout: 2 * time.Second})
+	node, ok := m.Nodes["ucsb-r1"]
+	if !ok || node.Err == nil {
+		t.Error("unreachable router not recorded with error")
+	}
+}
+
+func TestCrawlRespectsMaxNodes(t *testing.T) {
+	_, dialers := crawlNetwork(t)
+	m := discover.Crawl("fixw", dialers, discover.Config{Password: "mantra", MaxNodes: 3, Timeout: 2 * time.Second})
+	if len(m.Order) != 3 {
+		t.Errorf("discovered %d, want cap 3", len(m.Order))
+	}
+}
+
+func TestCrawlWrongPassword(t *testing.T) {
+	_, dialers := crawlNetwork(t)
+	m := discover.Crawl("fixw", dialers, discover.Config{Password: "bad", Timeout: 500 * time.Millisecond})
+	if m.Nodes["fixw"].Err == nil {
+		t.Error("bad password should record an error")
+	}
+}

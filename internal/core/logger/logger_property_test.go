@@ -1,0 +1,91 @@
+package logger
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/addr"
+	"repro/internal/core/tables"
+	"repro/internal/sim"
+)
+
+// TestReconstructionPropertyRandomHistories verifies the logger's core
+// invariant on randomized histories: for any sequence of snapshots,
+// replaying deltas reproduces every cycle's tables exactly.
+func TestReconstructionPropertyRandomHistories(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		l := New()
+		var history []*tables.Snapshot
+		at := sim.Epoch
+
+		// Evolving ground truth.
+		pairs := map[addr.IP]tables.PairEntry{}
+		routes := map[addr.Prefix]tables.RouteEntry{}
+
+		for cycle := 0; cycle < 8; cycle++ {
+			// Mutate: add/remove/change a few entries.
+			for i := 0; i < 5; i++ {
+				src := addr.V4(10, byte(rng.Intn(4)), byte(rng.Intn(4)), 1)
+				switch rng.Intn(3) {
+				case 0:
+					pairs[src] = tables.PairEntry{
+						Source: src, Group: addr.V4(224, 1, 1, 1),
+						Flags: "D", RateKbps: float64(rng.Intn(100)),
+						Since: at,
+					}
+				case 1:
+					delete(pairs, src)
+				case 2:
+					if e, ok := pairs[src]; ok {
+						e.RateKbps++
+						pairs[src] = e
+					}
+				}
+				p := addr.PrefixFrom(addr.V4(byte(20+rng.Intn(4)), 0, 0, 0), 8)
+				switch rng.Intn(3) {
+				case 0:
+					routes[p] = tables.RouteEntry{Prefix: p, Metric: 1 + rng.Intn(5), Since: at}
+				case 1:
+					delete(routes, p)
+				}
+			}
+			sn := &tables.Snapshot{Target: "t", At: at}
+			for _, e := range pairs {
+				e.Uptime = at.Sub(e.Since)
+				sn.Pairs = append(sn.Pairs, e)
+			}
+			for _, e := range routes {
+				e.Uptime = at.Sub(e.Since)
+				sn.Routes = append(sn.Routes, e)
+			}
+			sortPairs(sn.Pairs)
+			sortRoutes(sn.Routes)
+			l.Append(sn)
+			history = append(history, sn)
+			at = at.Add(30 * time.Minute)
+		}
+
+		for i, want := range history {
+			gotP, err := l.ReconstructPairs("t", i)
+			if err != nil || !reflect.DeepEqual(gotP, want.Pairs) {
+				if len(gotP) != 0 || len(want.Pairs) != 0 {
+					return false
+				}
+			}
+			gotR, err := l.ReconstructRoutes("t", i)
+			if err != nil || !reflect.DeepEqual(gotR, want.Routes) {
+				if len(gotR) != 0 || len(want.Routes) != 0 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,55 @@
+package output
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"io"
+)
+
+// WriteCSV exports the table as CSV: header row, then each row with cells
+// rendered by Cell.String.
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Columns); err != nil {
+		return err
+	}
+	rec := make([]string, len(t.Columns))
+	for _, row := range t.Rows {
+		for i, c := range row {
+			rec[i] = c.String()
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// jsonTable is the exported JSON shape: column names and typed rows.
+type jsonTable struct {
+	Name    string   `json:"name"`
+	Columns []string `json:"columns"`
+	Rows    [][]any  `json:"rows"`
+}
+
+// WriteJSON exports the table as JSON. Numbers export as numbers, times
+// as RFC 3339 strings, everything else as strings.
+func (t *Table) WriteJSON(w io.Writer) error {
+	jt := jsonTable{Name: t.Name, Columns: t.Columns}
+	for _, row := range t.Rows {
+		out := make([]any, len(row))
+		for i, c := range row {
+			switch c.Kind {
+			case CellNumber:
+				out[i] = c.F
+			case CellTime:
+				out[i] = c.T
+			default:
+				out[i] = c.S
+			}
+		}
+		jt.Rows = append(jt.Rows, out)
+	}
+	return json.NewEncoder(w).Encode(jt)
+}

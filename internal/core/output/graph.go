@@ -1,0 +1,196 @@
+package output
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+	"time"
+
+	"repro/internal/core/process"
+)
+
+// GraphSeries is one named line on a graph.
+type GraphSeries struct {
+	Name   string
+	Series *process.Series
+}
+
+// Graph is the two-dimensional line graph model: multiple overlaid
+// series with interactive axis ranges (the zoom operation).
+type Graph struct {
+	Title  string
+	YLabel string
+	series []GraphSeries
+	// explicit ranges; zero values mean auto-scale.
+	xMin, xMax time.Time
+	yMin, yMax float64
+	yRangeSet  bool
+}
+
+// NewGraph returns an empty graph.
+func NewGraph(title, ylabel string) *Graph {
+	return &Graph{Title: title, YLabel: ylabel}
+}
+
+// Overlay adds a series to the display — the paper's multi-graph overlay
+// feature for analyzing relationships among variables.
+func (g *Graph) Overlay(name string, s *process.Series) {
+	g.series = append(g.series, GraphSeries{Name: name, Series: s})
+}
+
+// SeriesCount returns the number of overlaid series.
+func (g *Graph) SeriesCount() int { return len(g.series) }
+
+// SetXRange zooms the time axis; zero times reset to auto.
+func (g *Graph) SetXRange(min, max time.Time) {
+	g.xMin, g.xMax = min, max
+}
+
+// SetYRange zooms the value axis.
+func (g *Graph) SetYRange(min, max float64) {
+	g.yMin, g.yMax = min, max
+	g.yRangeSet = true
+}
+
+// ResetZoom restores auto-scaling on both axes.
+func (g *Graph) ResetZoom() {
+	g.xMin, g.xMax = time.Time{}, time.Time{}
+	g.yRangeSet = false
+}
+
+// bounds computes effective axis ranges.
+func (g *Graph) bounds() (xMin, xMax time.Time, yMin, yMax float64, ok bool) {
+	first := true
+	for _, gs := range g.series {
+		for i, tm := range gs.Series.Times {
+			if !g.xMin.IsZero() && tm.Before(g.xMin) {
+				continue
+			}
+			if !g.xMax.IsZero() && tm.After(g.xMax) {
+				continue
+			}
+			v := gs.Series.Values[i]
+			if first {
+				xMin, xMax, yMin, yMax, first = tm, tm, v, v, false
+				continue
+			}
+			if tm.Before(xMin) {
+				xMin = tm
+			}
+			if tm.After(xMax) {
+				xMax = tm
+			}
+			if v < yMin {
+				yMin = v
+			}
+			if v > yMax {
+				yMax = v
+			}
+		}
+	}
+	if first {
+		return time.Time{}, time.Time{}, 0, 0, false
+	}
+	if !g.xMin.IsZero() {
+		xMin = g.xMin
+	}
+	if !g.xMax.IsZero() {
+		xMax = g.xMax
+	}
+	if g.yRangeSet {
+		yMin, yMax = g.yMin, g.yMax
+	}
+	if yMax == yMin {
+		yMax = yMin + 1
+	}
+	return xMin, xMax, yMin, yMax, true
+}
+
+// seriesGlyphs mark overlaid series in the ASCII rendering.
+var seriesGlyphs = []byte{'*', '+', 'o', 'x', '#', '@'}
+
+// RenderASCII draws the graph into a width×height character grid.
+func (g *Graph) RenderASCII(w io.Writer, width, height int) error {
+	if width < 20 {
+		width = 20
+	}
+	if height < 5 {
+		height = 5
+	}
+	xMin, xMax, yMin, yMax, ok := g.bounds()
+	if !ok {
+		_, err := fmt.Fprintf(w, "%s: no data\n", g.Title)
+		return err
+	}
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	span := xMax.Sub(xMin)
+	for si, gs := range g.series {
+		glyph := seriesGlyphs[si%len(seriesGlyphs)]
+		for i, tm := range gs.Series.Times {
+			if tm.Before(xMin) || tm.After(xMax) {
+				continue
+			}
+			v := gs.Series.Values[i]
+			if v < yMin || v > yMax {
+				continue
+			}
+			var x int
+			if span > 0 {
+				x = int(float64(width-1) * float64(tm.Sub(xMin)) / float64(span))
+			}
+			y := height - 1 - int(float64(height-1)*(v-yMin)/(yMax-yMin))
+			grid[y][x] = glyph
+		}
+	}
+	fmt.Fprintf(w, "%s\n", g.Title)
+	for i, row := range grid {
+		label := ""
+		switch i {
+		case 0:
+			label = trimNum(yMax)
+		case height - 1:
+			label = trimNum(yMin)
+		}
+		fmt.Fprintf(w, "%10s |%s|\n", label, string(row))
+	}
+	fmt.Fprintf(w, "%10s  %-*s%s\n", "", width-len(xMax.UTC().Format("01/02"))+1,
+		xMin.UTC().Format("2006-01-02"), xMax.UTC().Format("01/02"))
+	var legend []string
+	for si, gs := range g.series {
+		legend = append(legend, fmt.Sprintf("%c=%s", seriesGlyphs[si%len(seriesGlyphs)], gs.Name))
+	}
+	fmt.Fprintf(w, "%10s  [%s] %s\n", "", strings.Join(legend, " "), g.YLabel)
+	return nil
+}
+
+func trimNum(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e9 {
+		return fmt.Sprintf("%.0f", v)
+	}
+	return fmt.Sprintf("%.2f", v)
+}
+
+// Points returns the x-y coordinate data of one series within the current
+// zoom — the "raw statistical results represented as x-y coordinate data"
+// the data processor emits for chart plotting.
+func (g *Graph) Points(seriesIdx int) (xs []time.Time, ys []float64) {
+	if seriesIdx < 0 || seriesIdx >= len(g.series) {
+		return nil, nil
+	}
+	gs := g.series[seriesIdx]
+	for i, tm := range gs.Series.Times {
+		if !g.xMin.IsZero() && tm.Before(g.xMin) {
+			continue
+		}
+		if !g.xMax.IsZero() && tm.After(g.xMax) {
+			continue
+		}
+		xs = append(xs, tm)
+		ys = append(ys, gs.Series.Values[i])
+	}
+	return xs, ys
+}

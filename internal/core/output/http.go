@@ -1,0 +1,147 @@
+package output
+
+import (
+	"encoding/json"
+	"net/http"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/core/process"
+)
+
+// Server exposes Mantra's results over HTTP: the web-based presentation
+// layer (tables and graph data) of the paper's Output Interface.
+type Server struct {
+	mux    *http.ServeMux
+	proc   *process.Processor
+	tables map[string]*Table
+}
+
+// NewServer returns a server over a processor's live series. Summary
+// tables are registered with RegisterTable.
+func NewServer(p *process.Processor) *Server {
+	s := &Server{
+		mux:    http.NewServeMux(),
+		proc:   p,
+		tables: make(map[string]*Table),
+	}
+	s.mux.HandleFunc("/", s.handleIndex)
+	s.mux.HandleFunc("/series/", s.handleSeries)
+	s.mux.HandleFunc("/graph/", s.handleGraph)
+	s.mux.HandleFunc("/tables/", s.handleTable)
+	s.mux.HandleFunc("/anomalies", s.handleAnomalies)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// RegisterTable publishes (or replaces) a summary table under its name.
+func (s *Server) RegisterTable(t *Table) {
+	s.tables[t.Name] = t
+}
+
+func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	type index struct {
+		Targets []string `json:"targets"`
+		Metrics []string `json:"metrics"`
+		Tables  []string `json:"tables"`
+	}
+	var idx index
+	idx.Targets = s.proc.Targets()
+	for _, m := range process.AllMetrics {
+		idx.Metrics = append(idx.Metrics, string(m))
+	}
+	for name := range s.tables {
+		idx.Tables = append(idx.Tables, name)
+	}
+	sort.Strings(idx.Tables)
+	writeJSON(w, idx)
+}
+
+// handleSeries serves /series/<target>/<metric> as JSON x-y data.
+func (s *Server) handleSeries(w http.ResponseWriter, r *http.Request) {
+	parts := strings.Split(strings.TrimPrefix(r.URL.Path, "/series/"), "/")
+	if len(parts) != 2 {
+		http.Error(w, "use /series/<target>/<metric>", http.StatusBadRequest)
+		return
+	}
+	series := s.proc.Series(parts[0], process.Metric(parts[1]))
+	if series == nil {
+		http.NotFound(w, r)
+		return
+	}
+	type point struct {
+		T time.Time `json:"t"`
+		V float64   `json:"v"`
+	}
+	pts := make([]point, series.Len())
+	for i := range series.Values {
+		pts[i] = point{T: series.Times[i], V: series.Values[i]}
+	}
+	writeJSON(w, pts)
+}
+
+// handleGraph serves /graph/<target>/<metric> as an ASCII chart.
+func (s *Server) handleGraph(w http.ResponseWriter, r *http.Request) {
+	parts := strings.Split(strings.TrimPrefix(r.URL.Path, "/graph/"), "/")
+	if len(parts) != 2 {
+		http.Error(w, "use /graph/<target>/<metric>", http.StatusBadRequest)
+		return
+	}
+	series := s.proc.Series(parts[0], process.Metric(parts[1]))
+	if series == nil {
+		http.NotFound(w, r)
+		return
+	}
+	g := NewGraph(parts[0]+": "+parts[1], parts[1])
+	g.Overlay(parts[0], series)
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	_ = g.RenderASCII(w, 100, 20)
+}
+
+// handleTable serves /tables/<name> as plain text, honoring ?sort=col and
+// ?q=substr query operations.
+func (s *Server) handleTable(w http.ResponseWriter, r *http.Request) {
+	name := strings.TrimPrefix(r.URL.Path, "/tables/")
+	t, ok := s.tables[name]
+	if !ok {
+		http.NotFound(w, r)
+		return
+	}
+	view := t
+	if q := r.URL.Query().Get("q"); q != "" {
+		view = view.Search(q)
+	}
+	if col := r.URL.Query().Get("sort"); col != "" {
+		cp := &Table{Name: view.Name, Columns: view.Columns, Rows: append([][]Cell(nil), view.Rows...)}
+		asc := r.URL.Query().Get("desc") == ""
+		if err := cp.Sort(col, asc); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		view = cp
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	_ = view.Render(w)
+}
+
+func (s *Server) handleAnomalies(w http.ResponseWriter, r *http.Request) {
+	an := s.proc.Anomalies()
+	if an == nil {
+		an = []process.Anomaly{}
+	}
+	writeJSON(w, an)
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(v)
+}

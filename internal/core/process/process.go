@@ -1,0 +1,372 @@
+// Package process implements Mantra's Data Processor: it turns normalized
+// cycle snapshots into the monitoring results the paper presents — time
+// series for the interactive graphs (Figures 3–9) and multi-column
+// summary tables.
+//
+// The classification rules are the paper's (§IV-B): a participant sending
+// above 4 kbps is a *sender* (content), at or below it a *passive
+// participant* (control traffic such as RTCP feedback); a session with at
+// least one sender is *active*. Bandwidth saved is estimated as the
+// paper does: assuming every unicast path from a sender to each receiver
+// would cross the router, unicast cost is density × stream rate.
+package process
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"repro/internal/addr"
+	"repro/internal/core/tables"
+)
+
+// DefaultSenderThresholdKbps is the paper's content/control threshold.
+const DefaultSenderThresholdKbps = 4.0
+
+// Metric names the time series the processor maintains.
+type Metric string
+
+// The metrics Mantra plots, one per figure panel.
+const (
+	MetricSessions       Metric = "sessions"        // Fig 3 top-left
+	MetricParticipants   Metric = "participants"    // Fig 3 top-right
+	MetricActiveSessions Metric = "active_sessions" // Fig 3 bottom-left
+	MetricSenders        Metric = "senders"         // Fig 3 bottom-right
+	MetricAvgDensity     Metric = "avg_density"     // Fig 4
+	MetricBandwidthKbps  Metric = "bandwidth_kbps"  // Fig 5 left
+	MetricSavedFactor    Metric = "saved_factor"    // Fig 5 right
+	MetricActiveRatio    Metric = "active_ratio"    // Fig 6 left
+	MetricSenderRatio    Metric = "sender_ratio"    // Fig 6 right
+	MetricRoutes         Metric = "routes"          // Figs 7–9
+	MetricRouteChurn     Metric = "route_churn"     // route stability
+)
+
+// AllMetrics lists every series the processor maintains.
+var AllMetrics = []Metric{
+	MetricSessions, MetricParticipants, MetricActiveSessions, MetricSenders,
+	MetricAvgDensity, MetricBandwidthKbps, MetricSavedFactor,
+	MetricActiveRatio, MetricSenderRatio, MetricRoutes, MetricRouteChurn,
+}
+
+// Series is an x-y time series, the raw material of the output graphs.
+type Series struct {
+	Times  []time.Time
+	Values []float64
+}
+
+// Append adds one point.
+func (s *Series) Append(t time.Time, v float64) {
+	s.Times = append(s.Times, t)
+	s.Values = append(s.Values, v)
+}
+
+// Len returns the number of points.
+func (s *Series) Len() int { return len(s.Values) }
+
+// Last returns the most recent value, or 0 for an empty series.
+func (s *Series) Last() float64 {
+	if len(s.Values) == 0 {
+		return 0
+	}
+	return s.Values[len(s.Values)-1]
+}
+
+// Stats summarizes the series.
+func (s *Series) Stats() (mean, median, stddev, min, max float64) {
+	n := len(s.Values)
+	if n == 0 {
+		return 0, 0, 0, 0, 0
+	}
+	min, max = s.Values[0], s.Values[0]
+	sum := 0.0
+	for _, v := range s.Values {
+		sum += v
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+	}
+	mean = sum / float64(n)
+	varsum := 0.0
+	for _, v := range s.Values {
+		varsum += (v - mean) * (v - mean)
+	}
+	stddev = math.Sqrt(varsum / float64(n))
+	sorted := append([]float64(nil), s.Values...)
+	sort.Float64s(sorted)
+	if n%2 == 1 {
+		median = sorted[n/2]
+	} else {
+		median = (sorted[n/2-1] + sorted[n/2]) / 2
+	}
+	return mean, median, stddev, min, max
+}
+
+// CycleStats is the per-cycle result of ingesting one snapshot.
+type CycleStats struct {
+	Target string
+	At     time.Time
+
+	Sessions       int
+	Participants   int
+	ActiveSessions int
+	Senders        int
+	// AvgDensity is the mean participants per session.
+	AvgDensity float64
+	// BandwidthKbps is the multicast traffic rate through the router.
+	BandwidthKbps float64
+	// SavedFactor is estimated unicast-equivalent bandwidth divided by
+	// multicast bandwidth (Fig 5 right).
+	SavedFactor float64
+	// Routes is the DVMRP route-table size; RouteChurn the number of
+	// prefixes added plus removed since the previous cycle.
+	Routes     int
+	RouteChurn int
+	// SingleMemberSessions counts density-1 sessions (burst analysis).
+	SingleMemberSessions int
+}
+
+// Anomaly is a detected routing irregularity.
+type Anomaly struct {
+	Target string
+	At     time.Time
+	Kind   string
+	Detail string
+}
+
+// Processor turns snapshots into series, summaries and anomalies.
+type Processor struct {
+	// SenderThresholdKbps classifies senders vs passive participants.
+	SenderThresholdKbps float64
+	// SpikeFactor triggers the route-injection detector when the route
+	// count exceeds the trailing mean by this multiple (and SpikeMinJump
+	// absolute routes).
+	SpikeFactor  float64
+	SpikeMinJump int
+	// Window is the trailing window (in cycles) for anomaly baselines.
+	Window int
+
+	series    map[string]map[Metric]*Series
+	lastRoute map[string]map[addr.Prefix]bool
+	anomalies []Anomaly
+	// inSpike suppresses duplicate anomaly reports during one episode.
+	inSpike map[string]bool
+}
+
+// New returns a processor with the paper's thresholds.
+func New() *Processor {
+	return &Processor{
+		SenderThresholdKbps: DefaultSenderThresholdKbps,
+		SpikeFactor:         1.5,
+		SpikeMinJump:        200,
+		Window:              12,
+		series:              make(map[string]map[Metric]*Series),
+		lastRoute:           make(map[string]map[addr.Prefix]bool),
+		inSpike:             make(map[string]bool),
+	}
+}
+
+// Series returns the named series for a target, or nil.
+func (p *Processor) Series(target string, m Metric) *Series {
+	ts := p.series[target]
+	if ts == nil {
+		return nil
+	}
+	return ts[m]
+}
+
+// Targets returns the targets seen so far, sorted.
+func (p *Processor) Targets() []string {
+	out := make([]string, 0, len(p.series))
+	for t := range p.series {
+		out = append(out, t)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Anomalies returns all detected anomalies in detection order.
+func (p *Processor) Anomalies() []Anomaly {
+	return append([]Anomaly(nil), p.anomalies...)
+}
+
+func (p *Processor) seriesFor(target string) map[Metric]*Series {
+	ts := p.series[target]
+	if ts == nil {
+		ts = make(map[Metric]*Series, len(AllMetrics))
+		for _, m := range AllMetrics {
+			ts[m] = &Series{}
+		}
+		p.series[target] = ts
+	}
+	return ts
+}
+
+// Ingest processes one cycle snapshot: computes the cycle statistics,
+// extends every series, and runs anomaly detection.
+func (p *Processor) Ingest(sn *tables.Snapshot) CycleStats {
+	st := CycleStats{Target: sn.Target, At: sn.At}
+
+	sessions := sn.Pairs.Sessions()
+	participants := sn.Pairs.Participants()
+	st.Sessions = len(sessions)
+	st.Participants = len(participants)
+
+	densitySum := 0
+	for _, s := range sessions {
+		densitySum += s.Density
+		if s.Density == 1 {
+			st.SingleMemberSessions++
+		}
+	}
+	if st.Sessions > 0 {
+		st.AvgDensity = float64(densitySum) / float64(st.Sessions)
+	}
+
+	for _, pe := range participants {
+		if pe.MaxRateKbps > p.SenderThresholdKbps {
+			st.Senders++
+		}
+	}
+
+	// Active sessions and bandwidth-saved from per-pair rates.
+	activeGroups := make(map[addr.IP]bool)
+	unicastKbps := 0.0
+	densityOf := make(map[addr.IP]int, len(sessions))
+	for _, s := range sessions {
+		densityOf[s.Group] = s.Density
+	}
+	for _, e := range sn.Pairs {
+		st.BandwidthKbps += e.RateKbps
+		if e.RateKbps > p.SenderThresholdKbps {
+			activeGroups[e.Group] = true
+			// The unicast equivalent of this stream: one copy per
+			// receiver (density includes the sender itself).
+			receivers := densityOf[e.Group] - 1
+			if receivers < 1 {
+				receivers = 1
+			}
+			unicastKbps += e.RateKbps * float64(receivers)
+		} else {
+			unicastKbps += e.RateKbps
+		}
+	}
+	st.ActiveSessions = len(activeGroups)
+	if st.BandwidthKbps > 0 {
+		st.SavedFactor = unicastKbps / st.BandwidthKbps
+	}
+
+	// Route table size and churn against the previous cycle.
+	st.Routes = len(sn.Routes)
+	cur := make(map[addr.Prefix]bool, len(sn.Routes))
+	for _, r := range sn.Routes {
+		cur[r.Prefix] = true
+	}
+	if prev, ok := p.lastRoute[sn.Target]; ok {
+		for pr := range cur {
+			if !prev[pr] {
+				st.RouteChurn++
+			}
+		}
+		for pr := range prev {
+			if !cur[pr] {
+				st.RouteChurn++
+			}
+		}
+	}
+	p.lastRoute[sn.Target] = cur
+
+	// Extend series.
+	ts := p.seriesFor(sn.Target)
+	ts[MetricSessions].Append(sn.At, float64(st.Sessions))
+	ts[MetricParticipants].Append(sn.At, float64(st.Participants))
+	ts[MetricActiveSessions].Append(sn.At, float64(st.ActiveSessions))
+	ts[MetricSenders].Append(sn.At, float64(st.Senders))
+	ts[MetricAvgDensity].Append(sn.At, st.AvgDensity)
+	ts[MetricBandwidthKbps].Append(sn.At, st.BandwidthKbps)
+	ts[MetricSavedFactor].Append(sn.At, st.SavedFactor)
+	if st.Sessions > 0 {
+		ts[MetricActiveRatio].Append(sn.At, float64(st.ActiveSessions)/float64(st.Sessions))
+	} else {
+		ts[MetricActiveRatio].Append(sn.At, 0)
+	}
+	if st.Participants > 0 {
+		ts[MetricSenderRatio].Append(sn.At, float64(st.Senders)/float64(st.Participants))
+	} else {
+		ts[MetricSenderRatio].Append(sn.At, 0)
+	}
+	ts[MetricRoutes].Append(sn.At, float64(st.Routes))
+	ts[MetricRouteChurn].Append(sn.At, float64(st.RouteChurn))
+
+	p.detectRouteInjection(sn.Target, sn.At, ts[MetricRoutes])
+	return st
+}
+
+// detectRouteInjection flags step jumps in the route count — the
+// signature of the October 14 1998 unicast-injection incident (Fig 9).
+func (p *Processor) detectRouteInjection(target string, at time.Time, routes *Series) {
+	n := routes.Len()
+	if n < 3 {
+		return
+	}
+	w := p.Window
+	if n-1 < w {
+		w = n - 1
+	}
+	base := 0.0
+	for _, v := range routes.Values[n-1-w : n-1] {
+		base += v
+	}
+	base /= float64(w)
+	cur := routes.Values[n-1]
+	if base > 0 && cur > base*p.SpikeFactor && cur-base > float64(p.SpikeMinJump) {
+		if !p.inSpike[target] {
+			p.inSpike[target] = true
+			p.anomalies = append(p.anomalies, Anomaly{
+				Target: target,
+				At:     at,
+				Kind:   "route-injection",
+				Detail: fmt.Sprintf("route count jumped to %.0f against trailing mean %.0f", cur, base),
+			})
+		}
+		return
+	}
+	p.inSpike[target] = false
+}
+
+// DensityDistribution computes, for one snapshot, the fraction of
+// sessions with at most k members and the participant share held by the
+// top fraction of sessions — the §IV-B distribution claims.
+func DensityDistribution(sn *tables.Snapshot, k int, topFrac float64) (atMostK float64, topShare float64) {
+	sessions := sn.Pairs.Sessions()
+	if len(sessions) == 0 {
+		return 0, 0
+	}
+	cnt := 0
+	sizes := make([]int, 0, len(sessions))
+	total := 0
+	for _, s := range sessions {
+		if s.Density <= k {
+			cnt++
+		}
+		sizes = append(sizes, s.Density)
+		total += s.Density
+	}
+	atMostK = float64(cnt) / float64(len(sessions))
+	sort.Sort(sort.Reverse(sort.IntSlice(sizes)))
+	top := int(math.Ceil(topFrac * float64(len(sizes))))
+	if top < 1 {
+		top = 1
+	}
+	sum := 0
+	for _, v := range sizes[:top] {
+		sum += v
+	}
+	if total > 0 {
+		topShare = float64(sum) / float64(total)
+	}
+	return atMostK, topShare
+}

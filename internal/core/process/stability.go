@@ -1,0 +1,159 @@
+package process
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/addr"
+	"repro/internal/core/tables"
+)
+
+// RouteStability tracks per-prefix stability characteristics across
+// cycles — the route-monitoring outputs §II-B enumerates: route
+// lifetimes, frequency of changes, and individual route stability.
+type RouteStability struct {
+	// byPrefix accumulates per-prefix observations for one target.
+	byPrefix map[addr.Prefix]*prefixHistory
+	// cycles counts observations.
+	cycles int
+	last   map[addr.Prefix]bool
+}
+
+type prefixHistory struct {
+	// present counts cycles the prefix was reachable.
+	present int
+	// flaps counts disappearances (present -> absent transitions).
+	flaps int
+	// currentSince is when the current reachability period began.
+	currentSince time.Time
+	// lifetimes collects completed reachability periods.
+	lifetimes []time.Duration
+	up        bool
+}
+
+// NewRouteStability returns an empty tracker.
+func NewRouteStability() *RouteStability {
+	return &RouteStability{
+		byPrefix: make(map[addr.Prefix]*prefixHistory),
+		last:     make(map[addr.Prefix]bool),
+	}
+}
+
+// Observe folds one cycle's route table into the tracker.
+func (rs *RouteStability) Observe(routes tables.RouteTable, at time.Time) {
+	rs.cycles++
+	cur := make(map[addr.Prefix]bool, len(routes))
+	for _, r := range routes {
+		cur[r.Prefix] = true
+		h := rs.byPrefix[r.Prefix]
+		if h == nil {
+			h = &prefixHistory{}
+			rs.byPrefix[r.Prefix] = h
+		}
+		h.present++
+		if !h.up {
+			h.up = true
+			h.currentSince = at.Add(-r.Uptime)
+		}
+	}
+	for p := range rs.last {
+		if !cur[p] {
+			h := rs.byPrefix[p]
+			if h != nil && h.up {
+				h.up = false
+				h.flaps++
+				h.lifetimes = append(h.lifetimes, at.Sub(h.currentSince))
+			}
+		}
+	}
+	rs.last = cur
+}
+
+// PrefixStats is the stability summary of one prefix.
+type PrefixStats struct {
+	Prefix addr.Prefix
+	// Availability is the fraction of observed cycles the prefix was
+	// reachable.
+	Availability float64
+	// Flaps counts complete disappear events.
+	Flaps int
+	// MeanLifetime averages completed reachability periods (0 if the
+	// route never went away).
+	MeanLifetime time.Duration
+}
+
+// Cycles returns the number of observations folded in.
+func (rs *RouteStability) Cycles() int { return rs.cycles }
+
+// TrackedPrefixes returns how many distinct prefixes have been seen.
+func (rs *RouteStability) TrackedPrefixes() int { return len(rs.byPrefix) }
+
+// Stats returns per-prefix summaries sorted by prefix.
+func (rs *RouteStability) Stats() []PrefixStats {
+	out := make([]PrefixStats, 0, len(rs.byPrefix))
+	for p, h := range rs.byPrefix {
+		st := PrefixStats{Prefix: p, Flaps: h.flaps}
+		if rs.cycles > 0 {
+			st.Availability = float64(h.present) / float64(rs.cycles)
+		}
+		if len(h.lifetimes) > 0 {
+			var sum time.Duration
+			for _, d := range h.lifetimes {
+				sum += d
+			}
+			st.MeanLifetime = sum / time.Duration(len(h.lifetimes))
+		}
+		out = append(out, st)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Prefix.Compare(out[j].Prefix) < 0 })
+	return out
+}
+
+// LeastStable returns the n prefixes with the most flaps (ties broken by
+// lower availability) — the troubleshooting list a route monitor surfaces.
+func (rs *RouteStability) LeastStable(n int) []PrefixStats {
+	all := rs.Stats()
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].Flaps != all[j].Flaps {
+			return all[i].Flaps > all[j].Flaps
+		}
+		if all[i].Availability != all[j].Availability {
+			return all[i].Availability < all[j].Availability
+		}
+		return all[i].Prefix.Compare(all[j].Prefix) < 0
+	})
+	if n > len(all) {
+		n = len(all)
+	}
+	return all[:n]
+}
+
+// Summary aggregates across prefixes.
+type StabilitySummary struct {
+	Prefixes int
+	// StablePrefixes never flapped.
+	StablePrefixes int
+	// MeanAvailability averages per-prefix availability.
+	MeanAvailability float64
+	// TotalFlaps across all prefixes.
+	TotalFlaps int
+}
+
+// Summary computes the aggregate view.
+func (rs *RouteStability) Summary() StabilitySummary {
+	var s StabilitySummary
+	s.Prefixes = len(rs.byPrefix)
+	if s.Prefixes == 0 {
+		return s
+	}
+	availSum := 0.0
+	for _, h := range rs.byPrefix {
+		if h.flaps == 0 {
+			s.StablePrefixes++
+		}
+		s.TotalFlaps += h.flaps
+		availSum += float64(h.present) / float64(rs.cycles)
+	}
+	s.MeanAvailability = availSum / float64(s.Prefixes)
+	return s
+}

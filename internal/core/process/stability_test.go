@@ -1,0 +1,98 @@
+package process
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/addr"
+	"repro/internal/core/tables"
+	"repro/internal/sim"
+)
+
+func rt(prefixes ...string) tables.RouteTable {
+	var out tables.RouteTable
+	for _, p := range prefixes {
+		out = append(out, tables.RouteEntry{Prefix: addr.MustParsePrefix(p), Metric: 1})
+	}
+	return out
+}
+
+func TestStabilityStablePrefix(t *testing.T) {
+	rs := NewRouteStability()
+	at := sim.Epoch
+	for i := 0; i < 10; i++ {
+		rs.Observe(rt("10.0.0.0/8", "11.0.0.0/8"), at)
+		at = at.Add(30 * time.Minute)
+	}
+	if rs.Cycles() != 10 || rs.TrackedPrefixes() != 2 {
+		t.Fatalf("cycles=%d prefixes=%d", rs.Cycles(), rs.TrackedPrefixes())
+	}
+	sum := rs.Summary()
+	if sum.StablePrefixes != 2 || sum.TotalFlaps != 0 {
+		t.Errorf("summary = %+v", sum)
+	}
+	if sum.MeanAvailability != 1 {
+		t.Errorf("availability = %f", sum.MeanAvailability)
+	}
+}
+
+func TestStabilityFlapCounting(t *testing.T) {
+	rs := NewRouteStability()
+	at := sim.Epoch
+	// Prefix 10/8 always there; 11/8 flaps twice.
+	patterns := []bool{true, true, false, true, false, true}
+	for _, up := range patterns {
+		routes := rt("10.0.0.0/8")
+		if up {
+			routes = append(routes, rt("11.0.0.0/8")...)
+		}
+		rs.Observe(routes, at)
+		at = at.Add(30 * time.Minute)
+	}
+	stats := rs.Stats()
+	if len(stats) != 2 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	flappy := stats[1]
+	if flappy.Prefix != addr.MustParsePrefix("11.0.0.0/8") {
+		flappy = stats[0]
+	}
+	if flappy.Flaps != 2 {
+		t.Errorf("flaps = %d, want 2", flappy.Flaps)
+	}
+	if flappy.Availability != 4.0/6.0 {
+		t.Errorf("availability = %f", flappy.Availability)
+	}
+	if flappy.MeanLifetime <= 0 {
+		t.Error("no lifetime recorded")
+	}
+	least := rs.LeastStable(1)
+	if len(least) != 1 || least[0].Prefix != flappy.Prefix {
+		t.Errorf("LeastStable = %+v", least)
+	}
+}
+
+func TestStabilityUptimeAnchorsLifetime(t *testing.T) {
+	rs := NewRouteStability()
+	at := sim.Epoch.Add(10 * time.Hour)
+	// The route has been up for 6 hours when first observed; when it
+	// disappears one cycle later, its lifetime reflects the full period.
+	routes := tables.RouteTable{{Prefix: addr.MustParsePrefix("10.0.0.0/8"), Uptime: 6 * time.Hour}}
+	rs.Observe(routes, at)
+	at = at.Add(30 * time.Minute)
+	rs.Observe(nil, at)
+	stats := rs.Stats()
+	if stats[0].MeanLifetime != 6*time.Hour+30*time.Minute {
+		t.Errorf("lifetime = %v", stats[0].MeanLifetime)
+	}
+}
+
+func TestStabilityEmptySummary(t *testing.T) {
+	rs := NewRouteStability()
+	if s := rs.Summary(); s.Prefixes != 0 || s.MeanAvailability != 0 {
+		t.Errorf("empty summary = %+v", s)
+	}
+	if got := rs.LeastStable(5); len(got) != 0 {
+		t.Errorf("LeastStable on empty = %v", got)
+	}
+}

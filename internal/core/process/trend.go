@@ -1,0 +1,76 @@
+package process
+
+import (
+	"time"
+)
+
+// Resample buckets a series into fixed windows and returns a new series
+// of per-bucket means stamped at each bucket's start — how the long-term
+// plots (Figure 8's two-year view) are produced from cycle-granularity
+// archives.
+func Resample(s *Series, bucket time.Duration) *Series {
+	out := &Series{}
+	if s == nil || s.Len() == 0 || bucket <= 0 {
+		return out
+	}
+	start := s.Times[0].Truncate(bucket)
+	var sum float64
+	var n int
+	cur := start
+	flush := func() {
+		if n > 0 {
+			out.Append(cur, sum/float64(n))
+		}
+		sum, n = 0, 0
+	}
+	for i, tm := range s.Times {
+		b := tm.Truncate(bucket)
+		if !b.Equal(cur) {
+			flush()
+			cur = b
+		}
+		sum += s.Values[i]
+		n++
+	}
+	flush()
+	return out
+}
+
+// Trend summarizes a series' long-term direction by comparing the means
+// of its first and last quarters.
+type Trend struct {
+	EarlyMean, LateMean float64
+	// Change is (late-early)/early; 0 when early is 0.
+	Change float64
+	// Direction is "rising", "falling" or "flat" (within ±10 %).
+	Direction string
+}
+
+// TrendOf computes the trend of a series.
+func TrendOf(s *Series) Trend {
+	var t Trend
+	if s == nil || s.Len() < 4 {
+		t.Direction = "flat"
+		return t
+	}
+	q := s.Len() / 4
+	var early, late float64
+	for i := 0; i < q; i++ {
+		early += s.Values[i]
+		late += s.Values[s.Len()-1-i]
+	}
+	t.EarlyMean = early / float64(q)
+	t.LateMean = late / float64(q)
+	if t.EarlyMean != 0 {
+		t.Change = (t.LateMean - t.EarlyMean) / t.EarlyMean
+	}
+	switch {
+	case t.Change > 0.1:
+		t.Direction = "rising"
+	case t.Change < -0.1:
+		t.Direction = "falling"
+	default:
+		t.Direction = "flat"
+	}
+	return t
+}

@@ -1,0 +1,68 @@
+package process
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+)
+
+func TestResampleMeans(t *testing.T) {
+	s := &Series{}
+	// Two points per hour for four hours, values = hour index.
+	at := sim.Epoch
+	for h := 0; h < 4; h++ {
+		for k := 0; k < 2; k++ {
+			s.Append(at, float64(h*10+k))
+			at = at.Add(30 * time.Minute)
+		}
+	}
+	r := Resample(s, time.Hour)
+	if r.Len() != 4 {
+		t.Fatalf("buckets = %d", r.Len())
+	}
+	if r.Values[0] != 0.5 || r.Values[3] != 30.5 {
+		t.Errorf("means = %v", r.Values)
+	}
+	if !r.Times[1].Equal(sim.Epoch.Add(time.Hour)) {
+		t.Errorf("bucket stamp = %v", r.Times[1])
+	}
+}
+
+func TestResampleDegenerate(t *testing.T) {
+	if got := Resample(nil, time.Hour); got.Len() != 0 {
+		t.Error("nil series should resample empty")
+	}
+	s := &Series{}
+	s.Append(sim.Epoch, 5)
+	if got := Resample(s, 0); got.Len() != 0 {
+		t.Error("zero bucket should resample empty")
+	}
+	if got := Resample(s, time.Hour); got.Len() != 1 || got.Values[0] != 5 {
+		t.Errorf("single point resample = %v", got.Values)
+	}
+}
+
+func TestTrendDirections(t *testing.T) {
+	mk := func(vals ...float64) *Series {
+		s := &Series{}
+		at := sim.Epoch
+		for _, v := range vals {
+			s.Append(at, v)
+			at = at.Add(time.Hour)
+		}
+		return s
+	}
+	if tr := TrendOf(mk(100, 100, 90, 95, 10, 12, 9, 11)); tr.Direction != "falling" {
+		t.Errorf("falling trend = %+v", tr)
+	}
+	if tr := TrendOf(mk(10, 11, 10, 12, 100, 110, 105, 98)); tr.Direction != "rising" {
+		t.Errorf("rising trend = %+v", tr)
+	}
+	if tr := TrendOf(mk(50, 51, 49, 50, 50, 52, 48, 50)); tr.Direction != "flat" {
+		t.Errorf("flat trend = %+v", tr)
+	}
+	if tr := TrendOf(nil); tr.Direction != "flat" {
+		t.Errorf("nil trend = %+v", tr)
+	}
+}

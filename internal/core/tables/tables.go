@@ -1,0 +1,469 @@
+// Package tables implements Mantra's Router-Table Processor: it maps
+// pre-processed raw router dumps onto the tool's local data format — the
+// four tables the paper defines (§III): the Pair table of (S,G) tuples,
+// the Participant table of hosts, the Session table of groups, and the
+// Route table of live routes.
+//
+// The Pair table is parsed from the multicast forwarding dump and the
+// Route table from the DVMRP routing dump; Participant and Session tables
+// are *derived* from the Pair table rather than stored — the redundancy-
+// avoidance rule the paper's Data Logger applies.
+package tables
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/addr"
+	"repro/internal/core/collect"
+)
+
+// PairEntry is one (source, group) tuple with its traffic statistics.
+type PairEntry struct {
+	Source addr.IP
+	Group  addr.IP
+	// Flags is the raw flag string from the router (D/S/P/T/R letters).
+	Flags string
+	// RateKbps is the router's current bandwidth estimate.
+	RateKbps float64
+	// Packets is the cumulative packet count.
+	Packets uint64
+	// Uptime is how long the router has had state for the pair.
+	Uptime time.Duration
+	// Since is the absolute instant state appeared (snapshot time minus
+	// uptime), filled by BuildSnapshot. Unlike Uptime it is stable
+	// across cycles, which is what makes delta logging effective.
+	Since time.Time
+}
+
+// PairTable lists every session-participant tuple the router has state for.
+type PairTable []PairEntry
+
+// RouteEntry is one live route.
+type RouteEntry struct {
+	Prefix addr.Prefix
+	// Gateway is the next-hop address ("local" parses as the zero IP
+	// with Local set).
+	Gateway addr.IP
+	Local   bool
+	Metric  int
+	Uptime  time.Duration
+	// Since is the absolute instant the route appeared; see
+	// PairEntry.Since.
+	Since time.Time
+}
+
+// RouteTable lists the current set of live routes.
+type RouteTable []RouteEntry
+
+// ParticipantEntry summarizes one host across the pair table.
+type ParticipantEntry struct {
+	Host addr.IP
+	// Groups is the number of groups the host participates in.
+	Groups int
+	// MaxRateKbps is the host's highest per-pair rate — the sender
+	// classification input.
+	MaxRateKbps float64
+	// Uptime is the longest pair uptime, i.e. how long Mantra has had
+	// state for the host.
+	Uptime time.Duration
+}
+
+// ParticipantTable lists hosts participating in sessions.
+type ParticipantTable []ParticipantEntry
+
+// SessionEntry summarizes one group across the pair table.
+type SessionEntry struct {
+	Group addr.IP
+	// Density is the number of participant hosts with state for the
+	// group.
+	Density int
+	// TotalRateKbps is the aggregate bandwidth into the group.
+	TotalRateKbps float64
+	// Packets is the cumulative packets across pairs.
+	Packets uint64
+	// Protocol records which protocol's state advertised the session
+	// ("dvmrp" for dense flags, "pim" for sparse).
+	Protocol string
+	// Uptime is the longest pair uptime for the group.
+	Uptime time.Duration
+}
+
+// SessionTable lists the multicast sessions visible at the router.
+type SessionTable []SessionEntry
+
+// IGMPEntry is one local membership report visible at the router.
+type IGMPEntry struct {
+	Group  addr.IP
+	Host   addr.IP
+	Uptime time.Duration
+}
+
+// SAEntry is one MSDP source-active cache entry.
+type SAEntry struct {
+	Source   addr.IP
+	Group    addr.IP
+	OriginRP addr.IP
+	Uptime   time.Duration
+}
+
+// MBGPEntry is one MBGP RIB route.
+type MBGPEntry struct {
+	Prefix  addr.Prefix
+	NextHop addr.IP
+	Local   bool
+	ASPath  []int
+	Uptime  time.Duration
+}
+
+// Snapshot is one monitoring cycle's normalized view of one router.
+type Snapshot struct {
+	Target string
+	At     time.Time
+	Pairs  PairTable
+	Routes RouteTable
+	IGMP   []IGMPEntry
+	SAs    []SAEntry
+	MBGP   []MBGPEntry
+}
+
+// parseUptime parses the H:MM:SS uptime format.
+func parseUptime(s string) (time.Duration, error) {
+	parts := strings.Split(s, ":")
+	if len(parts) != 3 {
+		return 0, fmt.Errorf("tables: malformed uptime %q", s)
+	}
+	h, err1 := strconv.Atoi(parts[0])
+	m, err2 := strconv.Atoi(parts[1])
+	sec, err3 := strconv.Atoi(parts[2])
+	if err1 != nil || err2 != nil || err3 != nil || m > 59 || sec > 59 || h < 0 || m < 0 || sec < 0 {
+		return 0, fmt.Errorf("tables: malformed uptime %q", s)
+	}
+	return time.Duration(h)*time.Hour + time.Duration(m)*time.Minute + time.Duration(sec)*time.Second, nil
+}
+
+// headerCount extracts N from a "<title> - N entries"-style header line.
+func headerCount(line string) (int, bool) {
+	i := strings.LastIndex(line, "- ")
+	if i < 0 {
+		return 0, false
+	}
+	fields := strings.Fields(line[i+2:])
+	if len(fields) < 1 {
+		return 0, false
+	}
+	n, err := strconv.Atoi(fields[0])
+	return n, err == nil
+}
+
+// ParseDVMRPRoutes maps a pre-processed `show ip dvmrp route` dump to the
+// Route table.
+func ParseDVMRPRoutes(lines []string) (RouteTable, error) {
+	var out RouteTable
+	for _, line := range lines {
+		if strings.HasPrefix(line, "DVMRP Routing Table") || strings.HasPrefix(line, "Origin-Subnet") {
+			continue
+		}
+		f := strings.Fields(line)
+		if len(f) != 4 {
+			return nil, fmt.Errorf("tables: dvmrp row %q has %d fields", line, len(f))
+		}
+		p, err := addr.ParsePrefix(f[0])
+		if err != nil {
+			return nil, err
+		}
+		e := RouteEntry{Prefix: p}
+		if f[1] == "local" {
+			e.Local = true
+		} else {
+			gw, err := addr.Parse(f[1])
+			if err != nil {
+				return nil, err
+			}
+			e.Gateway = gw
+		}
+		if e.Metric, err = strconv.Atoi(f[2]); err != nil {
+			return nil, fmt.Errorf("tables: dvmrp metric %q", f[2])
+		}
+		if e.Uptime, err = parseUptime(f[3]); err != nil {
+			return nil, err
+		}
+		out = append(out, e)
+	}
+	return out, nil
+}
+
+// ParseMroute maps a pre-processed `show ip mroute` dump to the Pair table.
+func ParseMroute(lines []string) (PairTable, error) {
+	var out PairTable
+	for _, line := range lines {
+		if strings.HasPrefix(line, "IP Multicast Forwarding Table") || strings.HasPrefix(line, "Source ") {
+			continue
+		}
+		f := strings.Fields(line)
+		if len(f) != 8 {
+			return nil, fmt.Errorf("tables: mroute row %q has %d fields", line, len(f))
+		}
+		src, err := addr.Parse(f[0])
+		if err != nil {
+			return nil, err
+		}
+		grp, err := addr.Parse(f[1])
+		if err != nil {
+			return nil, err
+		}
+		rate, err := strconv.ParseFloat(f[5], 64)
+		if err != nil {
+			return nil, fmt.Errorf("tables: mroute rate %q", f[5])
+		}
+		pkts, err := strconv.ParseUint(f[6], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("tables: mroute packets %q", f[6])
+		}
+		up, err := parseUptime(f[7])
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, PairEntry{
+			Source: src, Group: grp, Flags: f[2],
+			RateKbps: rate, Packets: pkts, Uptime: up,
+		})
+	}
+	return out, nil
+}
+
+// ParseIGMP maps a pre-processed `show ip igmp groups` dump.
+func ParseIGMP(lines []string) ([]IGMPEntry, error) {
+	var out []IGMPEntry
+	for _, line := range lines {
+		if strings.HasPrefix(line, "IGMP Group Membership") || strings.HasPrefix(line, "Group ") {
+			continue
+		}
+		f := strings.Fields(line)
+		if len(f) != 3 {
+			return nil, fmt.Errorf("tables: igmp row %q", line)
+		}
+		g, err := addr.Parse(f[0])
+		if err != nil {
+			return nil, err
+		}
+		h, err := addr.Parse(f[1])
+		if err != nil {
+			return nil, err
+		}
+		up, err := parseUptime(f[2])
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, IGMPEntry{Group: g, Host: h, Uptime: up})
+	}
+	return out, nil
+}
+
+// ParseMSDP maps a pre-processed `show ip msdp sa-cache` dump.
+func ParseMSDP(lines []string) ([]SAEntry, error) {
+	var out []SAEntry
+	for _, line := range lines {
+		if strings.HasPrefix(line, "MSDP Source-Active Cache") || strings.HasPrefix(line, "Source ") {
+			continue
+		}
+		f := strings.Fields(line)
+		if len(f) != 4 {
+			return nil, fmt.Errorf("tables: msdp row %q", line)
+		}
+		s, err := addr.Parse(f[0])
+		if err != nil {
+			return nil, err
+		}
+		g, err := addr.Parse(f[1])
+		if err != nil {
+			return nil, err
+		}
+		var rp addr.IP
+		if f[2] != "-" {
+			if rp, err = addr.Parse(f[2]); err != nil {
+				return nil, err
+			}
+		}
+		up, err := parseUptime(f[3])
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, SAEntry{Source: s, Group: g, OriginRP: rp, Uptime: up})
+	}
+	return out, nil
+}
+
+// ParseMBGP maps a pre-processed `show ip mbgp` dump.
+func ParseMBGP(lines []string) ([]MBGPEntry, error) {
+	var out []MBGPEntry
+	for _, line := range lines {
+		if strings.HasPrefix(line, "MBGP Table") || strings.HasPrefix(line, "Network ") {
+			continue
+		}
+		f := strings.Fields(line)
+		if len(f) < 4 {
+			return nil, fmt.Errorf("tables: mbgp row %q", line)
+		}
+		p, err := addr.ParsePrefix(f[0])
+		if err != nil {
+			return nil, err
+		}
+		e := MBGPEntry{Prefix: p}
+		if f[1] == "local" {
+			e.Local = true
+		} else if e.NextHop, err = addr.Parse(f[1]); err != nil {
+			return nil, err
+		}
+		if e.Uptime, err = parseUptime(f[2]); err != nil {
+			return nil, err
+		}
+		for _, as := range f[3:] {
+			v, err := strconv.Atoi(as)
+			if err != nil {
+				return nil, fmt.Errorf("tables: mbgp AS %q", as)
+			}
+			e.ASPath = append(e.ASPath, v)
+		}
+		out = append(out, e)
+	}
+	return out, nil
+}
+
+// BuildSnapshot assembles one router's cycle snapshot from its dumps,
+// dispatching each dump to the right parser by command. Unknown commands
+// are skipped. Every dump must share the target and timestamp.
+func BuildSnapshot(dumps []collect.Dump) (*Snapshot, error) {
+	if len(dumps) == 0 {
+		return nil, fmt.Errorf("tables: no dumps")
+	}
+	sn := &Snapshot{Target: dumps[0].Target, At: dumps[0].At}
+	for _, d := range dumps {
+		if d.Target != sn.Target {
+			return nil, fmt.Errorf("tables: mixed targets %q and %q", sn.Target, d.Target)
+		}
+		lines := collect.Preprocess(d.Raw)
+		var err error
+		switch d.Command {
+		case "show ip dvmrp route":
+			sn.Routes, err = ParseDVMRPRoutes(lines)
+		case "show ip mroute":
+			sn.Pairs, err = ParseMroute(lines)
+		case "show ip igmp groups":
+			sn.IGMP, err = ParseIGMP(lines)
+		case "show ip msdp sa-cache":
+			sn.SAs, err = ParseMSDP(lines)
+		case "show ip mbgp":
+			sn.MBGP, err = ParseMBGP(lines)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("tables: %s %q: %w", d.Target, d.Command, err)
+		}
+	}
+	// Integrity check: the dump headers announce entry counts; a
+	// mismatch means a truncated capture (a dropped telnet session was
+	// a real failure mode for expect-driven collection).
+	for _, d := range dumps {
+		lines := collect.Preprocess(d.Raw)
+		if len(lines) == 0 {
+			continue
+		}
+		want, ok := headerCount(lines[0])
+		if !ok {
+			continue
+		}
+		var got int
+		switch d.Command {
+		case "show ip dvmrp route":
+			got = len(sn.Routes)
+		case "show ip mroute":
+			got = len(sn.Pairs)
+		case "show ip msdp sa-cache":
+			got = len(sn.SAs)
+		case "show ip mbgp":
+			got = len(sn.MBGP)
+		default:
+			continue
+		}
+		if got != want {
+			return nil, fmt.Errorf("tables: %s %q truncated: header says %d entries, parsed %d",
+				d.Target, d.Command, want, got)
+		}
+	}
+	// Anchor uptimes to absolute time so logged entries are stable
+	// across cycles.
+	for i := range sn.Pairs {
+		sn.Pairs[i].Since = sn.At.Add(-sn.Pairs[i].Uptime)
+	}
+	for i := range sn.Routes {
+		sn.Routes[i].Since = sn.At.Add(-sn.Routes[i].Uptime)
+	}
+	return sn, nil
+}
+
+// Participants derives the Participant table from the Pair table.
+func (p PairTable) Participants() ParticipantTable {
+	agg := make(map[addr.IP]*ParticipantEntry)
+	order := make([]addr.IP, 0)
+	for _, e := range p {
+		pe := agg[e.Source]
+		if pe == nil {
+			pe = &ParticipantEntry{Host: e.Source}
+			agg[e.Source] = pe
+			order = append(order, e.Source)
+		}
+		pe.Groups++
+		if e.RateKbps > pe.MaxRateKbps {
+			pe.MaxRateKbps = e.RateKbps
+		}
+		if e.Uptime > pe.Uptime {
+			pe.Uptime = e.Uptime
+		}
+	}
+	out := make(ParticipantTable, 0, len(agg))
+	for _, h := range order {
+		out = append(out, *agg[h])
+	}
+	return out
+}
+
+// Sessions derives the Session table from the Pair table.
+func (p PairTable) Sessions() SessionTable {
+	agg := make(map[addr.IP]*SessionEntry)
+	order := make([]addr.IP, 0)
+	for _, e := range p {
+		se := agg[e.Group]
+		if se == nil {
+			se = &SessionEntry{Group: e.Group, Protocol: protocolOf(e.Flags)}
+			agg[e.Group] = se
+			order = append(order, e.Group)
+		}
+		se.Density++
+		se.TotalRateKbps += e.RateKbps
+		se.Packets += e.Packets
+		if e.Uptime > se.Uptime {
+			se.Uptime = e.Uptime
+		}
+		if se.Protocol != protocolOf(e.Flags) {
+			se.Protocol = "mixed"
+		}
+	}
+	out := make(SessionTable, 0, len(agg))
+	for _, g := range order {
+		out = append(out, *agg[g])
+	}
+	return out
+}
+
+// protocolOf maps forwarding flags to the advertising protocol name.
+func protocolOf(flags string) string {
+	if strings.Contains(flags, "S") {
+		return "pim"
+	}
+	if strings.Contains(flags, "D") {
+		return "dvmrp"
+	}
+	return "unknown"
+}

@@ -1,0 +1,221 @@
+// Package treewatch implements mhealth-style distribution-tree monitoring
+// (the paper cites mhealth as a real-time multicast tree visualization
+// and monitoring front-end over mtrace): for one (source, group) it
+// periodically traces the path from every known receiver back to the
+// source, assembles the paths into the distribution tree, renders it, and
+// reports structural changes between observations.
+//
+// Receiver identities come from RTCP-style membership (in the simulation,
+// the session's member list stands in for the receiver reports mhealth
+// listened to).
+package treewatch
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/addr"
+	"repro/internal/netsim"
+)
+
+// Tree is one observation of a session's distribution tree.
+type Tree struct {
+	Source addr.IP
+	Group  addr.IP
+	// Root is the source's first-hop router name.
+	Root string
+	// Children maps a router to its downstream routers, sorted.
+	Children map[string][]string
+	// Receivers maps an edge router to the receiver hosts behind it.
+	Receivers map[string][]addr.IP
+	// Unreached lists receivers with no multicast path from the source.
+	Unreached []addr.IP
+}
+
+// Routers returns every router in the tree, sorted.
+func (t *Tree) Routers() []string {
+	seen := map[string]bool{t.Root: true}
+	for parent, kids := range t.Children {
+		seen[parent] = true
+		for _, k := range kids {
+			seen[k] = true
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for r := range seen {
+		out = append(out, r)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Change is one structural difference between consecutive observations.
+type Change struct {
+	Kind   string // "router-added" | "router-removed" | "receiver-joined" | "receiver-left"
+	Detail string
+}
+
+// Watcher observes one (source, group) over time.
+type Watcher struct {
+	Net    *netsim.Network
+	Source addr.IP
+	Group  addr.IP
+
+	prev *Tree
+}
+
+// New returns a watcher for the flow.
+func New(n *netsim.Network, source, group addr.IP) *Watcher {
+	return &Watcher{Net: n, Source: source, Group: group}
+}
+
+// receivers lists the session's current member hosts other than the
+// source (the RTCP view).
+func (w *Watcher) receivers() []addr.IP {
+	var out []addr.IP
+	for _, s := range w.Net.Workload.Sessions() {
+		if s.Group != w.Group {
+			continue
+		}
+		for _, m := range s.MemberList() {
+			if m.Host != w.Source {
+				out = append(out, m.Host)
+			}
+		}
+	}
+	return out
+}
+
+// Observe traces the tree once and reports changes since the previous
+// observation (nil changes on the first call).
+func (w *Watcher) Observe() (*Tree, []Change, error) {
+	srcEdge := w.Net.Topo.EdgeRouterFor(w.Source)
+	if srcEdge == nil {
+		return nil, nil, fmt.Errorf("treewatch: no edge router for source %v", w.Source)
+	}
+	t := &Tree{
+		Source:    w.Source,
+		Group:     w.Group,
+		Root:      srcEdge.Name,
+		Children:  make(map[string][]string),
+		Receivers: make(map[string][]addr.IP),
+	}
+	edges := make(map[string]map[string]bool)
+	for _, rcv := range w.receivers() {
+		hops, err := w.Net.Mtrace(w.Source, w.Group, rcv)
+		if err != nil {
+			t.Unreached = append(t.Unreached, rcv)
+			continue
+		}
+		// hops run receiver-first; the tree hangs source-first.
+		for i := len(hops) - 1; i > 0; i-- {
+			parent, child := hops[i].Router, hops[i-1].Router
+			if edges[parent] == nil {
+				edges[parent] = make(map[string]bool)
+			}
+			edges[parent][child] = true
+		}
+		leaf := hops[0].Router
+		t.Receivers[leaf] = append(t.Receivers[leaf], rcv)
+	}
+	for parent, kids := range edges {
+		for k := range kids {
+			t.Children[parent] = append(t.Children[parent], k)
+		}
+		sort.Strings(t.Children[parent])
+	}
+	for leaf := range t.Receivers {
+		sort.Slice(t.Receivers[leaf], func(i, j int) bool {
+			return t.Receivers[leaf][i] < t.Receivers[leaf][j]
+		})
+	}
+	sort.Slice(t.Unreached, func(i, j int) bool { return t.Unreached[i] < t.Unreached[j] })
+
+	changes := diff(w.prev, t)
+	w.prev = t
+	return t, changes, nil
+}
+
+// diff computes structural changes between two trees.
+func diff(prev, cur *Tree) []Change {
+	if prev == nil {
+		return nil
+	}
+	var out []Change
+	prevRouters := toSet(prev.Routers())
+	curRouters := toSet(cur.Routers())
+	for r := range curRouters {
+		if !prevRouters[r] {
+			out = append(out, Change{Kind: "router-added", Detail: r})
+		}
+	}
+	for r := range prevRouters {
+		if !curRouters[r] {
+			out = append(out, Change{Kind: "router-removed", Detail: r})
+		}
+	}
+	prevRcv := receiverSet(prev)
+	curRcv := receiverSet(cur)
+	for h := range curRcv {
+		if !prevRcv[h] {
+			out = append(out, Change{Kind: "receiver-joined", Detail: h})
+		}
+	}
+	for h := range prevRcv {
+		if !curRcv[h] {
+			out = append(out, Change{Kind: "receiver-left", Detail: h})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Kind != out[j].Kind {
+			return out[i].Kind < out[j].Kind
+		}
+		return out[i].Detail < out[j].Detail
+	})
+	return out
+}
+
+func toSet(items []string) map[string]bool {
+	out := make(map[string]bool, len(items))
+	for _, s := range items {
+		out[s] = true
+	}
+	return out
+}
+
+func receiverSet(t *Tree) map[string]bool {
+	out := make(map[string]bool)
+	for _, hosts := range t.Receivers {
+		for _, h := range hosts {
+			out[h.String()] = true
+		}
+	}
+	return out
+}
+
+// Render draws the tree with indentation, source at the top.
+func (t *Tree) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "tree for (%v, %v):\n", t.Source, t.Group)
+	var walk func(node string, depth int, seen map[string]bool)
+	walk = func(node string, depth int, seen map[string]bool) {
+		if seen[node] {
+			return
+		}
+		seen[node] = true
+		fmt.Fprintf(&sb, "%s%s", strings.Repeat("  ", depth), node)
+		if hosts := t.Receivers[node]; len(hosts) > 0 {
+			fmt.Fprintf(&sb, "  (%d receivers)", len(hosts))
+		}
+		sb.WriteByte('\n')
+		for _, k := range t.Children[node] {
+			walk(k, depth+1, seen)
+		}
+	}
+	walk(t.Root, 0, make(map[string]bool))
+	if len(t.Unreached) > 0 {
+		fmt.Fprintf(&sb, "unreached receivers: %d\n", len(t.Unreached))
+	}
+	return sb.String()
+}

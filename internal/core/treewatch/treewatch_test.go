@@ -1,0 +1,107 @@
+package treewatch_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/addr"
+	"repro/internal/core/treewatch"
+	"repro/internal/netsim"
+	"repro/internal/topo"
+	"repro/internal/workload"
+)
+
+// liveFlow builds a network and returns a (source, group) with several
+// receivers across domains.
+func liveFlow(t *testing.T) (*netsim.Network, addr.IP, addr.IP) {
+	t.Helper()
+	cfg := topo.DefaultInternetConfig()
+	cfg.NumDomains = 6
+	inet := topo.BuildInternet(cfg)
+	wl := workload.New(workload.DefaultConfig(), inet.Topo)
+	n := netsim.New(inet, wl, netsim.DefaultConfig())
+	if err := n.Track("fixw"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		n.Step()
+	}
+	for _, s := range wl.Sessions() {
+		if s.Class != workload.ClassBroadcast || len(s.Members) < 5 {
+			continue
+		}
+		for _, snd := range s.Senders() {
+			return n, snd.Host, s.Group
+		}
+	}
+	t.Skip("no broadcast flow at this seed")
+	return nil, 0, 0
+}
+
+func TestObserveBuildsTree(t *testing.T) {
+	n, src, grp := liveFlow(t)
+	w := treewatch.New(n, src, grp)
+	tree, changes, err := w.Observe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if changes != nil {
+		t.Error("first observation should have nil changes")
+	}
+	if tree.Root != n.Topo.EdgeRouterFor(src).Name {
+		t.Errorf("root = %s", tree.Root)
+	}
+	if len(tree.Routers()) < 3 {
+		t.Errorf("tree too small: %v", tree.Routers())
+	}
+	total := 0
+	for _, hosts := range tree.Receivers {
+		total += len(hosts)
+	}
+	if total == 0 {
+		t.Fatal("no receivers placed")
+	}
+	out := tree.Render()
+	if !strings.Contains(out, tree.Root) || !strings.Contains(out, "receivers)") {
+		t.Errorf("render:\n%s", out)
+	}
+}
+
+func TestObserveReportsChanges(t *testing.T) {
+	n, src, grp := liveFlow(t)
+	w := treewatch.New(n, src, grp)
+	if _, _, err := w.Observe(); err != nil {
+		t.Fatal(err)
+	}
+	// Let membership churn for a few cycles, then re-observe.
+	var changes []treewatch.Change
+	for i := 0; i < 12 && len(changes) == 0; i++ {
+		n.Step()
+		_, ch, err := w.Observe()
+		if err != nil {
+			t.Fatal(err)
+		}
+		changes = ch
+	}
+	if len(changes) == 0 {
+		t.Skip("membership did not churn at this seed")
+	}
+	for _, c := range changes {
+		switch c.Kind {
+		case "router-added", "router-removed", "receiver-joined", "receiver-left":
+		default:
+			t.Errorf("unknown change kind %q", c.Kind)
+		}
+		if c.Detail == "" {
+			t.Error("change without detail")
+		}
+	}
+}
+
+func TestObserveUnknownSource(t *testing.T) {
+	n, _, grp := liveFlow(t)
+	w := treewatch.New(n, addr.MustParse("1.2.3.4"), grp)
+	if _, _, err := w.Observe(); err == nil {
+		t.Error("unknown source accepted")
+	}
+}

@@ -1,0 +1,123 @@
+package dvmrp
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/addr"
+	"repro/internal/sim"
+	"repro/internal/topo"
+)
+
+// randomConnectedTopo builds a random connected loss-free graph of n
+// routers (spanning tree plus extra chords).
+func randomConnectedTopo(rng *rand.Rand, n int) (*topo.Topology, []topo.NodeID) {
+	t := topo.New()
+	t.AddDomain("d", 1, topo.ModeDVMRP, nil, false)
+	ids := make([]topo.NodeID, n)
+	for i := 0; i < n; i++ {
+		ids[i] = t.AddRouter(fmt.Sprintf("r%d", i), "d", topo.ModeDVMRP, addr.IP(i+1)).ID
+	}
+	for i := 1; i < n; i++ {
+		j := rng.Intn(i)
+		t.Connect(ids[i], ids[j], 0, 0, true, 0, 0)
+	}
+	extra := rng.Intn(n)
+	for k := 0; k < extra; k++ {
+		i, j := rng.Intn(n), rng.Intn(n)
+		if i != j {
+			t.Connect(ids[i], ids[j], 0, 0, true, 0, 0)
+		}
+	}
+	return t, ids
+}
+
+// TestConvergencePropertyRandomGraphs verifies the distance-vector
+// invariant on random connected loss-free topologies: after convergence,
+// every router holds every originated prefix with a metric equal to its
+// BFS distance from the originator.
+func TestConvergencePropertyRandomGraphs(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(10)
+		tp, ids := randomConnectedTopo(rng, n)
+		c := NewCloud(tp, sim.NewRNG(seed), 30*time.Minute)
+		for _, id := range ids {
+			c.EnsureRouter(id)
+		}
+		now := sim.Epoch
+		// A few random originators with distinct prefixes.
+		origins := map[addr.Prefix]topo.NodeID{}
+		for k := 0; k < 1+rng.Intn(3); k++ {
+			o := ids[rng.Intn(n)]
+			p := addr.PrefixFrom(addr.V4(byte(10+k), 0, 0, 0), 8)
+			c.Originate(o, now, 0, p)
+			origins[p] = o
+		}
+		// Converge: a handful of ticks is ample for diameter ≤ n.
+		for i := 0; i < 3; i++ {
+			c.Tick(now)
+			now = now.Add(30 * time.Minute)
+		}
+		for p, o := range origins {
+			dist, _ := tp.BFS(o, tp.DVMRPLinks())
+			for _, id := range ids {
+				want, reachable := dist[id]
+				r, ok := c.Lookup(id, p.First()+1)
+				if !reachable || want >= Infinity {
+					if ok {
+						return false
+					}
+					continue
+				}
+				if !ok || r.Metric != want {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestWithdrawPropertyNoGhostRoutes verifies that after withdrawing every
+// origination and letting hold-downs release, no router retains a route
+// (no count-to-infinity ghosts survive on loss-free links).
+func TestWithdrawPropertyNoGhostRoutes(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(8)
+		tp, ids := randomConnectedTopo(rng, n)
+		c := NewCloud(tp, sim.NewRNG(seed), 30*time.Minute)
+		for _, id := range ids {
+			c.EnsureRouter(id)
+		}
+		now := sim.Epoch
+		o := ids[rng.Intn(n)]
+		p := addr.MustParsePrefix("10.0.0.0/8")
+		c.Originate(o, now, 0, p)
+		for i := 0; i < 3; i++ {
+			c.Tick(now)
+			now = now.Add(30 * time.Minute)
+		}
+		c.Withdraw(o, now, p)
+		for i := 0; i < 5; i++ {
+			c.Tick(now)
+			now = now.Add(30 * time.Minute)
+		}
+		for _, id := range ids {
+			if c.RouteCount(id) != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,385 @@
+package dvmrp
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/addr"
+	"repro/internal/sim"
+	"repro/internal/topo"
+)
+
+const tick = 30 * time.Minute
+
+// lineTopo builds n DVMRP routers in a chain with the given loss on every
+// link and registers them in a fresh cloud.
+func lineTopo(n int, loss float64) (*topo.Topology, *Cloud, []topo.NodeID) {
+	t := topo.New()
+	t.AddDomain("d", 1, topo.ModeDVMRP, nil, false)
+	ids := make([]topo.NodeID, n)
+	for i := 0; i < n; i++ {
+		r := t.AddRouter(string(rune('a'+i)), "d", topo.ModeDVMRP, addr.IP(i+1))
+		ids[i] = r.ID
+	}
+	for i := 0; i+1 < n; i++ {
+		t.Connect(ids[i], ids[i+1], 0, 0, true, loss, 1500)
+	}
+	c := NewCloud(t, sim.NewRNG(1), tick)
+	for _, id := range ids {
+		c.EnsureRouter(id)
+	}
+	return t, c, ids
+}
+
+var p1 = addr.MustParsePrefix("128.111.0.0/16")
+var p2 = addr.MustParsePrefix("10.0.0.0/8")
+
+func TestBasicPropagation(t *testing.T) {
+	_, c, ids := lineTopo(2, 0)
+	now := sim.Epoch
+	c.Originate(ids[0], now, 0, p1)
+	c.Tick(now)
+	rt := c.Table(ids[1])
+	if len(rt) != 1 {
+		t.Fatalf("B table = %v", rt)
+	}
+	if rt[0].Prefix != p1 || rt[0].Metric != 1 || rt[0].Via != ids[0] {
+		t.Errorf("route = %+v", rt[0])
+	}
+	if c.RouteCount(ids[0]) != 1 {
+		t.Errorf("A should have its own route")
+	}
+}
+
+func TestChainMetrics(t *testing.T) {
+	_, c, ids := lineTopo(4, 0)
+	now := sim.Epoch
+	c.Originate(ids[0], now, 0, p1)
+	c.Tick(now)
+	for i, want := range []int{0, 1, 2, 3} {
+		rt := c.Table(ids[i])
+		if len(rt) != 1 || rt[i%1].Metric != want {
+			t.Errorf("router %d: table %+v, want metric %d", i, rt, want)
+		}
+	}
+}
+
+func TestPoisonReversePreventsLoop(t *testing.T) {
+	_, c, ids := lineTopo(2, 0)
+	now := sim.Epoch
+	c.Originate(ids[0], now, 0, p1)
+	c.Tick(now)
+	// A's route must remain self-originated, never learned back from B.
+	rt := c.Table(ids[0])
+	if rt[0].Via != SelfOrigin || rt[0].Metric != 0 {
+		t.Errorf("A route = %+v", rt[0])
+	}
+	// After the origin is withdrawn, the route must vanish everywhere
+	// rather than count to infinity between A and B.
+	c.Withdraw(ids[0], now.Add(tick), p1)
+	c.Tick(now.Add(tick))
+	if c.RouteCount(ids[0]) != 0 || c.RouteCount(ids[1]) != 0 {
+		t.Errorf("counts after withdraw: %d, %d", c.RouteCount(ids[0]), c.RouteCount(ids[1]))
+	}
+}
+
+func TestWithdrawPropagatesDownChain(t *testing.T) {
+	_, c, ids := lineTopo(5, 0)
+	now := sim.Epoch
+	c.Originate(ids[0], now, 0, p1, p2)
+	c.Tick(now)
+	if c.RouteCount(ids[4]) != 2 {
+		t.Fatalf("tail count = %d", c.RouteCount(ids[4]))
+	}
+	c.Withdraw(ids[0], now.Add(tick), p1)
+	c.Tick(now.Add(tick))
+	for i, id := range ids {
+		rt := c.Table(id)
+		if len(rt) != 1 || rt[0].Prefix != p2 {
+			t.Errorf("router %d table = %+v", i, rt)
+		}
+	}
+}
+
+func TestAlternatePathAfterLinkDown(t *testing.T) {
+	// Square: a-b, a-c, b-d, c-d. Origin at a; d has two 2-hop paths.
+	tp := topo.New()
+	tp.AddDomain("d", 1, topo.ModeDVMRP, nil, false)
+	var ids []topo.NodeID
+	for i := 0; i < 4; i++ {
+		ids = append(ids, tp.AddRouter(string(rune('a'+i)), "d", topo.ModeDVMRP, addr.IP(i+1)).ID)
+	}
+	lab := tp.Connect(ids[0], ids[1], 0, 0, true, 0, 0)
+	tp.Connect(ids[0], ids[2], 0, 0, true, 0, 0)
+	lbd := tp.Connect(ids[1], ids[3], 0, 0, true, 0, 0)
+	tp.Connect(ids[2], ids[3], 0, 0, true, 0, 0)
+	c := NewCloud(tp, sim.NewRNG(1), tick)
+	for _, id := range ids {
+		c.EnsureRouter(id)
+	}
+	now := sim.Epoch
+	c.Originate(ids[0], now, 0, p1)
+	c.Tick(now)
+	r, ok := c.Lookup(ids[3], p1.First()+1)
+	if !ok || r.Metric != 2 {
+		t.Fatalf("d route = %+v ok=%v", r, ok)
+	}
+	firstVia := r.Via
+	// Kill the path through whichever neighbor d uses.
+	if firstVia == ids[1] {
+		lbd.Up = false
+	} else {
+		lab.Up = false // break a-b; d keeps or switches to the c path
+	}
+	now = now.Add(tick)
+	c.Tick(now)
+	r, ok = c.Lookup(ids[3], p1.First()+1)
+	if !ok || r.Metric != 2 {
+		t.Fatalf("after failover d route = %+v ok=%v", r, ok)
+	}
+}
+
+func TestTotalLossMeansNoRoutes(t *testing.T) {
+	_, c, ids := lineTopo(2, 1.0)
+	now := sim.Epoch
+	c.Originate(ids[0], now, 0, p1)
+	for i := 0; i < 5; i++ {
+		c.Tick(now)
+		now = now.Add(tick)
+	}
+	if c.RouteCount(ids[1]) != 0 {
+		t.Errorf("B learned a route over a fully lossy link")
+	}
+	if c.Stats().UpdatesLost == 0 {
+		t.Error("loss not counted")
+	}
+}
+
+func TestNeighborExpiryAndRecovery(t *testing.T) {
+	tp, c, ids := lineTopo(2, 0)
+	now := sim.Epoch
+	c.Originate(ids[0], now, 0, p1)
+	c.Tick(now)
+	if c.RouteCount(ids[1]) != 1 {
+		t.Fatal("bootstrap failed")
+	}
+	// All updates now lost: after the timeout the adjacency expires.
+	tp.Links()[0].LossProb = 1.0
+	for i := 1; i <= 4; i++ {
+		now = now.Add(tick)
+		c.Tick(now)
+	}
+	if c.RouteCount(ids[1]) != 0 {
+		t.Errorf("route survived silent neighbor: %v", c.Table(ids[1]))
+	}
+	if c.Stats().NeighborExpiries == 0 {
+		t.Error("expiry not counted")
+	}
+	// Loss clears: the route comes back via full resync.
+	tp.Links()[0].LossProb = 0
+	now = now.Add(tick)
+	c.Tick(now)
+	if c.RouteCount(ids[1]) != 1 {
+		t.Errorf("route did not recover: %v", c.Table(ids[1]))
+	}
+}
+
+func TestRestartFlushesAndResyncs(t *testing.T) {
+	_, c, ids := lineTopo(3, 0)
+	now := sim.Epoch
+	c.Originate(ids[0], now, 0, p1)
+	c.Originate(ids[2], now, 0, p2)
+	c.Tick(now)
+	if c.RouteCount(ids[1]) != 2 {
+		t.Fatal("bootstrap failed")
+	}
+	c.Restart(ids[1], now)
+	// Immediately after restart the middle router only knows itself.
+	if c.RouteCount(ids[1]) != 0 {
+		t.Errorf("restart did not flush: %v", c.Table(ids[1]))
+	}
+	now = now.Add(tick)
+	c.Tick(now)
+	if c.RouteCount(ids[1]) != 2 || c.RouteCount(ids[0]) != 2 || c.RouteCount(ids[2]) != 2 {
+		t.Errorf("resync failed: %d %d %d", c.RouteCount(ids[0]), c.RouteCount(ids[1]), c.RouteCount(ids[2]))
+	}
+}
+
+func TestRemoveRouterPartitions(t *testing.T) {
+	_, c, ids := lineTopo(3, 0)
+	now := sim.Epoch
+	c.Originate(ids[0], now, 0, p1)
+	c.Tick(now)
+	if c.RouteCount(ids[2]) != 1 {
+		t.Fatal("bootstrap failed")
+	}
+	c.RemoveRouter(ids[1], now)
+	if c.HasRouter(ids[1]) {
+		t.Error("router still present")
+	}
+	now = now.Add(tick)
+	c.Tick(now)
+	if c.RouteCount(ids[2]) != 0 {
+		t.Errorf("tail kept routes through removed router: %v", c.Table(ids[2]))
+	}
+}
+
+func TestLookupLongestMatch(t *testing.T) {
+	_, c, ids := lineTopo(2, 0)
+	now := sim.Epoch
+	sub := addr.MustParsePrefix("128.111.41.0/24")
+	c.Originate(ids[0], now, 0, p1)
+	c.Originate(ids[0], now, 2, sub)
+	c.Tick(now)
+	r, ok := c.Lookup(ids[1], addr.MustParse("128.111.41.9"))
+	if !ok || r.Prefix != sub {
+		t.Errorf("lookup = %+v ok=%v", r, ok)
+	}
+	r, ok = c.Lookup(ids[1], addr.MustParse("128.111.1.1"))
+	if !ok || r.Prefix != p1 {
+		t.Errorf("lookup = %+v ok=%v", r, ok)
+	}
+	if _, ok = c.Lookup(ids[1], addr.MustParse("1.1.1.1")); ok {
+		t.Error("lookup should miss")
+	}
+}
+
+func TestUptimePreservedAcrossTicks(t *testing.T) {
+	_, c, ids := lineTopo(2, 0)
+	now := sim.Epoch
+	c.Originate(ids[0], now, 0, p1)
+	c.Tick(now)
+	for i := 0; i < 10; i++ {
+		now = now.Add(tick)
+		c.Tick(now)
+	}
+	rt := c.Table(ids[1])
+	if !rt[0].Since.Equal(sim.Epoch) {
+		t.Errorf("Since drifted to %v", rt[0].Since)
+	}
+}
+
+func TestMetricChangeUpdatesLastChangeOnly(t *testing.T) {
+	// a-b-c chain plus direct a-c link that starts down; bringing it up
+	// improves c's metric from 2 to 1 without resetting uptime.
+	tp := topo.New()
+	tp.AddDomain("d", 1, topo.ModeDVMRP, nil, false)
+	a := tp.AddRouter("a", "d", topo.ModeDVMRP, 1).ID
+	b := tp.AddRouter("b", "d", topo.ModeDVMRP, 2).ID
+	cc := tp.AddRouter("c", "d", topo.ModeDVMRP, 3).ID
+	tp.Connect(a, b, 0, 0, true, 0, 0)
+	tp.Connect(b, cc, 0, 0, true, 0, 0)
+	direct := tp.Connect(a, cc, 0, 0, true, 0, 0)
+	direct.Up = false
+	c := NewCloud(tp, sim.NewRNG(1), tick)
+	c.EnsureRouter(a)
+	c.EnsureRouter(b)
+	c.EnsureRouter(cc)
+	now := sim.Epoch
+	c.Originate(a, now, 0, p1)
+	c.Tick(now)
+	rt := c.Table(cc)
+	if rt[0].Metric != 2 {
+		t.Fatalf("initial metric = %d", rt[0].Metric)
+	}
+	direct.Up = true
+	now = now.Add(tick)
+	c.Tick(now)
+	rt = c.Table(cc)
+	if rt[0].Metric != 1 {
+		t.Fatalf("improved metric = %d", rt[0].Metric)
+	}
+	if !rt[0].Since.Equal(sim.Epoch) {
+		t.Error("Since reset on metric change")
+	}
+	if !rt[0].LastChange.After(sim.Epoch) {
+		t.Error("LastChange not updated")
+	}
+}
+
+func TestConvergenceMatchesBFS(t *testing.T) {
+	// On the built internet topology with zero loss, converged DVMRP
+	// metrics must equal BFS hop counts from the originating border.
+	cfg := topo.DefaultInternetConfig()
+	cfg.NumDomains = 8
+	cfg.TunnelLoss = 0
+	cfg.NativeLoss = 0
+	in := topo.BuildInternet(cfg)
+	tp := in.Topo
+	c := NewCloud(tp, sim.NewRNG(2), tick)
+	for _, r := range tp.Routers() {
+		if r.Mode == topo.ModeDVMRP || r.Mode == topo.ModeBorder {
+			c.EnsureRouter(r.ID)
+		}
+	}
+	now := sim.Epoch
+	target := tp.Domain("dom03")
+	probe := target.Prefixes[0]
+	c.Originate(target.Border(), now, 0, probe)
+	c.Tick(now)
+	dist, _ := tp.BFS(target.Border(), tp.DVMRPLinks())
+	for _, r := range tp.Routers() {
+		if !c.HasRouter(r.ID) {
+			continue
+		}
+		want, reachable := dist[r.ID]
+		rt, ok := c.Lookup(r.ID, probe.First()+1)
+		if !reachable {
+			if ok {
+				t.Errorf("%s has route but is unreachable", r.Name)
+			}
+			continue
+		}
+		if want >= Infinity {
+			continue
+		}
+		if !ok || rt.Metric != want {
+			t.Errorf("%s metric = %d ok=%v, want %d", r.Name, rt.Metric, ok, want)
+		}
+	}
+}
+
+func TestDeterministicAcrossRuns(t *testing.T) {
+	run := func() []Route {
+		_, c, ids := lineTopo(4, 0.3)
+		now := sim.Epoch
+		c.Originate(ids[0], now, 0, p1, p2)
+		for i := 0; i < 6; i++ {
+			c.Tick(now)
+			now = now.Add(tick)
+		}
+		return c.Table(ids[3])
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("runs diverged: %v vs %v", a, b)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("entry %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestOrigins(t *testing.T) {
+	_, c, ids := lineTopo(2, 0)
+	c.Originate(ids[0], sim.Epoch, 0, p2, p1)
+	got := c.Origins(ids[0])
+	if len(got) != 2 || got[0] != p2 || got[1] != p1 {
+		t.Errorf("Origins = %v", got)
+	}
+	if c.Origins(topo.NodeID(99)) != nil {
+		t.Error("unknown router should have nil origins")
+	}
+}
+
+func TestStatsAccumulate(t *testing.T) {
+	_, c, ids := lineTopo(3, 0)
+	now := sim.Epoch
+	c.Originate(ids[0], now, 0, p1)
+	c.Tick(now)
+	s := c.Stats()
+	if s.UpdatesSent == 0 || s.FullSyncs == 0 || s.RouteChanges == 0 {
+		t.Errorf("stats = %+v", s)
+	}
+}

@@ -1,0 +1,88 @@
+package forwarding
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/addr"
+	"repro/internal/sim"
+)
+
+// TestTableInvariantsUnderRandomOps drives a table with random operation
+// sequences and checks structural invariants: Len matches Entries, every
+// accounted byte is reflected in counters, and counters never decrease.
+func TestTableInvariantsUnderRandomOps(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tb := NewTable(1, time.Hour)
+		now := sim.Epoch
+		totalBytes := make(map[Key]uint64)
+		for op := 0; op < 200; op++ {
+			k := Key{
+				Source: addr.V4(10, 0, 0, byte(rng.Intn(6)+1)),
+				Group:  addr.V4(224, 1, 1, byte(rng.Intn(4)+1)),
+			}
+			switch rng.Intn(4) {
+			case 0:
+				tb.Upsert(k, rng.Intn(5), []int{rng.Intn(8)}, FlagDense, now)
+			case 1:
+				b := uint64(rng.Intn(100000))
+				e := tb.Account(k, b, 30*time.Minute, now)
+				totalBytes[k] += b
+				if e.Bytes != totalBytes[k] {
+					return false
+				}
+			case 2:
+				if tb.Remove(k) {
+					delete(totalBytes, k)
+				}
+			case 3:
+				now = now.Add(30 * time.Minute)
+				tb.DecayIdle(now, 30*time.Minute)
+				// Dense entries may expire; forget their counters.
+				for kk := range totalBytes {
+					if tb.Get(kk) == nil {
+						delete(totalBytes, kk)
+					}
+				}
+			}
+			if tb.Len() != len(tb.Entries()) {
+				return false
+			}
+			for _, e := range tb.Entries() {
+				if e.RateKbps < 0 || e.Bytes < uint64(0) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestEntriesOrderProperty verifies the (group, source) dump ordering on
+// random fills — the order the CLI dump and the paper's tables rely on.
+func TestEntriesOrderProperty(t *testing.T) {
+	f := func(seeds []uint32) bool {
+		tb := NewTable(1, 0)
+		for _, s := range seeds {
+			k := Key{Source: addr.IP(s), Group: addr.MulticastBase + addr.IP(s%1000)}
+			tb.Upsert(k, -1, nil, FlagDense, sim.Epoch)
+		}
+		es := tb.Entries()
+		for i := 0; i+1 < len(es); i++ {
+			a, b := es[i].Key, es[i+1].Key
+			if a.Group > b.Group || (a.Group == b.Group && a.Source >= b.Source) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

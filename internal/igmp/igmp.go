@@ -1,0 +1,145 @@
+// Package igmp implements the IGMPv2 group membership protocol at the
+// router side: per-router membership databases driven by host reports and
+// leaves, with report-refresh timeouts.
+//
+// Hosts on a router's leaf subnets report membership; the router ages
+// entries out if reports stop. The membership database is what a
+// sparse-mode router consults to decide whether it has downstream
+// receivers — the filter whose deployment explains the participant drop
+// the paper observes at FIXW after the transition.
+package igmp
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/addr"
+	"repro/internal/topo"
+)
+
+// DefaultTimeout is the membership expiry if no report refreshes an entry:
+// IGMPv2's (robustness × query interval + max response) ≈ 260 s, scaled to
+// the simulation's cycle granularity.
+const DefaultTimeout = 75 * time.Minute
+
+// Membership is one host's membership of one group as seen by a router.
+type Membership struct {
+	Group addr.IP
+	Host  addr.IP
+	// Since is when the first report arrived; LastReport the most recent.
+	Since      time.Time
+	LastReport time.Time
+}
+
+type groupState struct {
+	members map[addr.IP]*Membership
+}
+
+// Router is the IGMP state of a single router. The zero value is not
+// usable; use NewRouter.
+type Router struct {
+	id      topo.NodeID
+	timeout time.Duration
+	groups  map[addr.IP]*groupState
+}
+
+// NewRouter returns the IGMP database of router id. A non-positive timeout
+// selects DefaultTimeout.
+func NewRouter(id topo.NodeID, timeout time.Duration) *Router {
+	if timeout <= 0 {
+		timeout = DefaultTimeout
+	}
+	return &Router{id: id, timeout: timeout, groups: make(map[addr.IP]*groupState)}
+}
+
+// ID returns the router the database belongs to.
+func (r *Router) ID() topo.NodeID { return r.id }
+
+// Report processes a membership report from host for group, creating or
+// refreshing the entry. Reporting a non-multicast group is ignored, as a
+// real querier would discard it.
+func (r *Router) Report(host, group addr.IP, now time.Time) {
+	if !group.IsMulticast() || group.IsLinkLocalMulticast() {
+		return
+	}
+	gs := r.groups[group]
+	if gs == nil {
+		gs = &groupState{members: make(map[addr.IP]*Membership)}
+		r.groups[group] = gs
+	}
+	m := gs.members[host]
+	if m == nil {
+		gs.members[host] = &Membership{Group: group, Host: host, Since: now, LastReport: now}
+		return
+	}
+	m.LastReport = now
+}
+
+// Leave processes a leave-group message from host.
+func (r *Router) Leave(host, group addr.IP, now time.Time) {
+	gs := r.groups[group]
+	if gs == nil {
+		return
+	}
+	delete(gs.members, host)
+	if len(gs.members) == 0 {
+		delete(r.groups, group)
+	}
+}
+
+// Expire ages out members whose last report is older than the timeout and
+// returns how many were removed.
+func (r *Router) Expire(now time.Time) int {
+	removed := 0
+	for g, gs := range r.groups {
+		for h, m := range gs.members {
+			if now.Sub(m.LastReport) > r.timeout {
+				delete(gs.members, h)
+				removed++
+			}
+		}
+		if len(gs.members) == 0 {
+			delete(r.groups, g)
+		}
+	}
+	return removed
+}
+
+// HasMembers reports whether any host is joined to group.
+func (r *Router) HasMembers(group addr.IP) bool {
+	gs := r.groups[group]
+	return gs != nil && len(gs.members) > 0
+}
+
+// MemberCount returns the number of joined hosts for group.
+func (r *Router) MemberCount(group addr.IP) int {
+	gs := r.groups[group]
+	if gs == nil {
+		return 0
+	}
+	return len(gs.members)
+}
+
+// Groups returns the groups with at least one member, sorted.
+func (r *Router) Groups() []addr.IP {
+	out := make([]addr.IP, 0, len(r.groups))
+	for g := range r.groups {
+		out = append(out, g)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Members returns the memberships of group sorted by host; copies.
+func (r *Router) Members(group addr.IP) []Membership {
+	gs := r.groups[group]
+	if gs == nil {
+		return nil
+	}
+	out := make([]Membership, 0, len(gs.members))
+	for _, m := range gs.members {
+		out = append(out, *m)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Host < out[j].Host })
+	return out
+}

@@ -1,0 +1,115 @@
+package igmp
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/addr"
+	"repro/internal/sim"
+)
+
+var g1 = addr.MustParse("224.2.0.1")
+var g2 = addr.MustParse("239.1.1.1")
+var h1 = addr.MustParse("128.111.41.10")
+var h2 = addr.MustParse("128.111.41.11")
+
+func TestReportAndMembership(t *testing.T) {
+	r := NewRouter(1, 0)
+	now := sim.Epoch
+	r.Report(h1, g1, now)
+	r.Report(h2, g1, now)
+	r.Report(h1, g2, now)
+	if !r.HasMembers(g1) || !r.HasMembers(g2) {
+		t.Fatal("membership missing")
+	}
+	if r.MemberCount(g1) != 2 || r.MemberCount(g2) != 1 {
+		t.Errorf("counts = %d, %d", r.MemberCount(g1), r.MemberCount(g2))
+	}
+	groups := r.Groups()
+	if len(groups) != 2 || groups[0] != g1 || groups[1] != g2 {
+		t.Errorf("Groups = %v", groups)
+	}
+}
+
+func TestReportIgnoresNonMulticast(t *testing.T) {
+	r := NewRouter(1, 0)
+	r.Report(h1, addr.MustParse("10.0.0.1"), sim.Epoch)
+	r.Report(h1, addr.AllSystems, sim.Epoch) // link-local
+	if len(r.Groups()) != 0 {
+		t.Errorf("invalid groups accepted: %v", r.Groups())
+	}
+}
+
+func TestLeave(t *testing.T) {
+	r := NewRouter(1, 0)
+	now := sim.Epoch
+	r.Report(h1, g1, now)
+	r.Report(h2, g1, now)
+	r.Leave(h1, g1, now)
+	if r.MemberCount(g1) != 1 {
+		t.Errorf("count = %d", r.MemberCount(g1))
+	}
+	r.Leave(h2, g1, now)
+	if r.HasMembers(g1) || len(r.Groups()) != 0 {
+		t.Error("group should be empty and removed")
+	}
+	// Leaving a group never joined is a no-op.
+	r.Leave(h1, g2, now)
+}
+
+func TestExpiry(t *testing.T) {
+	r := NewRouter(1, time.Hour)
+	now := sim.Epoch
+	r.Report(h1, g1, now)
+	r.Report(h2, g1, now.Add(30*time.Minute))
+	removed := r.Expire(now.Add(70 * time.Minute))
+	if removed != 1 {
+		t.Fatalf("removed = %d", removed)
+	}
+	if r.MemberCount(g1) != 1 {
+		t.Errorf("count = %d", r.MemberCount(g1))
+	}
+	members := r.Members(g1)
+	if len(members) != 1 || members[0].Host != h2 {
+		t.Errorf("members = %v", members)
+	}
+}
+
+func TestReportRefreshPreventsExpiry(t *testing.T) {
+	r := NewRouter(1, time.Hour)
+	now := sim.Epoch
+	r.Report(h1, g1, now)
+	for i := 1; i <= 5; i++ {
+		now = now.Add(45 * time.Minute)
+		r.Report(h1, g1, now)
+		if n := r.Expire(now); n != 0 {
+			t.Fatalf("refreshed member expired at step %d", i)
+		}
+	}
+	m := r.Members(g1)[0]
+	if !m.Since.Equal(sim.Epoch) {
+		t.Error("Since reset by refresh")
+	}
+	if !m.LastReport.Equal(now) {
+		t.Error("LastReport not updated")
+	}
+}
+
+func TestMembersSorted(t *testing.T) {
+	r := NewRouter(1, 0)
+	r.Report(h2, g1, sim.Epoch)
+	r.Report(h1, g1, sim.Epoch)
+	m := r.Members(g1)
+	if len(m) != 2 || m[0].Host != h1 || m[1].Host != h2 {
+		t.Errorf("Members = %v", m)
+	}
+	if r.Members(g2) != nil {
+		t.Error("empty group should return nil")
+	}
+}
+
+func TestID(t *testing.T) {
+	if NewRouter(7, 0).ID() != 7 {
+		t.Error("ID wrong")
+	}
+}

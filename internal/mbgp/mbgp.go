@@ -1,0 +1,365 @@
+// Package mbgp implements the multicast flavour of BGP the post-transition
+// infrastructure uses for RPF routing: a path-vector protocol exchanging
+// prefixes with AS paths between border routers (MP-BGP SAFI 2 in
+// deployment terms).
+//
+// MBGP routes never forward unicast traffic — they exist so PIM can run
+// reverse-path-forwarding checks toward interdomain sources, exactly the
+// role the paper describes for the native multicast infrastructure.
+package mbgp
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/addr"
+	"repro/internal/topo"
+)
+
+// Route is one entry in a speaker's MBGP RIB.
+type Route struct {
+	Prefix addr.Prefix
+	// ASPath is the path to the originator, nearest AS first.
+	ASPath []uint16
+	// Via is the peer the best path was learned from; -1 if local.
+	Via topo.NodeID
+	// NextHop is the peer's interface address.
+	NextHop addr.IP
+	// Since is when the prefix became reachable.
+	Since time.Time
+}
+
+// SelfOrigin is the Via value of locally originated routes.
+const SelfOrigin topo.NodeID = -1
+
+// speaker is the per-router protocol state.
+type speaker struct {
+	id  topo.NodeID
+	asn uint16
+	// origin holds locally originated prefixes.
+	origin map[addr.Prefix]bool
+	// adjIn[peer][prefix] is the path last advertised by the peer.
+	adjIn map[topo.NodeID]map[addr.Prefix][]uint16
+	// rib is the selected best path per prefix.
+	rib map[addr.Prefix]*Route
+}
+
+// Mesh is the set of MBGP speakers and their sessions. Sessions run over
+// up native links between registered speakers. All methods must be called
+// from the single simulation goroutine.
+type Mesh struct {
+	topo     *topo.Topology
+	speakers map[topo.NodeID]*speaker
+	stats    Stats
+}
+
+// Stats aggregates protocol activity counters.
+type Stats struct {
+	// UpdatesExchanged counts per-peer table transfers during Tick.
+	UpdatesExchanged uint64
+	// BestPathChanges counts RIB mutations.
+	BestPathChanges uint64
+}
+
+// NewMesh returns an empty mesh over t.
+func NewMesh(t *topo.Topology) *Mesh {
+	return &Mesh{topo: t, speakers: make(map[topo.NodeID]*speaker)}
+}
+
+// Stats returns a copy of the counters.
+func (m *Mesh) Stats() Stats { return m.stats }
+
+// EnsureSpeaker registers a border router as an MBGP speaker with its ASN.
+func (m *Mesh) EnsureSpeaker(id topo.NodeID, asn uint16) {
+	if _, ok := m.speakers[id]; ok {
+		return
+	}
+	m.speakers[id] = &speaker{
+		id:     id,
+		asn:    asn,
+		origin: make(map[addr.Prefix]bool),
+		adjIn:  make(map[topo.NodeID]map[addr.Prefix][]uint16),
+		rib:    make(map[addr.Prefix]*Route),
+	}
+}
+
+// HasSpeaker reports whether id runs MBGP.
+func (m *Mesh) HasSpeaker(id topo.NodeID) bool {
+	_, ok := m.speakers[id]
+	return ok
+}
+
+// RemoveSpeaker withdraws a speaker and everything learned from it.
+func (m *Mesh) RemoveSpeaker(id topo.NodeID, now time.Time) {
+	if _, ok := m.speakers[id]; !ok {
+		return
+	}
+	delete(m.speakers, id)
+	for _, sp := range m.speakers {
+		if _, had := sp.adjIn[id]; had {
+			delete(sp.adjIn, id)
+		}
+	}
+	m.reselectAll(now)
+}
+
+// Originate adds locally originated prefixes. Changes propagate at Tick.
+func (m *Mesh) Originate(id topo.NodeID, now time.Time, prefixes ...addr.Prefix) {
+	sp := m.speakers[id]
+	if sp == nil {
+		return
+	}
+	for _, p := range prefixes {
+		if !sp.origin[p] {
+			sp.origin[p] = true
+			m.selectBest(sp, p, now)
+		}
+	}
+}
+
+// Withdraw removes locally originated prefixes.
+func (m *Mesh) Withdraw(id topo.NodeID, now time.Time, prefixes ...addr.Prefix) {
+	sp := m.speakers[id]
+	if sp == nil {
+		return
+	}
+	for _, p := range prefixes {
+		if sp.origin[p] {
+			delete(sp.origin, p)
+			m.selectBest(sp, p, now)
+		}
+	}
+}
+
+// Table returns the RIB sorted by prefix; routes are copies.
+func (m *Mesh) Table(id topo.NodeID) []Route {
+	sp := m.speakers[id]
+	if sp == nil {
+		return nil
+	}
+	out := make([]Route, 0, len(sp.rib))
+	for _, r := range sp.rib {
+		cp := *r
+		cp.ASPath = append([]uint16(nil), r.ASPath...)
+		out = append(out, cp)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Prefix.Compare(out[j].Prefix) < 0 })
+	return out
+}
+
+// RouteCount returns the RIB size.
+func (m *Mesh) RouteCount(id topo.NodeID) int {
+	sp := m.speakers[id]
+	if sp == nil {
+		return 0
+	}
+	return len(sp.rib)
+}
+
+// Lookup performs the RPF lookup: the longest-prefix match covering ip.
+func (m *Mesh) Lookup(id topo.NodeID, ip addr.IP) (Route, bool) {
+	sp := m.speakers[id]
+	if sp == nil {
+		return Route{}, false
+	}
+	var best *Route
+	for _, r := range sp.rib {
+		if r.Prefix.Contains(ip) && (best == nil || r.Prefix.Len > best.Prefix.Len) {
+			best = r
+		}
+	}
+	if best == nil {
+		return Route{}, false
+	}
+	cp := *best
+	cp.ASPath = append([]uint16(nil), best.ASPath...)
+	return cp, true
+}
+
+// peers returns the adjacent speakers of sp over up native links, with the
+// connecting link for next-hop addressing.
+func (m *Mesh) peers(sp *speaker) map[topo.NodeID]*topo.Link {
+	out := make(map[topo.NodeID]*topo.Link)
+	native := m.topo.NativeLinks()
+	for _, l := range m.topo.LinksOf(sp.id) {
+		if !l.Up || !native(l) {
+			continue
+		}
+		other := l.Other(sp.id).Router
+		if _, ok := m.speakers[other]; ok {
+			out[other] = l
+		}
+	}
+	return out
+}
+
+// selectBest recomputes the best path for p at sp.
+func (m *Mesh) selectBest(sp *speaker, p addr.Prefix, now time.Time) {
+	var bestPath []uint16
+	bestVia := SelfOrigin
+	var bestHop addr.IP
+	if sp.origin[p] {
+		bestPath = []uint16{sp.asn}
+	}
+	peerLinks := m.peers(sp)
+	// Deterministic peer order.
+	peerIDs := make([]topo.NodeID, 0, len(peerLinks))
+	for id := range peerLinks {
+		peerIDs = append(peerIDs, id)
+	}
+	sort.Slice(peerIDs, func(i, j int) bool { return peerIDs[i] < peerIDs[j] })
+	for _, peer := range peerIDs {
+		vec := sp.adjIn[peer]
+		path, ok := vec[p]
+		if !ok {
+			continue
+		}
+		// AS-path loop rejection.
+		loop := false
+		for _, as := range path {
+			if as == sp.asn {
+				loop = true
+				break
+			}
+		}
+		if loop {
+			continue
+		}
+		cand := append([]uint16{sp.asn}, path...)
+		if bestPath == nil || len(cand) < len(bestPath) {
+			bestPath = cand
+			bestVia = peer
+			bestHop = peerLinks[peer].Other(sp.id).Addr
+		}
+	}
+	cur, exists := sp.rib[p]
+	switch {
+	case bestPath == nil && exists:
+		delete(sp.rib, p)
+		m.stats.BestPathChanges++
+	case bestPath != nil && !exists:
+		sp.rib[p] = &Route{Prefix: p, ASPath: bestPath, Via: bestVia, NextHop: bestHop, Since: now}
+		m.stats.BestPathChanges++
+	case bestPath != nil && exists && (cur.Via != bestVia || len(cur.ASPath) != len(bestPath)):
+		since := cur.Since
+		sp.rib[p] = &Route{Prefix: p, ASPath: bestPath, Via: bestVia, NextHop: bestHop, Since: since}
+		m.stats.BestPathChanges++
+	}
+}
+
+// reselectAll re-runs best-path selection for every known prefix at every
+// speaker (used after topology-scale changes).
+func (m *Mesh) reselectAll(now time.Time) {
+	for _, sp := range m.speakers {
+		seen := make(map[addr.Prefix]bool)
+		for p := range sp.origin {
+			seen[p] = true
+		}
+		for _, vec := range sp.adjIn {
+			for p := range vec {
+				seen[p] = true
+			}
+		}
+		for p := range sp.rib {
+			seen[p] = true
+		}
+		for p := range seen {
+			m.selectBest(sp, p, now)
+		}
+	}
+}
+
+// Tick exchanges full Adj-RIB advertisements between every pair of peers
+// until path selection stabilizes. BGP is TCP-based, so the simulation
+// applies no loss; convergence is bounded by the mesh diameter.
+func (m *Mesh) Tick(now time.Time) {
+	ids := make([]topo.NodeID, 0, len(m.speakers))
+	for id := range m.speakers {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+
+	// Drop adj-in state from peers whose session is gone, then reselect,
+	// so withdrawals propagate during this tick's convergence rounds.
+	for _, id := range ids {
+		sp := m.speakers[id]
+		live := m.peers(sp)
+		stale := false
+		for peer := range sp.adjIn {
+			if _, ok := live[peer]; !ok {
+				delete(sp.adjIn, peer)
+				stale = true
+			}
+		}
+		if stale {
+			seen := make(map[addr.Prefix]bool)
+			for p := range sp.rib {
+				seen[p] = true
+			}
+			for p := range seen {
+				m.selectBest(sp, p, now)
+			}
+		}
+	}
+
+	for round := 0; round < 32; round++ {
+		changed := false
+		for _, id := range ids {
+			sp := m.speakers[id]
+			for peer := range m.peers(sp) {
+				ps := m.speakers[peer]
+				m.stats.UpdatesExchanged++
+				// Build the advertisement from sp to peer: every RIB
+				// entry not learned from that peer.
+				adv := make(map[addr.Prefix][]uint16)
+				for p, r := range sp.rib {
+					if r.Via == peer {
+						continue // split horizon
+					}
+					adv[p] = r.ASPath
+				}
+				old := ps.adjIn[sp.id]
+				if vectorsEqual(old, adv) {
+					continue
+				}
+				ps.adjIn[sp.id] = adv
+				// Reselect affected prefixes.
+				affected := make(map[addr.Prefix]bool)
+				for p := range adv {
+					affected[p] = true
+				}
+				for p := range old {
+					affected[p] = true
+				}
+				before := m.stats.BestPathChanges
+				for p := range affected {
+					m.selectBest(ps, p, now)
+				}
+				if m.stats.BestPathChanges != before {
+					changed = true
+				}
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+}
+
+func vectorsEqual(a, b map[addr.Prefix][]uint16) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for p, pa := range a {
+		pb, ok := b[p]
+		if !ok || len(pa) != len(pb) {
+			return false
+		}
+		for i := range pa {
+			if pa[i] != pb[i] {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,226 @@
+package mbgp
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/addr"
+	"repro/internal/sim"
+	"repro/internal/topo"
+)
+
+var p1 = addr.MustParsePrefix("128.111.0.0/16")
+var p2 = addr.MustParsePrefix("171.64.0.0/14")
+
+// meshTopo builds n PIM-SM border routers in a chain over native links.
+func meshTopo(n int) (*topo.Topology, *Mesh, []topo.NodeID) {
+	t := topo.New()
+	t.AddDomain("d", 1, topo.ModePIMSM, nil, false)
+	ids := make([]topo.NodeID, n)
+	for i := 0; i < n; i++ {
+		r := t.AddRouter(string(rune('a'+i)), "d", topo.ModePIMSM, addr.IP(i+1))
+		ids[i] = r.ID
+	}
+	for i := 0; i+1 < n; i++ {
+		t.Connect(ids[i], ids[i+1], addr.IP(1000+i), addr.IP(2000+i), false, 0, 45000)
+	}
+	m := NewMesh(t)
+	for i, id := range ids {
+		m.EnsureSpeaker(id, uint16(100+i))
+	}
+	return t, m, ids
+}
+
+func TestOriginateAndPropagate(t *testing.T) {
+	_, m, ids := meshTopo(3)
+	now := sim.Epoch
+	m.Originate(ids[0], now, p1)
+	m.Tick(now)
+	rt := m.Table(ids[2])
+	if len(rt) != 1 {
+		t.Fatalf("tail table = %v", rt)
+	}
+	r := rt[0]
+	if r.Prefix != p1 || len(r.ASPath) != 3 {
+		t.Errorf("route = %+v", r)
+	}
+	if r.ASPath[0] != 102 || r.ASPath[2] != 100 {
+		t.Errorf("ASPath = %v", r.ASPath)
+	}
+	if r.Via != ids[1] {
+		t.Errorf("Via = %v", r.Via)
+	}
+}
+
+func TestLocalOriginWinsOverLearned(t *testing.T) {
+	_, m, ids := meshTopo(2)
+	now := sim.Epoch
+	m.Originate(ids[0], now, p1)
+	m.Originate(ids[1], now, p1)
+	m.Tick(now)
+	for i, id := range ids {
+		rt := m.Table(id)
+		if len(rt) != 1 || rt[0].Via != SelfOrigin {
+			t.Errorf("router %d should prefer local origin: %+v", i, rt)
+		}
+	}
+}
+
+func TestWithdrawPropagates(t *testing.T) {
+	_, m, ids := meshTopo(4)
+	now := sim.Epoch
+	m.Originate(ids[0], now, p1, p2)
+	m.Tick(now)
+	if m.RouteCount(ids[3]) != 2 {
+		t.Fatalf("bootstrap failed: %d", m.RouteCount(ids[3]))
+	}
+	m.Withdraw(ids[0], now.Add(time.Hour), p1)
+	m.Tick(now.Add(time.Hour))
+	rt := m.Table(ids[3])
+	if len(rt) != 1 || rt[0].Prefix != p2 {
+		t.Errorf("after withdraw: %v", rt)
+	}
+}
+
+func TestShortestASPathWins(t *testing.T) {
+	// Diamond: a-b, b-d and a-c, c-d, plus long path a-e-f-d.
+	tp := topo.New()
+	tp.AddDomain("d", 1, topo.ModePIMSM, nil, false)
+	mk := func(name string) topo.NodeID {
+		return tp.AddRouter(name, "d", topo.ModePIMSM, addr.IP(len(name)+int(name[0]))).ID
+	}
+	a, b, d := mk("a"), mk("b"), mk("d")
+	e, f := mk("e"), mk("f")
+	tp.Connect(a, b, 1, 2, false, 0, 0)
+	direct := tp.Connect(b, d, 3, 4, false, 0, 0)
+	tp.Connect(a, e, 5, 6, false, 0, 0)
+	tp.Connect(e, f, 7, 8, false, 0, 0)
+	tp.Connect(f, d, 9, 10, false, 0, 0)
+	m := NewMesh(tp)
+	for i, id := range []topo.NodeID{a, b, d, e, f} {
+		m.EnsureSpeaker(id, uint16(10+i))
+	}
+	now := sim.Epoch
+	m.Originate(a, now, p1)
+	m.Tick(now)
+	r, ok := m.Lookup(d, p1.First()+1)
+	if !ok || len(r.ASPath) != 3 || r.Via != b {
+		t.Fatalf("short path not selected: %+v ok=%v", r, ok)
+	}
+	// Break the short path: converges to the long one.
+	direct.Up = false
+	m.Tick(now.Add(time.Hour))
+	r, ok = m.Lookup(d, p1.First()+1)
+	if !ok || len(r.ASPath) != 4 || r.Via != f {
+		t.Errorf("long path not selected after failure: %+v ok=%v", r, ok)
+	}
+}
+
+func TestLoopRejection(t *testing.T) {
+	// Two speakers in the same AS must not accept each other's re-export.
+	tp := topo.New()
+	tp.AddDomain("d", 1, topo.ModePIMSM, nil, false)
+	a := tp.AddRouter("a", "d", topo.ModePIMSM, 1).ID
+	b := tp.AddRouter("b", "d", topo.ModePIMSM, 2).ID
+	c := tp.AddRouter("c", "d", topo.ModePIMSM, 3).ID
+	tp.Connect(a, b, 1, 2, false, 0, 0)
+	tp.Connect(b, c, 3, 4, false, 0, 0)
+	m := NewMesh(tp)
+	m.EnsureSpeaker(a, 100)
+	m.EnsureSpeaker(b, 200)
+	m.EnsureSpeaker(c, 100) // same AS as a
+	now := sim.Epoch
+	m.Originate(a, now, p1)
+	m.Tick(now)
+	if m.RouteCount(c) != 0 {
+		t.Errorf("c accepted a route whose path contains its own AS: %v", m.Table(c))
+	}
+}
+
+func TestRemoveSpeaker(t *testing.T) {
+	_, m, ids := meshTopo(3)
+	now := sim.Epoch
+	m.Originate(ids[0], now, p1)
+	m.Tick(now)
+	if m.RouteCount(ids[2]) != 1 {
+		t.Fatal("bootstrap failed")
+	}
+	m.RemoveSpeaker(ids[1], now)
+	m.Tick(now.Add(time.Hour))
+	if m.HasSpeaker(ids[1]) {
+		t.Error("speaker still present")
+	}
+	if m.RouteCount(ids[2]) != 0 {
+		t.Errorf("tail kept routes through removed speaker: %v", m.Table(ids[2]))
+	}
+}
+
+func TestSessionDropWithdraws(t *testing.T) {
+	tp, m, ids := meshTopo(2)
+	now := sim.Epoch
+	m.Originate(ids[0], now, p1)
+	m.Tick(now)
+	if m.RouteCount(ids[1]) != 1 {
+		t.Fatal("bootstrap failed")
+	}
+	tp.Links()[0].Up = false
+	m.Tick(now.Add(time.Hour))
+	if m.RouteCount(ids[1]) != 0 {
+		t.Errorf("route survived dead session: %v", m.Table(ids[1]))
+	}
+}
+
+func TestLookupLongestMatch(t *testing.T) {
+	_, m, ids := meshTopo(2)
+	now := sim.Epoch
+	sub := addr.MustParsePrefix("128.111.41.0/24")
+	m.Originate(ids[0], now, p1, sub)
+	m.Tick(now)
+	r, ok := m.Lookup(ids[1], addr.MustParse("128.111.41.5"))
+	if !ok || r.Prefix != sub {
+		t.Errorf("lookup = %+v", r)
+	}
+	if _, ok := m.Lookup(ids[1], addr.MustParse("9.9.9.9")); ok {
+		t.Error("lookup should miss")
+	}
+	if _, ok := m.Lookup(topo.NodeID(99), 1); ok {
+		t.Error("unknown speaker should miss")
+	}
+}
+
+func TestSinceStableAcrossTicks(t *testing.T) {
+	_, m, ids := meshTopo(2)
+	now := sim.Epoch
+	m.Originate(ids[0], now, p1)
+	m.Tick(now)
+	for i := 0; i < 5; i++ {
+		now = now.Add(time.Hour)
+		m.Tick(now)
+	}
+	rt := m.Table(ids[1])
+	if !rt[0].Since.Equal(sim.Epoch) {
+		t.Errorf("Since drifted: %v", rt[0].Since)
+	}
+}
+
+func TestTableReturnsCopies(t *testing.T) {
+	_, m, ids := meshTopo(2)
+	m.Originate(ids[0], sim.Epoch, p1)
+	m.Tick(sim.Epoch)
+	rt := m.Table(ids[1])
+	rt[0].ASPath[0] = 9999
+	rt2 := m.Table(ids[1])
+	if rt2[0].ASPath[0] == 9999 {
+		t.Error("Table aliases internal state")
+	}
+}
+
+func TestStats(t *testing.T) {
+	_, m, ids := meshTopo(3)
+	m.Originate(ids[0], sim.Epoch, p1)
+	m.Tick(sim.Epoch)
+	s := m.Stats()
+	if s.UpdatesExchanged == 0 || s.BestPathChanges == 0 {
+		t.Errorf("stats = %+v", s)
+	}
+}

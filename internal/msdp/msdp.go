@@ -1,0 +1,314 @@
+// Package msdp implements the Multicast Source Discovery Protocol: RPs of
+// sparse-mode domains peer with each other and flood Source-Active (SA)
+// messages describing the active sources they know locally, so receivers
+// in one domain can find sources in another.
+//
+// MSDP is the protocol the paper singles out as having no MIB at all —
+// one reason Mantra scrapes router CLIs instead of using SNMP. The SA
+// cache this package maintains is what that scrape observes.
+package msdp
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/addr"
+	"repro/internal/topo"
+)
+
+// DefaultSALifetime expires cached SA state that is not re-originated.
+// RFC 3618 uses 6 minutes; scaled to cycle granularity here.
+const DefaultSALifetime = 90 * time.Minute
+
+// SAEntry is one cached source-active announcement.
+type SAEntry struct {
+	Source addr.IP
+	Group  addr.IP
+	// OriginRP is the RP that originated the SA.
+	OriginRP topo.NodeID
+	// Peer is the peer the SA arrived from; the origin itself caches
+	// with Peer == OriginRP.
+	Peer topo.NodeID
+	// First is when the entry first appeared; LastRefresh the latest
+	// re-origination.
+	First, LastRefresh time.Time
+}
+
+type saKey struct {
+	source addr.IP
+	group  addr.IP
+}
+
+type rpState struct {
+	id    topo.NodeID
+	cache map[saKey]*SAEntry
+	// local holds the (S,G)s this RP is currently originating.
+	local map[saKey]bool
+}
+
+// Mesh is the MSDP peering mesh. Peerings are explicit (configuration,
+// as in deployment) rather than derived from topology links.
+type Mesh struct {
+	Lifetime time.Duration
+	rps      map[topo.NodeID]*rpState
+	// peersOf lists each RP's configured peers.
+	peersOf map[topo.NodeID][]topo.NodeID
+	stats   Stats
+}
+
+// Stats aggregates protocol counters.
+type Stats struct {
+	// SAOriginated counts local originations, SAForwarded peer floods,
+	// SARejected peer-RPF rejections, SAExpired cache expiries.
+	SAOriginated, SAForwarded, SARejected, SAExpired uint64
+}
+
+// NewMesh returns an empty MSDP mesh.
+func NewMesh(lifetime time.Duration) *Mesh {
+	if lifetime <= 0 {
+		lifetime = DefaultSALifetime
+	}
+	return &Mesh{
+		Lifetime: lifetime,
+		rps:      make(map[topo.NodeID]*rpState),
+		peersOf:  make(map[topo.NodeID][]topo.NodeID),
+	}
+}
+
+// Stats returns a copy of the counters.
+func (m *Mesh) Stats() Stats { return m.stats }
+
+// EnsureRP registers a rendezvous point.
+func (m *Mesh) EnsureRP(id topo.NodeID) {
+	if _, ok := m.rps[id]; ok {
+		return
+	}
+	m.rps[id] = &rpState{id: id, cache: make(map[saKey]*SAEntry), local: make(map[saKey]bool)}
+}
+
+// HasRP reports whether id is a registered RP.
+func (m *Mesh) HasRP(id topo.NodeID) bool {
+	_, ok := m.rps[id]
+	return ok
+}
+
+// Peer establishes a bidirectional peering between two RPs. Both must be
+// registered. Duplicate peerings are ignored.
+func (m *Mesh) Peer(a, b topo.NodeID) {
+	if _, ok := m.rps[a]; !ok {
+		return
+	}
+	if _, ok := m.rps[b]; !ok {
+		return
+	}
+	for _, p := range m.peersOf[a] {
+		if p == b {
+			return
+		}
+	}
+	m.peersOf[a] = append(m.peersOf[a], b)
+	m.peersOf[b] = append(m.peersOf[b], a)
+}
+
+// RemoveRP withdraws an RP and its peerings; its SA state ages out of the
+// other caches naturally.
+func (m *Mesh) RemoveRP(id topo.NodeID) {
+	delete(m.rps, id)
+	delete(m.peersOf, id)
+	for rp, peers := range m.peersOf {
+		out := peers[:0]
+		for _, p := range peers {
+			if p != id {
+				out = append(out, p)
+			}
+		}
+		m.peersOf[rp] = out
+	}
+}
+
+// Peers returns the configured peers of rp, sorted.
+func (m *Mesh) Peers(rp topo.NodeID) []topo.NodeID {
+	out := append([]topo.NodeID(nil), m.peersOf[rp]...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Originate declares (source, group) active at the given RP: the RP
+// caches it locally and will flood it during Tick. The caller must
+// re-originate each cycle while the source remains active, as a real RP
+// does on register reception; entries that stop being re-originated
+// expire after the SA lifetime.
+func (m *Mesh) Originate(rp topo.NodeID, source, group addr.IP, now time.Time) {
+	st := m.rps[rp]
+	if st == nil {
+		return
+	}
+	k := saKey{source: source, group: group}
+	st.local[k] = true
+	e := st.cache[k]
+	if e == nil {
+		st.cache[k] = &SAEntry{Source: source, Group: group, OriginRP: rp, Peer: rp, First: now, LastRefresh: now}
+		m.stats.SAOriginated++
+		return
+	}
+	e.OriginRP = rp
+	e.Peer = rp
+	e.LastRefresh = now
+}
+
+// StopOriginating withdraws local origination; the state then expires from
+// all caches after the SA lifetime, as in the real protocol (there is no
+// explicit SA withdraw).
+func (m *Mesh) StopOriginating(rp topo.NodeID, source, group addr.IP) {
+	st := m.rps[rp]
+	if st == nil {
+		return
+	}
+	delete(st.local, saKey{source: source, group: group})
+}
+
+// peerRPFDistance computes hop counts from origin over the peering graph.
+func (m *Mesh) peerRPFDistance(origin topo.NodeID) map[topo.NodeID]int {
+	dist := map[topo.NodeID]int{origin: 0}
+	queue := []topo.NodeID{origin}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, p := range m.Peers(cur) {
+			if _, seen := dist[p]; seen {
+				continue
+			}
+			dist[p] = dist[cur] + 1
+			queue = append(queue, p)
+		}
+	}
+	return dist
+}
+
+// Tick floods SA state across the mesh and expires stale entries.
+// Forwarding follows peer-RPF: an RP accepts an SA only from a peer on a
+// shortest path toward the origin RP, which prevents flooding loops.
+func (m *Mesh) Tick(now time.Time) {
+	ids := make([]topo.NodeID, 0, len(m.rps))
+	for id := range m.rps {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+
+	// Flood until stable: because accepts follow strictly increasing
+	// RPF distance, rounds are bounded by mesh diameter.
+	distCache := make(map[topo.NodeID]map[topo.NodeID]int)
+	for round := 0; round < 16; round++ {
+		changed := false
+		for _, id := range ids {
+			st := m.rps[id]
+			for _, peerID := range m.Peers(id) {
+				ps := m.rps[peerID]
+				for k, e := range st.cache {
+					if now.Sub(e.LastRefresh) > m.Lifetime {
+						continue
+					}
+					dist := distCache[e.OriginRP]
+					if dist == nil {
+						dist = m.peerRPFDistance(e.OriginRP)
+						distCache[e.OriginRP] = dist
+					}
+					// Peer-RPF check at the receiver: the sender must be
+					// strictly closer to the origin RP.
+					dSender, okS := dist[id]
+					dRecv, okR := dist[peerID]
+					if !okS || !okR || dSender >= dRecv {
+						m.stats.SARejected++
+						continue
+					}
+					pe := ps.cache[k]
+					if pe == nil {
+						ps.cache[k] = &SAEntry{
+							Source: e.Source, Group: e.Group,
+							OriginRP: e.OriginRP, Peer: id,
+							First: now, LastRefresh: e.LastRefresh,
+						}
+						m.stats.SAForwarded++
+						changed = true
+						continue
+					}
+					if e.LastRefresh.After(pe.LastRefresh) {
+						pe.LastRefresh = e.LastRefresh
+						pe.Peer = id
+						m.stats.SAForwarded++
+					}
+				}
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+
+	// Expire cache entries (and their local-origination marks) that were
+	// not re-originated within the SA lifetime.
+	for _, id := range ids {
+		st := m.rps[id]
+		for k, e := range st.cache {
+			if now.Sub(e.LastRefresh) > m.Lifetime {
+				delete(st.cache, k)
+				delete(st.local, k)
+				m.stats.SAExpired++
+			}
+		}
+	}
+}
+
+// Cache returns the RP's SA cache sorted by (group, source); copies.
+func (m *Mesh) Cache(rp topo.NodeID) []SAEntry {
+	st := m.rps[rp]
+	if st == nil {
+		return nil
+	}
+	out := make([]SAEntry, 0, len(st.cache))
+	for _, e := range st.cache {
+		out = append(out, *e)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Group != out[j].Group {
+			return out[i].Group < out[j].Group
+		}
+		return out[i].Source < out[j].Source
+	})
+	return out
+}
+
+// CacheSize returns the number of cached SA entries at rp.
+func (m *Mesh) CacheSize(rp topo.NodeID) int {
+	st := m.rps[rp]
+	if st == nil {
+		return 0
+	}
+	return len(st.cache)
+}
+
+// HasSA reports whether rp's cache holds an SA for (source, group).
+func (m *Mesh) HasSA(rp topo.NodeID, source, group addr.IP) bool {
+	st := m.rps[rp]
+	if st == nil {
+		return false
+	}
+	_, ok := st.cache[saKey{source: source, group: group}]
+	return ok
+}
+
+// SourcesFor returns the sources rp knows for group, sorted.
+func (m *Mesh) SourcesFor(rp topo.NodeID, group addr.IP) []addr.IP {
+	st := m.rps[rp]
+	if st == nil {
+		return nil
+	}
+	var out []addr.IP
+	for k := range st.cache {
+		if k.group == group {
+			out = append(out, k.source)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,120 @@
+package netsim
+
+import (
+	"fmt"
+
+	"repro/internal/addr"
+	"repro/internal/forwarding"
+	"repro/internal/topo"
+)
+
+// TraceHop is one router on an mtrace path, reported receiver-to-source
+// as the real tool prints it.
+type TraceHop struct {
+	Router string
+	// Mode is the routing protocol at this hop.
+	Mode topo.Mode
+	// HasState reports whether the router currently holds (S,G)
+	// forwarding state (only known at tracked routers; untracked hops
+	// report false with StateUnknown set).
+	HasState     bool
+	StateUnknown bool
+	// RateKbps and Packets come from the forwarding entry when present.
+	RateKbps float64
+	Packets  uint64
+}
+
+// MulticastPath returns the router sequence from a receiver's edge toward
+// a source's edge over whichever clouds deliver multicast between them:
+// the DVMRP cloud, the native mesh, or both pivoting at the FIXW border.
+// It returns nil when no multicast delivery path exists — the reachability
+// predicate behind both mtrace and the application-layer baseline.
+func (n *Network) MulticastPath(rcvEdge, srcEdge topo.NodeID) []topo.NodeID {
+	src := n.Topo.Router(srcEdge)
+	rcv := n.Topo.Router(rcvEdge)
+	if src == nil || rcv == nil {
+		return nil
+	}
+	switch {
+	case denseMode(src.Mode):
+		if denseMode(rcv.Mode) {
+			return n.Topo.Path(rcvEdge, srcEdge, n.Topo.DenseLinks())
+		}
+		if n.Inet != nil && n.Inet.FIXW.Mode == topo.ModeBorder {
+			native := n.Topo.Path(rcvEdge, n.Inet.FIXW.ID, n.Topo.NativeLinks())
+			dense := n.Topo.Path(n.Inet.FIXW.ID, srcEdge, n.Topo.DenseLinks())
+			if native != nil && dense != nil {
+				return append(native, dense[1:]...)
+			}
+		}
+	case src.Mode == topo.ModePIMSM:
+		if rcv.Mode == topo.ModePIMSM {
+			return n.Topo.Path(rcvEdge, srcEdge, n.Topo.NativeLinks())
+		}
+		if n.Inet != nil && n.Inet.FIXW.Mode == topo.ModeBorder {
+			dense := n.Topo.Path(rcvEdge, n.Inet.FIXW.ID, n.Topo.DenseLinks())
+			native := n.Topo.Path(n.Inet.FIXW.ID, srcEdge, n.Topo.NativeLinks())
+			if dense != nil && native != nil {
+				return append(dense, native[1:]...)
+			}
+		}
+	}
+	return nil
+}
+
+// Mtrace walks the reverse path from the receiver host toward the source
+// host for the given group — the paper's mtrace: hop-by-hop forwarding
+// state and packet statistics along the distribution tree. It returns
+// the hops receiver-first, or an error if no multicast path exists.
+func (n *Network) Mtrace(source, group, receiver addr.IP) ([]TraceHop, error) {
+	if !group.IsMulticast() {
+		return nil, fmt.Errorf("netsim: %v is not a multicast group", group)
+	}
+	srcEdge := n.Topo.EdgeRouterFor(source)
+	rcvEdge := n.Topo.EdgeRouterFor(receiver)
+	if srcEdge == nil {
+		return nil, fmt.Errorf("netsim: no edge router for source %v", source)
+	}
+	if rcvEdge == nil {
+		return nil, fmt.Errorf("netsim: no edge router for receiver %v", receiver)
+	}
+
+	path := n.MulticastPath(rcvEdge.ID, srcEdge.ID)
+	if path == nil {
+		return nil, fmt.Errorf("netsim: no multicast path from %v to %v", receiver, source)
+	}
+
+	key := forwarding.Key{Source: source, Group: group}
+	hops := make([]TraceHop, 0, len(path))
+	for _, id := range path {
+		spec := n.Topo.Router(id)
+		hop := TraceHop{Router: spec.Name, Mode: spec.Mode}
+		if n.tracked[id] {
+			if e := n.routers[id].FWD.Get(key); e != nil {
+				hop.HasState = true
+				hop.RateKbps = e.RateKbps
+				hop.Packets = e.Packets
+			}
+		} else {
+			hop.StateUnknown = true
+		}
+		hops = append(hops, hop)
+	}
+	return hops, nil
+}
+
+// FormatTrace renders hops the way mtrace prints them.
+func FormatTrace(source, group addr.IP, hops []TraceHop) string {
+	out := fmt.Sprintf("mtrace from source %v for group %v, %d hops (receiver first):\n", source, group, len(hops))
+	for i, h := range hops {
+		state := "no (S,G) state"
+		switch {
+		case h.StateUnknown:
+			state = "state unknown (untracked)"
+		case h.HasState:
+			state = fmt.Sprintf("(S,G) %.1f kbps, %d pkts", h.RateKbps, h.Packets)
+		}
+		out += fmt.Sprintf("  -%d  %-12s [%s]  %s\n", i, h.Router, h.Mode, state)
+	}
+	return out
+}

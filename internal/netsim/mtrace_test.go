@@ -1,0 +1,121 @@
+package netsim
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/addr"
+	"repro/internal/topo"
+)
+
+// tracedNetwork builds a network and finds a live (sender, group,
+// receiver) triple with the receiver in a different domain.
+func tracedNetwork(t *testing.T, transitioned bool) (*Network, addr.IP, addr.IP, addr.IP) {
+	t.Helper()
+	n := buildNet(t, 6)
+	steps(n, 6)
+	if transitioned {
+		for _, d := range n.Topo.Domains() {
+			if d.Name != "ucsb" {
+				n.TransitionDomain(d.Name)
+			}
+		}
+		steps(n, 6)
+	}
+	for _, s := range n.Workload.Sessions() {
+		for _, snd := range s.Senders() {
+			for _, m := range s.MemberList() {
+				if m.Host == snd.Host {
+					continue
+				}
+				srcDom := n.Topo.Router(snd.Edge).Domain
+				rcvDom := n.Topo.Router(m.Edge).Domain
+				if srcDom != rcvDom {
+					return n, snd.Host, s.Group, m.Host
+				}
+			}
+		}
+	}
+	t.Skip("no cross-domain sender/receiver pair at this seed")
+	return nil, 0, 0, 0
+}
+
+func TestMtraceDenseWorld(t *testing.T) {
+	n, src, grp, rcv := tracedNetwork(t, false)
+	hops, err := n.Mtrace(src, grp, rcv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hops) < 3 {
+		t.Fatalf("hops = %d", len(hops))
+	}
+	// Pre-transition the path crosses FIXW, which is tracked and must
+	// hold (S,G) state for an active sender.
+	sawFixw := false
+	for _, h := range hops {
+		if h.Router == "fixw" {
+			sawFixw = true
+			if !h.HasState {
+				t.Error("FIXW has no (S,G) state for an active flow")
+			}
+			if h.RateKbps <= 0 {
+				t.Error("FIXW state carries no rate")
+			}
+		}
+	}
+	if !sawFixw {
+		t.Error("trace did not cross FIXW in the tunnel world")
+	}
+	out := FormatTrace(src, grp, hops)
+	if !strings.Contains(out, "receiver first") || !strings.Contains(out, "-0") {
+		t.Errorf("format:\n%s", out)
+	}
+}
+
+func TestMtraceRejectsBadInput(t *testing.T) {
+	n := buildNet(t, 4)
+	steps(n, 2)
+	if _, err := n.Mtrace(addr.MustParse("10.0.0.1"), addr.MustParse("10.0.0.2"), addr.MustParse("10.0.0.3")); err == nil {
+		t.Error("non-multicast group accepted")
+	}
+	if _, err := n.Mtrace(addr.MustParse("1.2.3.4"), addr.MustParse("224.1.1.1"), addr.MustParse("5.6.7.8")); err == nil {
+		t.Error("unknown hosts accepted")
+	}
+}
+
+func TestMtraceCrossWorld(t *testing.T) {
+	n, src, grp, rcv := tracedNetwork(t, true)
+	srcEdge := n.Topo.EdgeRouterFor(src)
+	rcvEdge := n.Topo.EdgeRouterFor(rcv)
+	// Only meaningful when the endpoints ended up in different worlds.
+	if srcEdge.Mode == rcvEdge.Mode {
+		t.Skip("sender and receiver in the same world at this seed")
+	}
+	hops, err := n.Mtrace(src, grp, rcv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	modes := map[topo.Mode]bool{}
+	for _, h := range hops {
+		modes[h.Mode] = true
+	}
+	if len(modes) < 2 {
+		t.Errorf("cross-world trace saw modes %v", modes)
+	}
+}
+
+func TestMtraceFindsReceiverFirstOrder(t *testing.T) {
+	n, src, grp, rcv := tracedNetwork(t, false)
+	hops, err := n.Mtrace(src, grp, rcv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := n.Topo.RouterByName(hops[0].Router)
+	last := n.Topo.RouterByName(hops[len(hops)-1].Router)
+	if n.Topo.EdgeRouterFor(rcv).ID != first.ID {
+		t.Errorf("first hop %s is not the receiver edge", hops[0].Router)
+	}
+	if n.Topo.EdgeRouterFor(src).ID != last.ID {
+		t.Errorf("last hop %s is not the source edge", hops[len(hops)-1].Router)
+	}
+}

@@ -1,0 +1,406 @@
+package netsim
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/addr"
+	"repro/internal/forwarding"
+	"repro/internal/packet"
+	"repro/internal/topo"
+	"repro/internal/workload"
+)
+
+// entryDraft accumulates the interface state of one (source, group) at one
+// tracked router during a rebuild.
+type entryDraft struct {
+	iif    int
+	oifs   map[int]bool
+	onPath bool
+	atRoot bool
+}
+
+// draftSet collects entry drafts at tracked routers only.
+type draftSet struct {
+	n *Network
+	m map[topo.NodeID]*entryDraft
+}
+
+func (n *Network) newDraftSet() *draftSet {
+	return &draftSet{n: n, m: make(map[topo.NodeID]*entryDraft)}
+}
+
+func (d *draftSet) get(id topo.NodeID) *entryDraft {
+	e := d.m[id]
+	if e == nil {
+		e = &entryDraft{iif: -1, oifs: make(map[int]bool)}
+		d.m[id] = e
+	}
+	return e
+}
+
+// touch records one hop visit at a tracked router. uplink is the link
+// toward the tree root (the traffic source side), downlink toward the
+// leaf being walked from.
+func (d *draftSet) touch(id topo.NodeID, uplink, downlink *topo.Link, onPath bool) {
+	if !d.n.tracked[id] {
+		return
+	}
+	e := d.get(id)
+	if uplink != nil {
+		e.iif = uplink.ID
+	} else {
+		e.atRoot = true
+		e.iif = -1
+	}
+	if downlink != nil {
+		e.oifs[downlink.ID] = true
+	}
+	if onPath {
+		e.onPath = true
+	}
+}
+
+// walkUp visits the path from leaf to the root of tree. visit receives
+// each node with its uplink (toward root, nil at the root) and downlink
+// (toward the leaf, nil at the leaf). It returns false when the leaf has
+// no path to the root.
+func walkUp(tree map[topo.NodeID]*topo.Link, leaf topo.NodeID, visit func(node topo.NodeID, uplink, downlink *topo.Link)) bool {
+	if _, ok := tree[leaf]; !ok {
+		return false
+	}
+	var downlink *topo.Link
+	cur := leaf
+	for i := 0; i < 1024; i++ {
+		uplink := tree[cur]
+		visit(cur, uplink, downlink)
+		if uplink == nil {
+			return true
+		}
+		downlink = uplink
+		cur = uplink.Other(cur).Router
+	}
+	return false
+}
+
+// rebuild reconstructs distribution state and accounts one cycle of
+// traffic at the tracked routers.
+func (n *Network) rebuild(now time.Time) {
+	comp := n.comp()
+	for _, s := range n.Workload.Sessions() {
+		members := s.MemberList()
+
+		// Classify member edges and feed IGMP at tracked edges.
+		denseEdges := make(map[topo.NodeID]bool)
+		sparseDomains := make(map[string][]topo.NodeID)
+		sparseSeen := make(map[topo.NodeID]bool)
+		for _, m := range members {
+			edge := n.Topo.Router(m.Edge)
+			if edge == nil {
+				continue
+			}
+			if n.tracked[m.Edge] {
+				n.deliverIGMPReport(m.Host, s.Group, now)
+			}
+			switch edge.Mode {
+			case topo.ModeDVMRP, topo.ModePIMDM:
+				denseEdges[m.Edge] = true
+			case topo.ModePIMSM:
+				if !sparseSeen[m.Edge] {
+					sparseSeen[m.Edge] = true
+					sparseDomains[edge.Domain] = append(sparseDomains[edge.Domain], m.Edge)
+				}
+			}
+		}
+
+		// Shared (*,G) trees in sparse domains with members.
+		for domain, edges := range sparseDomains {
+			rp, ok := n.RPs.For(domain)
+			if !ok {
+				continue
+			}
+			n.refreshSharedTree(s.Group, rp, edges, now)
+		}
+
+		for _, m := range members {
+			n.placeSource(s, m, comp, denseEdges, sparseDomains, now)
+		}
+	}
+}
+
+// refreshSharedTree installs (*,G) state at tracked routers along the
+// shared tree from the RP to the member edges.
+func (n *Network) refreshSharedTree(group addr.IP, rp topo.NodeID, edges []topo.NodeID, now time.Time) {
+	tree := n.nativeTree(rp)
+	type starDraft struct {
+		iif   int
+		oifs  map[int]bool
+		local bool
+	}
+	drafts := make(map[topo.NodeID]*starDraft)
+	touch := func(id topo.NodeID, uplink, downlink *topo.Link, local bool) {
+		if !n.tracked[id] {
+			return
+		}
+		d := drafts[id]
+		if d == nil {
+			d = &starDraft{iif: -1, oifs: make(map[int]bool)}
+			drafts[id] = d
+		}
+		if uplink != nil {
+			d.iif = uplink.ID
+		}
+		if downlink != nil {
+			d.oifs[downlink.ID] = true
+		}
+		if local {
+			d.local = true
+		}
+	}
+	for _, e := range edges {
+		leaf := e
+		walkUp(tree, e, func(id topo.NodeID, uplink, downlink *topo.Link) {
+			touch(id, uplink, downlink, id == leaf)
+		})
+	}
+	for id, d := range drafts {
+		oifs := sortedInts(d.oifs)
+		n.routers[id].PIM.RefreshStar(group, rp, d.iif, oifs, d.local, now)
+	}
+}
+
+// placeSource installs (S,G) state and accounts traffic for one member's
+// sourcing (control traffic at minimum, content when it is a sender).
+func (n *Network) placeSource(s *workload.Session, m *workload.Member, comp map[topo.NodeID]int, denseEdges map[topo.NodeID]bool, sparseDomains map[string][]topo.NodeID, now time.Time) {
+	srcSpec := n.Topo.Router(m.Edge)
+	if srcSpec == nil {
+		return
+	}
+	rate := m.Rate()
+	drafts := n.newDraftSet()
+	spt := n.policy.SwitchToSPT(rate)
+
+	switch srcSpec.Mode {
+	case topo.ModeDVMRP, topo.ModePIMDM:
+		n.placeDenseSource(s, m, comp, denseEdges, sparseDomains, drafts, spt)
+	case topo.ModePIMSM:
+		n.placeSparseSource(s, m, comp, denseEdges, sparseDomains, drafts, spt)
+	default:
+		return
+	}
+
+	n.materialize(s.Group, m, srcSpec, drafts, rate, spt, now)
+}
+
+// placeDenseSource handles a source whose first-hop router floods via
+// DVMRP: state everywhere in the dense component, traffic along member
+// paths, and injection into the native world through the FIXW border.
+func (n *Network) placeDenseSource(s *workload.Session, m *workload.Member, comp map[topo.NodeID]int, denseEdges map[topo.NodeID]bool, sparseDomains map[string][]topo.NodeID, drafts *draftSet, spt bool) {
+	tree := n.denseTree(m.Edge)
+	srcComp := comp[m.Edge]
+
+	// Flood state: every tracked dense router in the component holds the
+	// (S,G), pruned unless a member path crosses it.
+	for id := range n.tracked {
+		spec := n.Topo.Router(id)
+		if spec == nil || !denseMode(spec.Mode) {
+			continue
+		}
+		if comp[id] != srcComp {
+			continue
+		}
+		if uplink, ok := tree[id]; ok {
+			e := drafts.get(id)
+			if uplink != nil {
+				e.iif = uplink.ID
+			} else {
+				e.atRoot = true
+			}
+		}
+	}
+
+	// Member delivery paths through the dense cloud.
+	for e := range denseEdges {
+		if e == m.Edge {
+			drafts.touch(e, nil, nil, true)
+			continue
+		}
+		walkUp(tree, e, func(id topo.NodeID, uplink, downlink *topo.Link) {
+			drafts.touch(id, uplink, downlink, true)
+		})
+	}
+
+	// Injection into the native world for sparse receivers: the path runs
+	// through the FIXW border, which originated an SA for this source.
+	if len(sparseDomains) == 0 || n.Inet == nil || n.Inet.FIXW.Mode != topo.ModeBorder {
+		return
+	}
+	fixw := n.Inet.FIXW.ID
+	if comp[fixw] != srcComp {
+		return
+	}
+	crossed := false
+	nativeFromFixw := n.nativeTree(fixw)
+	for domain, edges := range sparseDomains {
+		rp, ok := n.RPs.For(domain)
+		if !ok || !n.MSDP.HasSA(rp, m.Host, s.Group) {
+			continue
+		}
+		targets := []topo.NodeID{rp}
+		if spt {
+			targets = edges
+		}
+		for _, tgt := range targets {
+			if walkUp(nativeFromFixw, tgt, func(id topo.NodeID, uplink, downlink *topo.Link) {
+				drafts.touch(id, uplink, downlink, true)
+			}) {
+				crossed = true
+			}
+		}
+	}
+	if crossed {
+		// Dense-side path from FIXW back to the source.
+		walkUp(tree, fixw, func(id topo.NodeID, uplink, downlink *topo.Link) {
+			drafts.touch(id, uplink, downlink, true)
+		})
+	}
+}
+
+// placeSparseSource handles a source in a PIM-SM domain: register state at
+// the DR, SPT joins from receiver RPs or last-hop routers, and delivery
+// into the dense world through FIXW.
+func (n *Network) placeSparseSource(s *workload.Session, m *workload.Member, comp map[topo.NodeID]int, denseEdges map[topo.NodeID]bool, sparseDomains map[string][]topo.NodeID, drafts *draftSet, spt bool) {
+	tree := n.nativeTree(m.Edge)
+	srcDomain := n.Topo.Router(m.Edge).Domain
+
+	// DR register state always exists at the first-hop router.
+	drafts.touch(m.Edge, nil, nil, true)
+
+	// The source domain's RP pulls the flow (register, then SPT join).
+	if srcRP, ok := n.RPs.For(srcDomain); ok {
+		walkUp(tree, srcRP, func(id topo.NodeID, uplink, downlink *topo.Link) {
+			drafts.touch(id, uplink, downlink, true)
+		})
+	}
+
+	// Receiver domains join toward the source across the native mesh.
+	for domain, edges := range sparseDomains {
+		rp, ok := n.RPs.For(domain)
+		if !ok {
+			continue
+		}
+		if domain != srcDomain && !n.MSDP.HasSA(rp, m.Host, s.Group) {
+			continue
+		}
+		targets := []topo.NodeID{rp}
+		if spt {
+			targets = edges
+		}
+		for _, tgt := range targets {
+			if tgt == m.Edge {
+				continue
+			}
+			walkUp(tree, tgt, func(id topo.NodeID, uplink, downlink *topo.Link) {
+				drafts.touch(id, uplink, downlink, true)
+			})
+		}
+	}
+
+	// Dense-world receivers reach the flow through the FIXW border: FIXW
+	// joins the SPT and re-floods on its DVMRP side.
+	if len(denseEdges) == 0 || n.Inet == nil || n.Inet.FIXW.Mode != topo.ModeBorder {
+		return
+	}
+	fixw := n.Inet.FIXW.ID
+	if !n.MSDP.HasSA(fixw, m.Host, s.Group) {
+		return
+	}
+	if !walkUp(tree, fixw, func(id topo.NodeID, uplink, downlink *topo.Link) {
+		drafts.touch(id, uplink, downlink, true)
+	}) {
+		return
+	}
+	denseFromFixw := n.denseTree(fixw)
+	fixwComp := comp[fixw]
+	// Flood state in FIXW's dense component.
+	for id := range n.tracked {
+		spec := n.Topo.Router(id)
+		if spec == nil || (spec.Mode != topo.ModeDVMRP && spec.Mode != topo.ModePIMDM) {
+			continue
+		}
+		if comp[id] != fixwComp {
+			continue
+		}
+		if uplink, ok := denseFromFixw[id]; ok && uplink != nil {
+			e := drafts.get(id)
+			e.iif = uplink.ID
+		}
+	}
+	for e := range denseEdges {
+		walkUp(denseFromFixw, e, func(id topo.NodeID, uplink, downlink *topo.Link) {
+			drafts.touch(id, uplink, downlink, true)
+		})
+	}
+}
+
+// materialize turns drafts into forwarding entries and traffic accounting.
+func (n *Network) materialize(group addr.IP, m *workload.Member, srcSpec *topo.Router, drafts *draftSet, rateKbps float64, spt bool, now time.Time) {
+	key := forwarding.Key{Source: m.Host, Group: group}
+	bytes := uint64(rateKbps * 1000 / 8 * n.cfg.Cycle.Seconds())
+	ids := make([]topo.NodeID, 0, len(drafts.m))
+	for id := range drafts.m {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		d := drafts.m[id]
+		spec := n.Topo.Router(id)
+		var flags forwarding.Flag
+		denseSide := denseMode(srcSpec.Mode) && denseMode(spec.Mode)
+		if spec.Mode == topo.ModeDVMRP || spec.Mode == topo.ModePIMDM || denseSide {
+			flags = forwarding.FlagDense
+			if !d.onPath {
+				flags |= forwarding.FlagPruned
+			}
+		} else {
+			flags = forwarding.FlagSparse
+			if spt {
+				flags |= forwarding.FlagSPT
+			}
+			if id == m.Edge {
+				flags |= forwarding.FlagRegister
+			}
+		}
+		fwd := n.routers[id].FWD
+		fwd.Upsert(key, d.iif, sortedInts(d.oifs), flags, now)
+		if d.onPath && bytes > 0 {
+			fwd.Account(key, bytes, n.cfg.Cycle, now)
+		}
+	}
+}
+
+// deliverIGMPReport carries a host's membership report over the wire
+// encoding: the report is marshalled as an IGMPv2 packet and decoded at
+// the router, exactly as on a real subnet. Malformed or corrupted
+// packets would be dropped here the way a querier drops them.
+func (n *Network) deliverIGMPReport(host, group addr.IP, now time.Time) {
+	edge := n.Topo.EdgeRouterFor(host)
+	if edge == nil {
+		return
+	}
+	wire := (&packet.IGMP{Kind: packet.IGMPReport, Group: group}).Marshal()
+	msg, err := packet.UnmarshalIGMP(wire)
+	if err != nil || msg.Kind != packet.IGMPReport {
+		return
+	}
+	n.routers[edge.ID].IGMP.Report(host, msg.Group, now)
+}
+
+func sortedInts(set map[int]bool) []int {
+	out := make([]int, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	sort.Ints(out)
+	return out
+}

@@ -1,0 +1,180 @@
+package packet
+
+import (
+	"encoding/binary"
+	"fmt"
+	"time"
+
+	"repro/internal/addr"
+)
+
+// DVMRP subtype codes (carried in the IGMP code field of type 0x13).
+const (
+	dvmrpCodeProbe    = 1
+	dvmrpCodeReport   = 2
+	dvmrpCodePrune    = 7
+	dvmrpCodeGraft    = 8
+	dvmrpCodeGraftAck = 9
+)
+
+// DVMRPInfinity is the DVMRP unreachable metric. Poison-reverse adds
+// DVMRPInfinity to the advertised metric; a metric of 2*Infinity-1 or more
+// means unreachable outright.
+const DVMRPInfinity = 32
+
+// DVMRPRoute is one route entry in a DVMRP report.
+type DVMRPRoute struct {
+	Prefix addr.Prefix
+	// Metric is the hop count; Infinity or above means unreachable,
+	// Infinity added to a finite metric encodes poison reverse.
+	Metric uint8
+}
+
+// DVMRPProbe is the neighbor discovery message. GenID changes on restart,
+// prompting neighbors to resend full routing state.
+type DVMRPProbe struct {
+	GenID     uint32
+	Neighbors []addr.IP
+}
+
+// Marshal encodes the probe.
+func (p *DVMRPProbe) Marshal() []byte {
+	b := make([]byte, 12, 12+4*len(p.Neighbors))
+	b[0], b[1] = igmpTypeDVMRP, dvmrpCodeProbe
+	binary.BigEndian.PutUint32(b[8:], p.GenID)
+	for _, n := range p.Neighbors {
+		var four [4]byte
+		putIP(four[:], n)
+		b = append(b, four[:]...)
+	}
+	finishChecksum(b, 2)
+	return b
+}
+
+// DVMRPReport is a full or partial route report.
+type DVMRPReport struct {
+	Routes []DVMRPRoute
+}
+
+// Marshal encodes the report.
+func (r *DVMRPReport) Marshal() []byte {
+	b := make([]byte, 8, 8+6*len(r.Routes))
+	b[0], b[1] = igmpTypeDVMRP, dvmrpCodeReport
+	binary.BigEndian.PutUint16(b[4:], uint16(len(r.Routes)))
+	for _, rt := range r.Routes {
+		b = appendPrefix(b, rt.Prefix)
+		b = append(b, rt.Metric)
+	}
+	finishChecksum(b, 2)
+	return b
+}
+
+// DVMRPPrune asks the upstream neighbor to stop forwarding (Source, Group)
+// for Lifetime.
+type DVMRPPrune struct {
+	Source   addr.IP
+	Group    addr.IP
+	Lifetime time.Duration
+}
+
+// Marshal encodes the prune.
+func (p *DVMRPPrune) Marshal() []byte {
+	b := make([]byte, 20)
+	b[0], b[1] = igmpTypeDVMRP, dvmrpCodePrune
+	putIP(b[8:], p.Source)
+	putIP(b[12:], p.Group)
+	binary.BigEndian.PutUint32(b[16:], uint32(p.Lifetime/time.Second))
+	finishChecksum(b, 2)
+	return b
+}
+
+// DVMRPGraft cancels a previous prune when a downstream receiver appears.
+// Ack reports whether this is a graft acknowledgement.
+type DVMRPGraft struct {
+	Source addr.IP
+	Group  addr.IP
+	Ack    bool
+}
+
+// Marshal encodes the graft or graft-ack.
+func (g *DVMRPGraft) Marshal() []byte {
+	b := make([]byte, 16)
+	b[0], b[1] = igmpTypeDVMRP, dvmrpCodeGraft
+	if g.Ack {
+		b[1] = dvmrpCodeGraftAck
+	}
+	putIP(b[8:], g.Source)
+	putIP(b[12:], g.Group)
+	finishChecksum(b, 2)
+	return b
+}
+
+// DVMRPMessage is the decoded form of any DVMRP message; exactly one field
+// is non-nil.
+type DVMRPMessage struct {
+	Probe  *DVMRPProbe
+	Report *DVMRPReport
+	Prune  *DVMRPPrune
+	Graft  *DVMRPGraft
+}
+
+// UnmarshalDVMRP decodes a DVMRP message, verifying length and checksum.
+func UnmarshalDVMRP(b []byte) (*DVMRPMessage, error) {
+	if len(b) < 8 {
+		return nil, ErrTruncated
+	}
+	if b[0] != igmpTypeDVMRP {
+		return nil, fmt.Errorf("packet: not a DVMRP message (type 0x%02x)", b[0])
+	}
+	if err := verifyChecksum(b, 2); err != nil {
+		return nil, err
+	}
+	switch b[1] {
+	case dvmrpCodeProbe:
+		if len(b) < 12 || (len(b)-12)%4 != 0 {
+			return nil, ErrTruncated
+		}
+		p := &DVMRPProbe{GenID: binary.BigEndian.Uint32(b[8:12])}
+		for rest := b[12:]; len(rest) >= 4; rest = rest[4:] {
+			p.Neighbors = append(p.Neighbors, getIP(rest))
+		}
+		return &DVMRPMessage{Probe: p}, nil
+	case dvmrpCodeReport:
+		n := int(binary.BigEndian.Uint16(b[4:6]))
+		r := &DVMRPReport{}
+		rest := b[8:]
+		for i := 0; i < n; i++ {
+			if len(rest) < 6 {
+				return nil, ErrTruncated
+			}
+			var pfx addr.Prefix
+			var err error
+			pfx, rest, err = readPrefix(rest)
+			if err != nil {
+				return nil, err
+			}
+			r.Routes = append(r.Routes, DVMRPRoute{Prefix: pfx, Metric: rest[0]})
+			rest = rest[1:]
+		}
+		return &DVMRPMessage{Report: r}, nil
+	case dvmrpCodePrune:
+		if len(b) < 20 {
+			return nil, ErrTruncated
+		}
+		return &DVMRPMessage{Prune: &DVMRPPrune{
+			Source:   getIP(b[8:]),
+			Group:    getIP(b[12:]),
+			Lifetime: time.Duration(binary.BigEndian.Uint32(b[16:])) * time.Second,
+		}}, nil
+	case dvmrpCodeGraft, dvmrpCodeGraftAck:
+		if len(b) < 16 {
+			return nil, ErrTruncated
+		}
+		return &DVMRPMessage{Graft: &DVMRPGraft{
+			Source: getIP(b[8:]),
+			Group:  getIP(b[12:]),
+			Ack:    b[1] == dvmrpCodeGraftAck,
+		}}, nil
+	}
+	return nil, fmt.Errorf("packet: unknown DVMRP code %d", b[1])
+}

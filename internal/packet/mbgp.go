@@ -1,0 +1,88 @@
+package packet
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/addr"
+)
+
+// mbgpMagic distinguishes MBGP updates from the other encodings in this
+// package (a real BGP stream would be framed by the 16-byte marker; the
+// simulator exchanges one update per message).
+const mbgpMagic = 0xB6
+
+// MBGPUpdate is a compact MP-BGP UPDATE for the multicast SAFI: withdrawn
+// prefixes plus announced prefixes sharing one AS path and next hop.
+// Routers use these routes for RPF checks, not unicast forwarding —
+// exactly the role MBGP plays in the paper's "native" infrastructure.
+type MBGPUpdate struct {
+	NextHop   addr.IP
+	ASPath    []uint16
+	Announced []addr.Prefix
+	Withdrawn []addr.Prefix
+}
+
+// Marshal encodes the update.
+func (u *MBGPUpdate) Marshal() []byte {
+	b := make([]byte, 0, 16+5*(len(u.Announced)+len(u.Withdrawn))+2*len(u.ASPath))
+	b = append(b, mbgpMagic)
+	var four [4]byte
+	putIP(four[:], u.NextHop)
+	b = append(b, four[:]...)
+	b = append(b, byte(len(u.ASPath)))
+	for _, as := range u.ASPath {
+		var two [2]byte
+		binary.BigEndian.PutUint16(two[:], as)
+		b = append(b, two[:]...)
+	}
+	var counts [4]byte
+	binary.BigEndian.PutUint16(counts[:2], uint16(len(u.Announced)))
+	binary.BigEndian.PutUint16(counts[2:], uint16(len(u.Withdrawn)))
+	b = append(b, counts[:]...)
+	for _, p := range u.Announced {
+		b = appendPrefix(b, p)
+	}
+	for _, p := range u.Withdrawn {
+		b = appendPrefix(b, p)
+	}
+	return b
+}
+
+// UnmarshalMBGP decodes an update.
+func UnmarshalMBGP(b []byte) (*MBGPUpdate, error) {
+	if len(b) < 10 {
+		return nil, ErrTruncated
+	}
+	if b[0] != mbgpMagic {
+		return nil, fmt.Errorf("packet: not an MBGP update (0x%02x)", b[0])
+	}
+	u := &MBGPUpdate{NextHop: getIP(b[1:5])}
+	nAS := int(b[5])
+	rest := b[6:]
+	if len(rest) < 2*nAS+4 {
+		return nil, ErrTruncated
+	}
+	for i := 0; i < nAS; i++ {
+		u.ASPath = append(u.ASPath, binary.BigEndian.Uint16(rest[:2]))
+		rest = rest[2:]
+	}
+	nAnn := int(binary.BigEndian.Uint16(rest[:2]))
+	nWdr := int(binary.BigEndian.Uint16(rest[2:4]))
+	rest = rest[4:]
+	var err error
+	var p addr.Prefix
+	for i := 0; i < nAnn; i++ {
+		if p, rest, err = readPrefix(rest); err != nil {
+			return nil, err
+		}
+		u.Announced = append(u.Announced, p)
+	}
+	for i := 0; i < nWdr; i++ {
+		if p, rest, err = readPrefix(rest); err != nil {
+			return nil, err
+		}
+		u.Withdrawn = append(u.Withdrawn, p)
+	}
+	return u, nil
+}

@@ -1,0 +1,73 @@
+package packet
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/addr"
+)
+
+// msdpMagic is the first byte of every message this encoder emits; it is
+// the RFC 3618 TLV type for Source-Active, the only MSDP TLV the
+// infrastructure exchanges at volume.
+const msdpMagic = 1
+
+// MSDPSAEntry is one (source, group) pair in a Source-Active message.
+type MSDPSAEntry struct {
+	Source addr.IP
+	Group  addr.IP
+}
+
+// MSDPSA is a Source-Active TLV: the originating RP floods the active
+// sources it knows to its peers, which forward along peer-RPF rules.
+type MSDPSA struct {
+	// OriginRP is the rendezvous point that originated the SA.
+	OriginRP addr.IP
+	Entries  []MSDPSAEntry
+}
+
+// Marshal encodes the SA TLV (type, 16-bit length, entry count, RP,
+// then (group, source) pairs as in RFC 3618 §12.2).
+func (m *MSDPSA) Marshal() []byte {
+	length := 8 + 8*len(m.Entries)
+	b := make([]byte, 8, length)
+	b[0] = msdpMagic
+	binary.BigEndian.PutUint16(b[1:], uint16(length))
+	b[3] = byte(len(m.Entries))
+	putIP(b[4:], m.OriginRP)
+	for _, e := range m.Entries {
+		var pair [8]byte
+		putIP(pair[:4], e.Group)
+		putIP(pair[4:], e.Source)
+		b = append(b, pair[:]...)
+	}
+	return b
+}
+
+// UnmarshalMSDP decodes a Source-Active TLV.
+func UnmarshalMSDP(b []byte) (*MSDPSA, error) {
+	if len(b) < 8 {
+		return nil, ErrTruncated
+	}
+	if b[0] != msdpMagic {
+		return nil, fmt.Errorf("packet: unsupported MSDP TLV type %d", b[0])
+	}
+	length := int(binary.BigEndian.Uint16(b[1:3]))
+	if length > len(b) {
+		return nil, ErrTruncated
+	}
+	n := int(b[3])
+	m := &MSDPSA{OriginRP: getIP(b[4:8])}
+	rest := b[8:length]
+	if len(rest) < 8*n {
+		return nil, ErrTruncated
+	}
+	for i := 0; i < n; i++ {
+		m.Entries = append(m.Entries, MSDPSAEntry{
+			Group:  getIP(rest[:4]),
+			Source: getIP(rest[4:8]),
+		})
+		rest = rest[8:]
+	}
+	return m, nil
+}

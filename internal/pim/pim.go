@@ -1,0 +1,174 @@
+// Package pim implements the router-side state of Protocol Independent
+// Multicast — Sparse Mode: per-router (*,G) shared-tree state with
+// join/prune refresh semantics, rendezvous-point mapping, and the
+// shortest-path-tree switchover policy.
+//
+// (S,G) forwarding state lives in the shared forwarding cache
+// (internal/forwarding), as on a real router where PIM installs mroutes;
+// this package holds what is PIM-specific: the shared tree, the RP
+// mapping, and the policies that decide when state exists at all. The
+// existence test — "do I have downstream receivers?" — is what made
+// sparse-mode FIXW stop carrying state for idle sessions, the central
+// transition effect in the paper.
+package pim
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/addr"
+	"repro/internal/topo"
+)
+
+// DefaultHoldtime is how long (*,G) state survives without a join refresh
+// (RFC 2362's 210 s scaled to cycle granularity: state must be refreshed
+// every cycle).
+const DefaultHoldtime = 75 * time.Minute
+
+// StarEntry is a (*,G) shared-tree entry.
+type StarEntry struct {
+	Group addr.IP
+	// RP is the rendezvous point of the shared tree.
+	RP topo.NodeID
+	// IIF is the RPF link toward the RP; -1 at the RP itself.
+	IIF int
+	// OIFs are the joined downstream links; an entry with local
+	// receivers but no downstream routers has none.
+	OIFs []int
+	// LocalMembers reports IGMP membership on leaf subnets.
+	LocalMembers bool
+	// Created is when the entry appeared; LastRefresh the latest join.
+	Created, LastRefresh time.Time
+}
+
+// Router is the PIM-SM state of one router.
+type Router struct {
+	id       topo.NodeID
+	holdtime time.Duration
+	stars    map[addr.IP]*StarEntry
+}
+
+// NewRouter returns the PIM state of router id. Non-positive holdtime
+// selects DefaultHoldtime.
+func NewRouter(id topo.NodeID, holdtime time.Duration) *Router {
+	if holdtime <= 0 {
+		holdtime = DefaultHoldtime
+	}
+	return &Router{id: id, holdtime: holdtime, stars: make(map[addr.IP]*StarEntry)}
+}
+
+// ID returns the owning router.
+func (r *Router) ID() topo.NodeID { return r.id }
+
+// RefreshStar installs or refreshes the (*,G) entry, preserving Created.
+func (r *Router) RefreshStar(group addr.IP, rp topo.NodeID, iif int, oifs []int, localMembers bool, now time.Time) *StarEntry {
+	e := r.stars[group]
+	if e == nil {
+		e = &StarEntry{Group: group, Created: now}
+		r.stars[group] = e
+	}
+	e.RP = rp
+	e.IIF = iif
+	e.OIFs = append(e.OIFs[:0], oifs...)
+	e.LocalMembers = localMembers
+	e.LastRefresh = now
+	return e
+}
+
+// PruneStar removes the (*,G) entry immediately (an explicit prune).
+func (r *Router) PruneStar(group addr.IP) bool {
+	if _, ok := r.stars[group]; !ok {
+		return false
+	}
+	delete(r.stars, group)
+	return true
+}
+
+// ExpireStale removes entries whose last join refresh is older than the
+// holdtime and returns how many were removed.
+func (r *Router) ExpireStale(now time.Time) int {
+	n := 0
+	for g, e := range r.stars {
+		if now.Sub(e.LastRefresh) > r.holdtime {
+			delete(r.stars, g)
+			n++
+		}
+	}
+	return n
+}
+
+// Star returns the (*,G) entry, or nil.
+func (r *Router) Star(group addr.IP) *StarEntry { return r.stars[group] }
+
+// HasStar reports whether (*,G) state exists for group.
+func (r *Router) HasStar(group addr.IP) bool {
+	_, ok := r.stars[group]
+	return ok
+}
+
+// StarCount returns the number of (*,G) entries.
+func (r *Router) StarCount() int { return len(r.stars) }
+
+// Stars returns copies of all (*,G) entries sorted by group.
+func (r *Router) Stars() []StarEntry {
+	out := make([]StarEntry, 0, len(r.stars))
+	for _, e := range r.stars {
+		cp := *e
+		cp.OIFs = append([]int(nil), e.OIFs...)
+		out = append(out, cp)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Group < out[j].Group })
+	return out
+}
+
+// RPMap maps sparse-mode domains to their rendezvous point. In the 1999
+// infrastructure RPs were statically configured per domain, with MSDP
+// gluing them together.
+type RPMap struct {
+	byDomain map[string]topo.NodeID
+}
+
+// NewRPMap returns an empty RP mapping.
+func NewRPMap() *RPMap {
+	return &RPMap{byDomain: make(map[string]topo.NodeID)}
+}
+
+// Assign sets the RP of a domain, replacing any previous assignment.
+func (m *RPMap) Assign(domain string, rp topo.NodeID) {
+	m.byDomain[domain] = rp
+}
+
+// Unassign removes a domain's RP.
+func (m *RPMap) Unassign(domain string) {
+	delete(m.byDomain, domain)
+}
+
+// For returns the RP of a domain and whether one is assigned.
+func (m *RPMap) For(domain string) (topo.NodeID, bool) {
+	rp, ok := m.byDomain[domain]
+	return rp, ok
+}
+
+// Domains returns the domains with an assigned RP, sorted.
+func (m *RPMap) Domains() []string {
+	out := make([]string, 0, len(m.byDomain))
+	for d := range m.byDomain {
+		out = append(out, d)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Policy holds the sparse-mode behavioural knobs.
+type Policy struct {
+	// SPTThresholdKbps is the source rate above which last-hop routers
+	// switch from the shared tree to the source's shortest-path tree.
+	// Zero switches immediately (the cisco default of the era).
+	SPTThresholdKbps float64
+}
+
+// SwitchToSPT reports whether a flow at the given rate should move to the
+// shortest-path tree.
+func (p Policy) SwitchToSPT(rateKbps float64) bool {
+	return rateKbps >= p.SPTThresholdKbps
+}

@@ -1,0 +1,105 @@
+package pim
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/addr"
+	"repro/internal/sim"
+)
+
+var g1 = addr.MustParse("224.2.0.1")
+var g2 = addr.MustParse("239.1.1.1")
+
+func TestRefreshStarCreatesAndPreserves(t *testing.T) {
+	r := NewRouter(1, 0)
+	now := sim.Epoch
+	e := r.RefreshStar(g1, 5, 2, []int{3, 4}, true, now)
+	if e.RP != 5 || e.IIF != 2 || len(e.OIFs) != 2 || !e.LocalMembers {
+		t.Errorf("entry = %+v", e)
+	}
+	later := now.Add(time.Hour)
+	e2 := r.RefreshStar(g1, 5, 2, []int{3}, false, later)
+	if !e2.Created.Equal(now) {
+		t.Error("Created reset on refresh")
+	}
+	if !e2.LastRefresh.Equal(later) || len(e2.OIFs) != 1 || e2.LocalMembers {
+		t.Errorf("refresh state = %+v", e2)
+	}
+	if r.StarCount() != 1 {
+		t.Errorf("count = %d", r.StarCount())
+	}
+}
+
+func TestExpireStale(t *testing.T) {
+	r := NewRouter(1, time.Hour)
+	now := sim.Epoch
+	r.RefreshStar(g1, 5, -1, nil, true, now)
+	r.RefreshStar(g2, 5, -1, nil, true, now.Add(50*time.Minute))
+	if n := r.ExpireStale(now.Add(70 * time.Minute)); n != 1 {
+		t.Fatalf("expired = %d", n)
+	}
+	if r.HasStar(g1) || !r.HasStar(g2) {
+		t.Error("wrong entry expired")
+	}
+}
+
+func TestPruneStar(t *testing.T) {
+	r := NewRouter(1, 0)
+	r.RefreshStar(g1, 5, -1, nil, true, sim.Epoch)
+	if !r.PruneStar(g1) || r.PruneStar(g1) {
+		t.Error("prune semantics wrong")
+	}
+	if r.Star(g1) != nil {
+		t.Error("entry survives prune")
+	}
+}
+
+func TestStarsSortedAndCopied(t *testing.T) {
+	r := NewRouter(1, 0)
+	now := sim.Epoch
+	r.RefreshStar(g2, 5, -1, []int{7}, false, now)
+	r.RefreshStar(g1, 5, -1, nil, false, now)
+	ss := r.Stars()
+	if len(ss) != 2 || ss[0].Group != g1 {
+		t.Errorf("order: %v", ss)
+	}
+	ss[1].OIFs[0] = 99
+	if r.Star(g2).OIFs[0] == 99 {
+		t.Error("Stars aliases internal state")
+	}
+	if r.ID() != 1 {
+		t.Error("ID wrong")
+	}
+}
+
+func TestRPMap(t *testing.T) {
+	m := NewRPMap()
+	m.Assign("ucsb", 7)
+	m.Assign("dom01", 9)
+	if rp, ok := m.For("ucsb"); !ok || rp != 7 {
+		t.Errorf("For = %v, %v", rp, ok)
+	}
+	if _, ok := m.For("nope"); ok {
+		t.Error("unknown domain should miss")
+	}
+	ds := m.Domains()
+	if len(ds) != 2 || ds[0] != "dom01" {
+		t.Errorf("Domains = %v", ds)
+	}
+	m.Unassign("ucsb")
+	if _, ok := m.For("ucsb"); ok {
+		t.Error("Unassign failed")
+	}
+}
+
+func TestPolicySwitchToSPT(t *testing.T) {
+	p := Policy{SPTThresholdKbps: 4}
+	if p.SwitchToSPT(3.9) || !p.SwitchToSPT(4) || !p.SwitchToSPT(100) {
+		t.Error("threshold policy wrong")
+	}
+	immediate := Policy{}
+	if !immediate.SwitchToSPT(0) {
+		t.Error("zero threshold should switch immediately")
+	}
+}

@@ -1,0 +1,387 @@
+// Package router assembles one simulated multicast router: its protocol
+// state handles (DVMRP table, MBGP RIB, PIM state, IGMP membership, MSDP
+// SA cache, forwarding cache) and the operator-facing command-line
+// interface Mantra scrapes.
+//
+// The paper's Mantra collects data by logging into routers with expect
+// scripts and dumping internal tables — it deliberately avoids SNMP
+// because the era's MIBs did not cover PIM and none existed for MSDP. The
+// CLI formats here therefore mimic the mrouted / IOS dumps of the period
+// closely enough that a scraping pipeline faces the same parsing work.
+package router
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/dvmrp"
+	"repro/internal/forwarding"
+	"repro/internal/igmp"
+	"repro/internal/mbgp"
+	"repro/internal/msdp"
+	"repro/internal/pim"
+	"repro/internal/topo"
+)
+
+// Router is one simulated multicast router with its CLI.
+type Router struct {
+	// Spec is the topology node this router realizes.
+	Spec *topo.Router
+	// Topo gives access to link/neighbor naming for dumps.
+	Topo *topo.Topology
+	// Clock reports virtual time for uptime rendering.
+	Clock interface{ Now() time.Time }
+
+	// DVMRP is the shared cloud; nil when the router never speaks DVMRP.
+	DVMRP *dvmrp.Cloud
+	// MBGP is the shared mesh; nil likewise.
+	MBGP *mbgp.Mesh
+	// MSDP is the shared SA mesh; nil likewise.
+	MSDP *msdp.Mesh
+	// IGMP is this router's membership database.
+	IGMP *igmp.Router
+	// PIM is this router's sparse-mode state.
+	PIM *pim.Router
+	// FWD is this router's forwarding cache.
+	FWD *forwarding.Table
+
+	// Password gates CLI sessions. Empty disables authentication.
+	Password string
+}
+
+// Hostname returns the router's CLI hostname.
+func (r *Router) Hostname() string { return r.Spec.Name }
+
+// Execute runs one already-authenticated CLI command and returns its
+// output. Unknown commands return an IOS-style error marker.
+func (r *Router) Execute(cmd string) string {
+	fields := strings.Fields(strings.TrimSpace(cmd))
+	if len(fields) == 0 {
+		return ""
+	}
+	switch {
+	case matches(fields, "show", "version"):
+		return r.showVersion()
+	case matches(fields, "show", "ip", "dvmrp", "route"):
+		return r.showDVMRPRoute()
+	case matches(fields, "show", "ip", "dvmrp", "neighbor"):
+		return r.showDVMRPNeighbors()
+	case matches(fields, "show", "ip", "mroute"):
+		return r.showMroute()
+	case matches(fields, "show", "ip", "igmp", "groups"):
+		return r.showIGMPGroups()
+	case matches(fields, "show", "ip", "pim", "group"):
+		return r.showPIMGroups()
+	case matches(fields, "show", "ip", "pim", "neighbor"):
+		return r.showPIMNeighbors()
+	case matches(fields, "show", "ip", "msdp", "sa-cache"):
+		return r.showMSDPSACache()
+	case matches(fields, "show", "ip", "mbgp"):
+		return r.showMBGP()
+	case matches(fields, "terminal", "length", "0"):
+		return ""
+	case matches(fields, "help") || matches(fields, "?"):
+		return helpText
+	}
+	return "% Invalid input detected\n"
+}
+
+func matches(fields []string, want ...string) bool {
+	if len(fields) != len(want) {
+		return false
+	}
+	for i, w := range want {
+		if fields[i] != w {
+			return false
+		}
+	}
+	return true
+}
+
+const helpText = `Available commands:
+  show version
+  show ip dvmrp route
+  show ip dvmrp neighbor
+  show ip mroute
+  show ip igmp groups
+  show ip pim group
+  show ip pim neighbor
+  show ip msdp sa-cache
+  show ip mbgp
+  terminal length 0
+  exit
+`
+
+// fmtDur renders a duration as H:MM:SS (hours unbounded), the uptime
+// format the table parsers consume.
+func fmtDur(d time.Duration) string {
+	if d < 0 {
+		d = 0
+	}
+	total := int64(d / time.Second)
+	return fmt.Sprintf("%d:%02d:%02d", total/3600, total/60%60, total%60)
+}
+
+func (r *Router) showVersion() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s uptime is %s\n", r.Spec.Name, fmtDur(24*time.Hour))
+	fmt.Fprintf(&b, "mode %s, loopback %s, domain %q\n", r.Spec.Mode, r.Spec.Loopback, r.Spec.Domain)
+	return b.String()
+}
+
+func (r *Router) showDVMRPRoute() string {
+	now := r.Clock.Now()
+	var b strings.Builder
+	if r.DVMRP == nil || !r.DVMRP.HasRouter(r.Spec.ID) {
+		b.WriteString("DVMRP Routing Table - 0 entries\n")
+		return b.String()
+	}
+	routes := r.DVMRP.Table(r.Spec.ID)
+	fmt.Fprintf(&b, "DVMRP Routing Table - %d entries\n", len(routes))
+	b.WriteString("Origin-Subnet       From-Gateway     Metric  Uptime\n")
+	for _, rt := range routes {
+		gw := "local"
+		if rt.Via != dvmrp.SelfOrigin {
+			if n := r.Topo.Router(rt.Via); n != nil {
+				gw = n.Loopback.String()
+			}
+		}
+		fmt.Fprintf(&b, "%-19s %-16s %-7d %s\n",
+			rt.Prefix, gw, rt.Metric, fmtDur(now.Sub(rt.Since)))
+	}
+	return b.String()
+}
+
+func (r *Router) showDVMRPNeighbors() string {
+	var b strings.Builder
+	if r.DVMRP == nil || !r.DVMRP.HasRouter(r.Spec.ID) {
+		b.WriteString("DVMRP Neighbor Table - 0 neighbors\n")
+		return b.String()
+	}
+	ids := r.DVMRP.Neighbors(r.Spec.ID)
+	fmt.Fprintf(&b, "DVMRP Neighbor Table - %d neighbors\n", len(ids))
+	b.WriteString("Address          Name\n")
+	for _, id := range ids {
+		n := r.Topo.Router(id)
+		if n == nil {
+			continue
+		}
+		fmt.Fprintf(&b, "%-16s %s\n", n.Loopback, n.Name)
+	}
+	return b.String()
+}
+
+func (r *Router) showMroute() string {
+	now := r.Clock.Now()
+	entries := r.FWD.Entries()
+	var b strings.Builder
+	fmt.Fprintf(&b, "IP Multicast Forwarding Table - %d entries\n", len(entries))
+	b.WriteString("Source           Group            Flags  IIF  OIFs           Kbps      Pkts        Uptime\n")
+	for _, e := range entries {
+		oifs := "-"
+		if len(e.OIFs) > 0 {
+			parts := make([]string, len(e.OIFs))
+			for i, o := range e.OIFs {
+				parts[i] = fmt.Sprintf("%d", o)
+			}
+			oifs = strings.Join(parts, ",")
+		}
+		fmt.Fprintf(&b, "%-16s %-16s %-6s %-4d %-14s %-9.1f %-11d %s\n",
+			e.Key.Source, e.Key.Group, e.Flags, e.IIF, oifs,
+			e.RateKbps, e.Packets, fmtDur(now.Sub(e.Created)))
+	}
+	return b.String()
+}
+
+func (r *Router) showIGMPGroups() string {
+	now := r.Clock.Now()
+	var b strings.Builder
+	groups := r.IGMP.Groups()
+	total := 0
+	for _, g := range groups {
+		total += r.IGMP.MemberCount(g)
+	}
+	fmt.Fprintf(&b, "IGMP Group Membership - %d groups, %d members\n", len(groups), total)
+	b.WriteString("Group            Host             Uptime\n")
+	for _, g := range groups {
+		for _, m := range r.IGMP.Members(g) {
+			fmt.Fprintf(&b, "%-16s %-16s %s\n", m.Group, m.Host, fmtDur(now.Sub(m.Since)))
+		}
+	}
+	return b.String()
+}
+
+func (r *Router) showPIMGroups() string {
+	now := r.Clock.Now()
+	stars := r.PIM.Stars()
+	var b strings.Builder
+	fmt.Fprintf(&b, "PIM Group Table - %d entries\n", len(stars))
+	b.WriteString("Group            RP               IIF  OIFs           Local  Uptime\n")
+	for _, s := range stars {
+		rp := "-"
+		if n := r.Topo.Router(s.RP); n != nil {
+			rp = n.Loopback.String()
+		}
+		oifs := "-"
+		if len(s.OIFs) > 0 {
+			parts := make([]string, len(s.OIFs))
+			for i, o := range s.OIFs {
+				parts[i] = fmt.Sprintf("%d", o)
+			}
+			oifs = strings.Join(parts, ",")
+		}
+		local := "no"
+		if s.LocalMembers {
+			local = "yes"
+		}
+		fmt.Fprintf(&b, "%-16s %-16s %-4d %-14s %-6s %s\n",
+			s.Group, rp, s.IIF, oifs, local, fmtDur(now.Sub(s.Created)))
+	}
+	return b.String()
+}
+
+func (r *Router) showPIMNeighbors() string {
+	var b strings.Builder
+	var rows []string
+	if r.Spec.Mode == topo.ModePIMSM || r.Spec.Mode == topo.ModeBorder {
+		native := r.Topo.NativeLinks()
+		for _, l := range r.Topo.LinksOf(r.Spec.ID) {
+			if !l.Up || !native(l) {
+				continue
+			}
+			other := r.Topo.Router(l.Other(r.Spec.ID).Router)
+			if other == nil {
+				continue
+			}
+			rows = append(rows, fmt.Sprintf("%-16s %-16s link-%d",
+				other.Loopback, other.Name, l.ID))
+		}
+	}
+	sort.Strings(rows)
+	fmt.Fprintf(&b, "PIM Neighbor Table - %d neighbors\n", len(rows))
+	b.WriteString("Address          Name             Interface\n")
+	for _, row := range rows {
+		b.WriteString(row + "\n")
+	}
+	return b.String()
+}
+
+func (r *Router) showMSDPSACache() string {
+	now := r.Clock.Now()
+	var b strings.Builder
+	if r.MSDP == nil || !r.MSDP.HasRP(r.Spec.ID) {
+		b.WriteString("MSDP Source-Active Cache - 0 entries\n")
+		return b.String()
+	}
+	cache := r.MSDP.Cache(r.Spec.ID)
+	fmt.Fprintf(&b, "MSDP Source-Active Cache - %d entries\n", len(cache))
+	b.WriteString("Source           Group            Origin-RP        Uptime\n")
+	for _, e := range cache {
+		rp := "-"
+		if n := r.Topo.Router(e.OriginRP); n != nil {
+			rp = n.Loopback.String()
+		}
+		fmt.Fprintf(&b, "%-16s %-16s %-16s %s\n",
+			e.Source, e.Group, rp, fmtDur(now.Sub(e.First)))
+	}
+	return b.String()
+}
+
+func (r *Router) showMBGP() string {
+	now := r.Clock.Now()
+	var b strings.Builder
+	if r.MBGP == nil || !r.MBGP.HasSpeaker(r.Spec.ID) {
+		b.WriteString("MBGP Table - 0 entries\n")
+		return b.String()
+	}
+	routes := r.MBGP.Table(r.Spec.ID)
+	fmt.Fprintf(&b, "MBGP Table - %d entries\n", len(routes))
+	b.WriteString("Network             Next-Hop         Uptime    Path\n")
+	for _, rt := range routes {
+		hop := "local"
+		if rt.Via != mbgp.SelfOrigin {
+			hop = rt.NextHop.String()
+		}
+		parts := make([]string, len(rt.ASPath))
+		for i, as := range rt.ASPath {
+			parts[i] = fmt.Sprintf("%d", as)
+		}
+		fmt.Fprintf(&b, "%-19s %-16s %-9s %s\n",
+			rt.Prefix, hop, fmtDur(now.Sub(rt.Since)), strings.Join(parts, " "))
+	}
+	return b.String()
+}
+
+// HandleSession runs a login-then-REPL CLI session over rw, returning when
+// the peer sends "exit" or closes the stream. The wire protocol is plain
+// lines: a "Password: " prompt (if a password is set), then "<name)> "
+// prompts. This is what the collector's expect scripts drive.
+func (r *Router) HandleSession(rw io.ReadWriter) error {
+	w := bufio.NewWriter(rw)
+	scan := bufio.NewScanner(rw)
+	scan.Buffer(make([]byte, 64*1024), 1024*1024)
+
+	prompt := r.Spec.Name + "> "
+	if r.Password != "" {
+		for attempt := 0; ; attempt++ {
+			if _, err := w.WriteString("Password: "); err != nil {
+				return err
+			}
+			if err := w.Flush(); err != nil {
+				return err
+			}
+			if !scan.Scan() {
+				return scan.Err()
+			}
+			if scan.Text() == r.Password {
+				break
+			}
+			if attempt >= 2 {
+				fmt.Fprintln(w, "% Bad passwords")
+				return w.Flush()
+			}
+			fmt.Fprintln(w, "% Access denied")
+		}
+	}
+	for {
+		if _, err := w.WriteString(prompt); err != nil {
+			return err
+		}
+		if err := w.Flush(); err != nil {
+			return err
+		}
+		if !scan.Scan() {
+			return scan.Err()
+		}
+		line := strings.TrimSpace(scan.Text())
+		if line == "exit" || line == "quit" || line == "logout" {
+			fmt.Fprintln(w, "Connection closed.")
+			return w.Flush()
+		}
+		if _, err := w.WriteString(r.Execute(line)); err != nil {
+			return err
+		}
+	}
+}
+
+// ServeTCP accepts CLI sessions on l until the listener closes. Each
+// connection is served on its own goroutine; router state reads are safe
+// because the simulator mutates state only between collection cycles and
+// the collector drives collection synchronously.
+func (r *Router) ServeTCP(l net.Listener) error {
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return err
+		}
+		go func(c net.Conn) {
+			defer c.Close()
+			_ = r.HandleSession(c)
+		}(conn)
+	}
+}

@@ -1,0 +1,285 @@
+package router_test
+
+import (
+	"bufio"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/netsim"
+	"repro/internal/topo"
+	"repro/internal/workload"
+)
+
+// testNetwork builds a small monitored network and steps it a few cycles
+// so the CLI has content to show.
+func testNetwork(t *testing.T) *netsim.Network {
+	t.Helper()
+	cfg := topo.DefaultInternetConfig()
+	cfg.NumDomains = 4
+	inet := topo.BuildInternet(cfg)
+	wl := workload.New(workload.DefaultConfig(), inet.Topo)
+	n := netsim.New(inet, wl, netsim.DefaultConfig())
+	if err := n.Track("fixw", "ucsb-gw", "ucsb-r1"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		n.Step()
+	}
+	return n
+}
+
+func TestShowDVMRPRoute(t *testing.T) {
+	n := testNetwork(t)
+	out := n.Router("fixw").Execute("show ip dvmrp route")
+	if !strings.Contains(out, "DVMRP Routing Table -") {
+		t.Fatalf("missing header: %q", out[:60])
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) < 100 {
+		t.Errorf("only %d lines of routes", len(lines))
+	}
+	// Data rows have 4 columns: prefix, gateway, metric, uptime.
+	row := strings.Fields(lines[3])
+	if len(row) != 4 {
+		t.Errorf("row = %v", row)
+	}
+	if !strings.Contains(row[0], "/") {
+		t.Errorf("first column not a prefix: %v", row)
+	}
+	if !strings.Contains(row[3], ":") {
+		t.Errorf("uptime malformed: %v", row)
+	}
+}
+
+func TestShowMroute(t *testing.T) {
+	n := testNetwork(t)
+	out := n.Router("fixw").Execute("show ip mroute")
+	if !strings.Contains(out, "IP Multicast Forwarding Table -") {
+		t.Fatalf("missing header: %q", out[:60])
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) < 10 {
+		t.Fatalf("too few entries: %d lines", len(lines))
+	}
+	row := strings.Fields(lines[2])
+	if len(row) != 8 {
+		t.Errorf("row has %d fields: %v", len(row), row)
+	}
+}
+
+func TestShowIGMPAndVersionAndHelp(t *testing.T) {
+	n := testNetwork(t)
+	r := n.Router("ucsb-r1")
+	if out := r.Execute("show ip igmp groups"); !strings.Contains(out, "IGMP Group Membership") {
+		t.Errorf("igmp output: %q", out)
+	}
+	if out := r.Execute("show version"); !strings.Contains(out, "ucsb-r1") {
+		t.Errorf("version output: %q", out)
+	}
+	if out := r.Execute("help"); !strings.Contains(out, "show ip mroute") {
+		t.Errorf("help output: %q", out)
+	}
+	if out := r.Execute("terminal length 0"); out != "" {
+		t.Errorf("terminal length output: %q", out)
+	}
+}
+
+func TestUnknownCommand(t *testing.T) {
+	n := testNetwork(t)
+	out := n.Router("fixw").Execute("show ip ospf")
+	if !strings.Contains(out, "% Invalid input") {
+		t.Errorf("got %q", out)
+	}
+	if out := n.Router("fixw").Execute("   "); out != "" {
+		t.Errorf("blank command output: %q", out)
+	}
+}
+
+func TestShowCommandsOnNonSpeakers(t *testing.T) {
+	n := testNetwork(t)
+	r := n.Router("nexch1") // PIM core: no DVMRP
+	if out := r.Execute("show ip dvmrp route"); !strings.Contains(out, "0 entries") {
+		t.Errorf("non-speaker dvmrp: %q", out)
+	}
+	// Pre-transition nexch1 is an idle MSDP RP with an empty cache.
+	if out := r.Execute("show ip msdp sa-cache"); !strings.Contains(out, "MSDP Source-Active Cache") {
+		t.Errorf("msdp: %q", out)
+	}
+	if out := r.Execute("show ip mbgp"); !strings.Contains(out, "MBGP Table") {
+		t.Errorf("mbgp: %q", out)
+	}
+	if out := r.Execute("show ip pim neighbor"); !strings.Contains(out, "PIM Neighbor Table") {
+		t.Errorf("pim neighbor: %q", out)
+	}
+}
+
+func TestPostTransitionCLITables(t *testing.T) {
+	n := testNetwork(t)
+	for _, d := range n.Topo.Domains() {
+		if d.Name != "ucsb" {
+			n.TransitionDomain(d.Name)
+		}
+	}
+	for i := 0; i < 6; i++ {
+		n.Step()
+	}
+	fixw := n.Router("fixw")
+	if out := fixw.Execute("show ip mbgp"); !strings.Contains(out, "/") {
+		t.Errorf("FIXW MBGP empty after transition: %q", out)
+	}
+	if out := fixw.Execute("show ip msdp sa-cache"); strings.Contains(out, "- 0 entries") {
+		t.Errorf("FIXW SA cache empty after transition")
+	}
+	if out := fixw.Execute("show ip pim neighbor"); strings.Contains(out, "0 neighbors") {
+		t.Errorf("FIXW has no PIM neighbors after transition: %q", out)
+	}
+}
+
+// drive reads until the expected prompt substring appears, then sends line.
+func drive(t *testing.T, r *bufio.Reader, w *bufio.Writer, expect, send string) string {
+	t.Helper()
+	var sb strings.Builder
+	buf := make([]byte, 1)
+	deadline := time.Now().Add(5 * time.Second)
+	for !strings.Contains(sb.String(), expect) {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %q, got %q", expect, sb.String())
+		}
+		n, err := r.Read(buf)
+		if err != nil {
+			t.Fatalf("read: %v (so far %q)", err, sb.String())
+		}
+		sb.Write(buf[:n])
+	}
+	if send != "" {
+		if _, err := w.WriteString(send + "\n"); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Flush(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return sb.String()
+}
+
+func TestHandleSessionLoginAndCommands(t *testing.T) {
+	n := testNetwork(t)
+	rt := n.Router("fixw")
+	rt.Password = "mantra"
+
+	client, server := net.Pipe()
+	done := make(chan error, 1)
+	go func() { done <- rt.HandleSession(server) }()
+
+	r := bufio.NewReader(client)
+	w := bufio.NewWriter(client)
+	drive(t, r, w, "Password: ", "wrong")
+	drive(t, r, w, "Password: ", "mantra")
+	drive(t, r, w, "fixw> ", "show ip dvmrp route")
+	out := drive(t, r, w, "fixw> ", "exit")
+	if !strings.Contains(out, "DVMRP Routing Table") {
+		t.Errorf("missing table in session output")
+	}
+	drive(t, r, w, "Connection closed.", "")
+	if err := <-done; err != nil {
+		t.Errorf("session error: %v", err)
+	}
+	client.Close()
+}
+
+func TestHandleSessionThreeBadPasswords(t *testing.T) {
+	n := testNetwork(t)
+	rt := n.Router("fixw")
+	rt.Password = "secret"
+	client, server := net.Pipe()
+	done := make(chan error, 1)
+	go func() { done <- rt.HandleSession(server) }()
+	r := bufio.NewReader(client)
+	w := bufio.NewWriter(client)
+	drive(t, r, w, "Password: ", "a")
+	drive(t, r, w, "Password: ", "b")
+	out := drive(t, r, w, "Password: ", "c")
+	_ = out
+	final := drive(t, r, w, "% Bad passwords", "")
+	if !strings.Contains(final, "% Bad passwords") {
+		t.Error("lockout message missing")
+	}
+	if err := <-done; err != nil {
+		t.Errorf("session error: %v", err)
+	}
+	client.Close()
+}
+
+func TestServeTCP(t *testing.T) {
+	n := testNetwork(t)
+	rt := n.Router("ucsb-gw")
+	rt.Password = "pw"
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go rt.ServeTCP(l)
+
+	conn, err := net.Dial("tcp", l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	r := bufio.NewReader(conn)
+	w := bufio.NewWriter(conn)
+	drive(t, r, w, "Password: ", "pw")
+	drive(t, r, w, "ucsb-gw> ", "show version")
+	out := drive(t, r, w, "ucsb-gw> ", "exit")
+	if !strings.Contains(out, "ucsb-gw uptime") {
+		t.Errorf("version missing over TCP: %q", out)
+	}
+}
+
+func TestNoPasswordSkipsLogin(t *testing.T) {
+	n := testNetwork(t)
+	rt := n.Router("fixw")
+	rt.Password = ""
+	client, server := net.Pipe()
+	go rt.HandleSession(server)
+	r := bufio.NewReader(client)
+	w := bufio.NewWriter(client)
+	drive(t, r, w, "fixw> ", "exit")
+	client.Close()
+}
+
+func TestShowDVMRPNeighbors(t *testing.T) {
+	n := testNetwork(t)
+	out := n.Router("ucsb-gw").Execute("show ip dvmrp neighbor")
+	if !strings.Contains(out, "DVMRP Neighbor Table -") {
+		t.Fatalf("header missing: %q", out)
+	}
+	// The campus gateway neighbors FIXW and its interior routers.
+	if !strings.Contains(out, "fixw") || !strings.Contains(out, "ucsb-r1") {
+		t.Errorf("expected neighbors missing:\n%s", out)
+	}
+	// A PIM-only core has none.
+	if out := n.Router("nexch1").Execute("show ip dvmrp neighbor"); !strings.Contains(out, "0 neighbors") {
+		t.Errorf("nexch1 neighbors: %q", out)
+	}
+}
+
+func TestShowPIMGroupsPostTransition(t *testing.T) {
+	n := testNetwork(t)
+	n.TransitionDomain("dom00")
+	if err := n.Track("dom00-gw"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		n.Step()
+	}
+	out := n.Router("dom00-gw").Execute("show ip pim group")
+	if !strings.Contains(out, "PIM Group Table -") {
+		t.Fatalf("header missing: %q", out)
+	}
+	if strings.Contains(out, "- 0 entries") {
+		t.Errorf("no (*,G) entries at transitioned RP:\n%.120s", out)
+	}
+}

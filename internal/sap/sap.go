@@ -1,0 +1,116 @@
+// Package sap implements the Session Announcement Protocol mechanics the
+// paper's application-layer tools relied on (§II-C): sessions are
+// advertised by periodic announcements on a well-known group, listeners
+// cache them (the sdr cache), and entries expire when announcements stop
+// arriving — which happens both when a session ends and when multicast
+// connectivity from the announcer breaks. sdr-monitor measured global
+// reachability by comparing what different listeners' caches held; the
+// cache here supports exactly that comparison.
+package sap
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/addr"
+)
+
+// DefaultLifetime is how long a cached announcement survives without
+// being refreshed. sdr used roughly an hour; scaled here to the
+// simulation's cycle granularity.
+const DefaultLifetime = 90 * time.Minute
+
+// Announcement describes one advertised session.
+type Announcement struct {
+	// Group is the advertised session's multicast group.
+	Group addr.IP
+	// Origin is the announcing host.
+	Origin addr.IP
+	// Description is the session name payload.
+	Description string
+	// First and LastHeard bound the cache entry's life.
+	First, LastHeard time.Time
+}
+
+// Cache is one listener's announcement cache.
+type Cache struct {
+	// Lifetime is the expiry horizon; non-positive selects the default.
+	Lifetime time.Duration
+	entries  map[addr.IP]*Announcement
+}
+
+// NewCache returns an empty cache.
+func NewCache(lifetime time.Duration) *Cache {
+	if lifetime <= 0 {
+		lifetime = DefaultLifetime
+	}
+	return &Cache{Lifetime: lifetime, entries: make(map[addr.IP]*Announcement)}
+}
+
+// Hear processes one received announcement at the given instant.
+func (c *Cache) Hear(group, origin addr.IP, description string, now time.Time) {
+	e := c.entries[group]
+	if e == nil {
+		c.entries[group] = &Announcement{
+			Group: group, Origin: origin, Description: description,
+			First: now, LastHeard: now,
+		}
+		return
+	}
+	e.Origin = origin
+	e.Description = description
+	e.LastHeard = now
+}
+
+// Expire drops entries not refreshed within the lifetime and returns how
+// many were removed.
+func (c *Cache) Expire(now time.Time) int {
+	n := 0
+	for g, e := range c.entries {
+		if now.Sub(e.LastHeard) > c.Lifetime {
+			delete(c.entries, g)
+			n++
+		}
+	}
+	return n
+}
+
+// Len returns the number of cached announcements.
+func (c *Cache) Len() int { return len(c.entries) }
+
+// Has reports whether group is currently cached.
+func (c *Cache) Has(group addr.IP) bool {
+	_, ok := c.entries[group]
+	return ok
+}
+
+// Entries returns the cached announcements sorted by group.
+func (c *Cache) Entries() []Announcement {
+	out := make([]Announcement, 0, len(c.entries))
+	for _, e := range c.entries {
+		out = append(out, *e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Group < out[j].Group })
+	return out
+}
+
+// Reachability compares listeners' caches the way sdr-monitor did: for
+// each session any listener knows, the fraction of listeners that
+// currently hold it. A fraction below 1 for a live session means some
+// part of the infrastructure is not receiving its announcements.
+func Reachability(caches ...*Cache) map[addr.IP]float64 {
+	if len(caches) == 0 {
+		return nil
+	}
+	counts := make(map[addr.IP]int)
+	for _, c := range caches {
+		for g := range c.entries {
+			counts[g]++
+		}
+	}
+	out := make(map[addr.IP]float64, len(counts))
+	for g, n := range counts {
+		out[g] = float64(n) / float64(len(caches))
+	}
+	return out
+}

@@ -1,0 +1,69 @@
+package sap
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/addr"
+	"repro/internal/sim"
+)
+
+var g1 = addr.MustParse("224.2.0.1")
+var g2 = addr.MustParse("224.2.0.2")
+var h1 = addr.MustParse("10.0.0.1")
+
+func TestHearAndExpire(t *testing.T) {
+	c := NewCache(time.Hour)
+	now := sim.Epoch
+	c.Hear(g1, h1, "IETF channel 1", now)
+	c.Hear(g2, h1, "test", now)
+	if c.Len() != 2 || !c.Has(g1) {
+		t.Fatalf("len=%d", c.Len())
+	}
+	// Refresh g1 only; g2 expires.
+	now = now.Add(45 * time.Minute)
+	c.Hear(g1, h1, "IETF channel 1", now)
+	now = now.Add(30 * time.Minute)
+	if n := c.Expire(now); n != 1 {
+		t.Errorf("expired = %d", n)
+	}
+	if !c.Has(g1) || c.Has(g2) {
+		t.Error("wrong entry expired")
+	}
+	e := c.Entries()[0]
+	if !e.First.Equal(sim.Epoch) {
+		t.Error("First reset by refresh")
+	}
+	if e.Description != "IETF channel 1" {
+		t.Errorf("description %q", e.Description)
+	}
+}
+
+func TestEntriesSorted(t *testing.T) {
+	c := NewCache(0)
+	now := sim.Epoch
+	c.Hear(g2, h1, "b", now)
+	c.Hear(g1, h1, "a", now)
+	es := c.Entries()
+	if len(es) != 2 || es[0].Group != g1 {
+		t.Errorf("order: %v", es)
+	}
+}
+
+func TestReachability(t *testing.T) {
+	now := sim.Epoch
+	a, b := NewCache(0), NewCache(0)
+	a.Hear(g1, h1, "both", now)
+	b.Hear(g1, h1, "both", now)
+	a.Hear(g2, h1, "only-a", now)
+	r := Reachability(a, b)
+	if r[g1] != 1.0 {
+		t.Errorf("g1 reachability = %f", r[g1])
+	}
+	if r[g2] != 0.5 {
+		t.Errorf("g2 reachability = %f", r[g2])
+	}
+	if Reachability() != nil {
+		t.Error("no caches should give nil")
+	}
+}

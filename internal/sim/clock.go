@@ -1,0 +1,55 @@
+// Package sim provides the discrete-time machinery shared by the simulated
+// multicast infrastructure: a virtual clock, an event scheduler, and a
+// deterministic random source with the distributions the workload and
+// fault models draw from.
+//
+// The simulation is time-driven at monitoring-cycle granularity (the paper's
+// Mantra polls routers every cycle) with an event queue layered on top for
+// scripted occurrences such as the infrastructure transition or the
+// route-injection fault of Figure 9. Determinism is a design requirement:
+// every experiment is reproducible from a seed.
+package sim
+
+import (
+	"fmt"
+	"time"
+)
+
+// Epoch is the start of the paper's data collection: 1998-10-01 00:00 UTC.
+var Epoch = time.Date(1998, time.October, 1, 0, 0, 0, 0, time.UTC)
+
+// Clock is a virtual clock. The zero value is invalid; use NewClock.
+type Clock struct {
+	now time.Time
+}
+
+// NewClock returns a clock starting at the given instant.
+func NewClock(start time.Time) *Clock {
+	return &Clock{now: start}
+}
+
+// NewEpochClock returns a clock starting at the paper's collection epoch.
+func NewEpochClock() *Clock { return NewClock(Epoch) }
+
+// Now returns the current virtual time.
+func (c *Clock) Now() time.Time { return c.now }
+
+// Advance moves the clock forward by d. It panics on negative d: simulated
+// time never flows backwards.
+func (c *Clock) Advance(d time.Duration) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: cannot advance clock by negative duration %v", d))
+	}
+	c.now = c.now.Add(d)
+}
+
+// AdvanceTo moves the clock to t. It panics if t is in the virtual past.
+func (c *Clock) AdvanceTo(t time.Time) {
+	if t.Before(c.now) {
+		panic(fmt.Sprintf("sim: cannot move clock backwards from %v to %v", c.now, t))
+	}
+	c.now = t
+}
+
+// Since returns the virtual time elapsed since t.
+func (c *Clock) Since(t time.Time) time.Duration { return c.now.Sub(t) }

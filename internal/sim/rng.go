@@ -1,0 +1,135 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+)
+
+// RNG is a deterministic random source with the distribution helpers the
+// workload and fault models need. It wraps math/rand with an explicit seed
+// so every experiment is reproducible. RNG is not safe for concurrent use;
+// the simulator is single-threaded by design (parallelism lives in the
+// monitoring pipeline, not the network model).
+type RNG struct {
+	r *rand.Rand
+}
+
+// NewRNG returns a deterministic source seeded with seed.
+func NewRNG(seed int64) *RNG {
+	return &RNG{r: rand.New(rand.NewSource(seed))}
+}
+
+// Fork derives an independent stream from this one. Subsystems fork their
+// own streams so adding draws in one subsystem does not perturb another.
+func (g *RNG) Fork() *RNG {
+	return NewRNG(g.r.Int63())
+}
+
+// Float64 returns a uniform sample in [0,1).
+func (g *RNG) Float64() float64 { return g.r.Float64() }
+
+// Intn returns a uniform sample in [0,n). It panics if n <= 0.
+func (g *RNG) Intn(n int) int { return g.r.Intn(n) }
+
+// Int63 returns a uniform non-negative int64.
+func (g *RNG) Int63() int64 { return g.r.Int63() }
+
+// Bool returns true with probability p.
+func (g *RNG) Bool(p float64) bool { return g.r.Float64() < p }
+
+// Range returns a uniform sample in [lo, hi).
+func (g *RNG) Range(lo, hi float64) float64 {
+	return lo + (hi-lo)*g.r.Float64()
+}
+
+// Exp returns an exponential sample with the given mean.
+func (g *RNG) Exp(mean float64) float64 {
+	return g.r.ExpFloat64() * mean
+}
+
+// Normal returns a normal sample with the given mean and standard deviation.
+func (g *RNG) Normal(mean, stddev float64) float64 {
+	return g.r.NormFloat64()*stddev + mean
+}
+
+// LogNormal returns a log-normal sample where the underlying normal has
+// parameters mu and sigma. Session lifetimes in the workload are
+// log-normal: mostly short with a long heavy tail, matching the paper's
+// observation of many short-lived experimental sessions.
+func (g *RNG) LogNormal(mu, sigma float64) float64 {
+	return math.Exp(g.r.NormFloat64()*sigma + mu)
+}
+
+// Pareto returns a Pareto sample with scale xm and shape alpha.
+func (g *RNG) Pareto(xm, alpha float64) float64 {
+	u := g.r.Float64()
+	for u == 0 {
+		u = g.r.Float64()
+	}
+	return xm / math.Pow(u, 1/alpha)
+}
+
+// Poisson returns a Poisson sample with the given rate lambda.
+// It uses Knuth's method for small lambda and a normal approximation
+// above 64, which is ample for arrival counts per monitoring cycle.
+func (g *RNG) Poisson(lambda float64) int {
+	if lambda <= 0 {
+		return 0
+	}
+	if lambda > 64 {
+		n := int(math.Round(g.Normal(lambda, math.Sqrt(lambda))))
+		if n < 0 {
+			n = 0
+		}
+		return n
+	}
+	l := math.Exp(-lambda)
+	k := 0
+	p := 1.0
+	for {
+		p *= g.r.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+	}
+}
+
+// Zipf returns samples in [0, n) with Zipf-like popularity skew s > 1.
+// Group popularity is Zipfian: a handful of sessions (IETF broadcasts)
+// attract most participants, which drives the paper's density results.
+func (g *RNG) Zipf(s float64, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	z := rand.NewZipf(g.r, s, 1, uint64(n-1))
+	return int(z.Uint64())
+}
+
+// Pick returns a uniformly chosen index weighted by weights. Zero or
+// negative total weight picks uniformly.
+func (g *RNG) Pick(weights []float64) int {
+	total := 0.0
+	for _, w := range weights {
+		if w > 0 {
+			total += w
+		}
+	}
+	if total <= 0 {
+		return g.Intn(len(weights))
+	}
+	x := g.r.Float64() * total
+	for i, w := range weights {
+		if w <= 0 {
+			continue
+		}
+		if x < w {
+			return i
+		}
+		x -= w
+	}
+	return len(weights) - 1
+}
+
+// Shuffle permutes the first n indices, calling swap as rand.Shuffle does.
+func (g *RNG) Shuffle(n int, swap func(i, j int)) { g.r.Shuffle(n, swap) }

@@ -1,0 +1,146 @@
+package sim
+
+import (
+	"container/heap"
+	"time"
+)
+
+// Event is a scheduled callback. The callback receives the scheduler so it
+// can reschedule itself (for periodic timers).
+type Event struct {
+	At   time.Time
+	Name string
+	Fn   func(*Scheduler)
+
+	index int // heap index
+	seq   uint64
+}
+
+// eventHeap orders events by time, breaking ties by insertion order so that
+// same-instant events run deterministically in scheduling order.
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if !h[i].At.Equal(h[j].At) {
+		return h[i].At.Before(h[j].At)
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Scheduler runs events against a virtual clock.
+type Scheduler struct {
+	clock *Clock
+	queue eventHeap
+	seq   uint64
+	fired uint64
+}
+
+// NewScheduler returns a scheduler over clock.
+func NewScheduler(clock *Clock) *Scheduler {
+	return &Scheduler{clock: clock}
+}
+
+// Clock returns the scheduler's clock.
+func (s *Scheduler) Clock() *Clock { return s.clock }
+
+// Now returns the current virtual time.
+func (s *Scheduler) Now() time.Time { return s.clock.Now() }
+
+// At schedules fn to run at instant t. Scheduling in the past is an
+// immediate-next event: it fires as soon as the scheduler runs, at the
+// current clock reading (the clock never rewinds).
+func (s *Scheduler) At(t time.Time, name string, fn func(*Scheduler)) *Event {
+	e := &Event{At: t, Name: name, Fn: fn, seq: s.seq}
+	s.seq++
+	heap.Push(&s.queue, e)
+	return e
+}
+
+// After schedules fn to run d after the current virtual time.
+func (s *Scheduler) After(d time.Duration, name string, fn func(*Scheduler)) *Event {
+	return s.At(s.clock.Now().Add(d), name, fn)
+}
+
+// Every schedules fn to run now+d, then every d thereafter, until the
+// returned cancel function is invoked.
+func (s *Scheduler) Every(d time.Duration, name string, fn func(*Scheduler)) (cancel func()) {
+	stopped := false
+	var tick func(*Scheduler)
+	tick = func(sc *Scheduler) {
+		if stopped {
+			return
+		}
+		fn(sc)
+		if !stopped {
+			sc.After(d, name, tick)
+		}
+	}
+	s.After(d, name, tick)
+	return func() { stopped = true }
+}
+
+// Cancel removes a pending event. Cancelling an already-fired or already-
+// cancelled event is a no-op.
+func (s *Scheduler) Cancel(e *Event) {
+	if e == nil || e.index < 0 || e.index >= len(s.queue) || s.queue[e.index] != e {
+		return
+	}
+	heap.Remove(&s.queue, e.index)
+}
+
+// Pending returns the number of queued events.
+func (s *Scheduler) Pending() int { return len(s.queue) }
+
+// Fired returns the total number of events executed so far.
+func (s *Scheduler) Fired() uint64 { return s.fired }
+
+// RunUntil executes events in order until the queue holds nothing at or
+// before deadline, then advances the clock to deadline. Events scheduled
+// in the virtual past execute at the current clock reading.
+func (s *Scheduler) RunUntil(deadline time.Time) {
+	for len(s.queue) > 0 && !s.queue[0].At.After(deadline) {
+		e := heap.Pop(&s.queue).(*Event)
+		if e.At.After(s.clock.Now()) {
+			s.clock.AdvanceTo(e.At)
+		}
+		s.fired++
+		e.Fn(s)
+	}
+	if deadline.After(s.clock.Now()) {
+		s.clock.AdvanceTo(deadline)
+	}
+}
+
+// Run executes every queued event (including ones scheduled by event
+// callbacks) and returns when the queue is empty. Use RunUntil for
+// open-ended periodic schedules.
+func (s *Scheduler) Run() {
+	for len(s.queue) > 0 {
+		e := heap.Pop(&s.queue).(*Event)
+		if e.At.After(s.clock.Now()) {
+			s.clock.AdvanceTo(e.At)
+		}
+		s.fired++
+		e.Fn(s)
+	}
+}

@@ -1,0 +1,291 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestClockAdvance(t *testing.T) {
+	c := NewEpochClock()
+	if !c.Now().Equal(Epoch) {
+		t.Fatalf("start = %v, want %v", c.Now(), Epoch)
+	}
+	c.Advance(30 * time.Minute)
+	if got := c.Since(Epoch); got != 30*time.Minute {
+		t.Errorf("Since = %v", got)
+	}
+}
+
+func TestClockAdvanceToRejectsPast(t *testing.T) {
+	c := NewEpochClock()
+	c.Advance(time.Hour)
+	defer func() {
+		if recover() == nil {
+			t.Error("AdvanceTo into the past should panic")
+		}
+	}()
+	c.AdvanceTo(Epoch)
+}
+
+func TestClockAdvanceRejectsNegative(t *testing.T) {
+	c := NewEpochClock()
+	defer func() {
+		if recover() == nil {
+			t.Error("Advance(-1) should panic")
+		}
+	}()
+	c.Advance(-time.Second)
+}
+
+func TestSchedulerOrdering(t *testing.T) {
+	s := NewScheduler(NewEpochClock())
+	var order []string
+	s.After(2*time.Hour, "b", func(*Scheduler) { order = append(order, "b") })
+	s.After(1*time.Hour, "a", func(*Scheduler) { order = append(order, "a") })
+	s.After(3*time.Hour, "c", func(*Scheduler) { order = append(order, "c") })
+	s.Run()
+	if len(order) != 3 || order[0] != "a" || order[1] != "b" || order[2] != "c" {
+		t.Errorf("order = %v", order)
+	}
+	if s.Fired() != 3 {
+		t.Errorf("Fired = %d", s.Fired())
+	}
+}
+
+func TestSchedulerTieBreakBySeq(t *testing.T) {
+	s := NewScheduler(NewEpochClock())
+	var order []int
+	at := Epoch.Add(time.Hour)
+	for i := 0; i < 10; i++ {
+		i := i
+		s.At(at, "tie", func(*Scheduler) { order = append(order, i) })
+	}
+	s.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-instant events out of order: %v", order)
+		}
+	}
+}
+
+func TestSchedulerClockFollowsEvents(t *testing.T) {
+	s := NewScheduler(NewEpochClock())
+	var seen time.Time
+	s.After(90*time.Minute, "probe", func(sc *Scheduler) { seen = sc.Now() })
+	s.Run()
+	if !seen.Equal(Epoch.Add(90 * time.Minute)) {
+		t.Errorf("event saw clock %v", seen)
+	}
+}
+
+func TestSchedulerRunUntil(t *testing.T) {
+	s := NewScheduler(NewEpochClock())
+	fired := 0
+	s.After(time.Hour, "in", func(*Scheduler) { fired++ })
+	s.After(3*time.Hour, "out", func(*Scheduler) { fired++ })
+	deadline := Epoch.Add(2 * time.Hour)
+	s.RunUntil(deadline)
+	if fired != 1 {
+		t.Errorf("fired = %d, want 1", fired)
+	}
+	if !s.Now().Equal(deadline) {
+		t.Errorf("clock = %v, want %v", s.Now(), deadline)
+	}
+	if s.Pending() != 1 {
+		t.Errorf("Pending = %d, want 1", s.Pending())
+	}
+}
+
+func TestSchedulerCancel(t *testing.T) {
+	s := NewScheduler(NewEpochClock())
+	fired := false
+	e := s.After(time.Hour, "cancelled", func(*Scheduler) { fired = true })
+	s.Cancel(e)
+	s.Cancel(e) // double cancel is a no-op
+	s.Cancel(nil)
+	s.Run()
+	if fired {
+		t.Error("cancelled event fired")
+	}
+}
+
+func TestSchedulerEvery(t *testing.T) {
+	s := NewScheduler(NewEpochClock())
+	count := 0
+	var cancel func()
+	cancel = s.Every(time.Hour, "tick", func(*Scheduler) {
+		count++
+		if count == 5 {
+			cancel()
+		}
+	})
+	s.RunUntil(Epoch.Add(24 * time.Hour))
+	if count != 5 {
+		t.Errorf("count = %d, want 5", count)
+	}
+}
+
+func TestSchedulerEventsCanSchedule(t *testing.T) {
+	s := NewScheduler(NewEpochClock())
+	var times []time.Duration
+	s.After(time.Hour, "outer", func(sc *Scheduler) {
+		times = append(times, sc.Now().Sub(Epoch))
+		sc.After(time.Hour, "inner", func(sc2 *Scheduler) {
+			times = append(times, sc2.Now().Sub(Epoch))
+		})
+	})
+	s.Run()
+	if len(times) != 2 || times[0] != time.Hour || times[1] != 2*time.Hour {
+		t.Errorf("times = %v", times)
+	}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	c := NewRNG(43)
+	same := true
+	for i := 0; i < 10; i++ {
+		if NewRNG(42).Intn(1000) != c.Intn(1000) {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical streams")
+	}
+}
+
+func TestRNGForkIndependence(t *testing.T) {
+	g := NewRNG(7)
+	f1 := g.Fork()
+	// Draws on g must not change what f1 yields.
+	want := make([]float64, 10)
+	probe := NewRNG(7)
+	probeFork := probe.Fork()
+	for i := range want {
+		want[i] = probeFork.Float64()
+	}
+	g.Float64()
+	g.Float64()
+	for i := range want {
+		if got := f1.Float64(); got != want[i] {
+			t.Fatalf("fork stream perturbed at %d", i)
+		}
+	}
+}
+
+func TestRNGBool(t *testing.T) {
+	g := NewRNG(1)
+	n := 0
+	for i := 0; i < 10000; i++ {
+		if g.Bool(0.25) {
+			n++
+		}
+	}
+	if n < 2200 || n > 2800 {
+		t.Errorf("Bool(0.25) rate = %d/10000", n)
+	}
+	if g.Bool(0) {
+		t.Error("Bool(0) must be false")
+	}
+}
+
+func TestRNGExpMean(t *testing.T) {
+	g := NewRNG(2)
+	sum := 0.0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		sum += g.Exp(5.0)
+	}
+	mean := sum / n
+	if math.Abs(mean-5.0) > 0.3 {
+		t.Errorf("Exp mean = %f, want ~5", mean)
+	}
+}
+
+func TestRNGPoissonMean(t *testing.T) {
+	g := NewRNG(3)
+	for _, lambda := range []float64{0.5, 4, 30, 200} {
+		sum := 0
+		const n = 5000
+		for i := 0; i < n; i++ {
+			sum += g.Poisson(lambda)
+		}
+		mean := float64(sum) / n
+		if math.Abs(mean-lambda) > lambda*0.1+0.2 {
+			t.Errorf("Poisson(%f) mean = %f", lambda, mean)
+		}
+	}
+	if g.Poisson(0) != 0 || g.Poisson(-1) != 0 {
+		t.Error("Poisson of non-positive rate should be 0")
+	}
+}
+
+func TestRNGLogNormalPositive(t *testing.T) {
+	g := NewRNG(4)
+	for i := 0; i < 1000; i++ {
+		if g.LogNormal(0, 1) <= 0 {
+			t.Fatal("LogNormal must be positive")
+		}
+	}
+}
+
+func TestRNGParetoTail(t *testing.T) {
+	g := NewRNG(5)
+	for i := 0; i < 1000; i++ {
+		if g.Pareto(2, 1.5) < 2 {
+			t.Fatal("Pareto sample below scale")
+		}
+	}
+}
+
+func TestRNGZipfSkew(t *testing.T) {
+	g := NewRNG(6)
+	counts := make([]int, 100)
+	for i := 0; i < 20000; i++ {
+		counts[g.Zipf(1.5, 100)]++
+	}
+	if counts[0] <= counts[50]*5 {
+		t.Errorf("Zipf not skewed: rank0=%d rank50=%d", counts[0], counts[50])
+	}
+	if g.Zipf(1.5, 1) != 0 || g.Zipf(1.5, 0) != 0 {
+		t.Error("degenerate Zipf should return 0")
+	}
+}
+
+func TestRNGPick(t *testing.T) {
+	g := NewRNG(8)
+	counts := make([]int, 3)
+	for i := 0; i < 9000; i++ {
+		counts[g.Pick([]float64{1, 2, 0})]++
+	}
+	if counts[2] != 0 {
+		t.Errorf("zero-weight item picked %d times", counts[2])
+	}
+	if counts[1] < counts[0] {
+		t.Errorf("weights not respected: %v", counts)
+	}
+	// All-zero weights fall back to uniform.
+	counts2 := make([]int, 2)
+	for i := 0; i < 1000; i++ {
+		counts2[g.Pick([]float64{0, 0})]++
+	}
+	if counts2[0] == 0 || counts2[1] == 0 {
+		t.Errorf("uniform fallback broken: %v", counts2)
+	}
+}
+
+func TestRNGRange(t *testing.T) {
+	g := NewRNG(9)
+	for i := 0; i < 1000; i++ {
+		v := g.Range(3, 7)
+		if v < 3 || v >= 7 {
+			t.Fatalf("Range out of bounds: %f", v)
+		}
+	}
+}

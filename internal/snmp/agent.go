@@ -1,0 +1,126 @@
+package snmp
+
+import (
+	"net"
+	"sync"
+)
+
+// View is a MIB instantiation: bindings sorted by OID, as walked by
+// GetNext. Views are immutable snapshots; the agent swaps them whole.
+type View struct {
+	binds []VarBind
+}
+
+// NewView sorts and wraps bindings.
+func NewView(binds []VarBind) *View {
+	cp := append([]VarBind(nil), binds...)
+	SortVarBinds(cp)
+	return &View{binds: cp}
+}
+
+// Len returns the number of bindings.
+func (v *View) Len() int { return len(v.binds) }
+
+// get returns the exact binding, or false.
+func (v *View) get(oid OID) (VarBind, bool) {
+	for _, b := range v.binds {
+		c := b.OID.Compare(oid)
+		if c == 0 {
+			return b, true
+		}
+		if c > 0 {
+			break
+		}
+	}
+	return VarBind{}, false
+}
+
+// next returns the first binding with OID strictly greater, or false.
+func (v *View) next(oid OID) (VarBind, bool) {
+	for _, b := range v.binds {
+		if b.OID.Compare(oid) > 0 {
+			return b, true
+		}
+	}
+	return VarBind{}, false
+}
+
+// Agent answers SNMP queries against its current view.
+type Agent struct {
+	Community string
+
+	mu   sync.RWMutex
+	view *View
+}
+
+// NewAgent returns an agent with an empty view.
+func NewAgent(community string) *Agent {
+	return &Agent{Community: community, view: NewView(nil)}
+}
+
+// SetView atomically replaces the MIB view (called once per cycle with a
+// fresh snapshot of router state).
+func (a *Agent) SetView(v *View) {
+	a.mu.Lock()
+	a.view = v
+	a.mu.Unlock()
+}
+
+// Handle processes one encoded request and returns the encoded response,
+// or nil for undecodable input / community mismatch (agents stay silent,
+// as real ones do).
+func (a *Agent) Handle(req []byte) []byte {
+	m, err := Unmarshal(req)
+	if err != nil || m.Community != a.Community {
+		return nil
+	}
+	if m.Type != Get && m.Type != GetNext {
+		return nil
+	}
+	a.mu.RLock()
+	view := a.view
+	a.mu.RUnlock()
+
+	resp := &Message{
+		Community: a.Community,
+		Type:      Response,
+		RequestID: m.RequestID,
+	}
+	for i, vb := range m.Bindings {
+		var got VarBind
+		var ok bool
+		if m.Type == Get {
+			got, ok = view.get(vb.OID)
+		} else {
+			got, ok = view.next(vb.OID)
+		}
+		if !ok {
+			resp.ErrorStatus = NoSuchName
+			resp.ErrorIndex = int32(i + 1)
+			resp.Bindings = append(resp.Bindings, VarBind{OID: vb.OID, Value: Value{Kind: KindNull}})
+			continue
+		}
+		resp.Bindings = append(resp.Bindings, got)
+	}
+	out, err := resp.Marshal()
+	if err != nil {
+		return nil
+	}
+	return out
+}
+
+// ServeUDP answers queries on the connection until it is closed.
+func (a *Agent) ServeUDP(conn net.PacketConn) error {
+	buf := make([]byte, 64*1024)
+	for {
+		n, from, err := conn.ReadFrom(buf)
+		if err != nil {
+			return err
+		}
+		if resp := a.Handle(buf[:n]); resp != nil {
+			if _, err := conn.WriteTo(resp, from); err != nil {
+				return err
+			}
+		}
+	}
+}

@@ -1,0 +1,507 @@
+// Package snmp implements the fragment of SNMPv2c the paper's era offered
+// for multicast monitoring: BER-encoded GetRequest/GetNextRequest over
+// UDP, an agent serving MIB views built from router state, and a walking
+// client.
+//
+// The point of carrying this much realism is the paper's §II argument:
+// SNMP covered the *old* multicast world — the DVMRP route table
+// (draft DVMRP MIB), the multicast forwarding cache (RFC 2932
+// ipMRouteTable) and IGMP (RFC 2933) — but had no MIB at all for MSDP
+// and nothing deployed for PIM-SM state. The agent here reproduces that
+// coverage boundary faithfully, so the SNMP collection ablation shows
+// exactly what Mantra would have lost by relying on it.
+package snmp
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// BER/SNMP tags.
+const (
+	tagInteger   = 0x02
+	tagOctetStr  = 0x04
+	tagNull      = 0x05
+	tagOID       = 0x06
+	tagSequence  = 0x30
+	tagIPAddress = 0x40
+	tagCounter32 = 0x41
+	tagGauge32   = 0x42
+	tagTimeTicks = 0x43
+
+	tagGetRequest     = 0xA0
+	tagGetNextRequest = 0xA1
+	tagGetResponse    = 0xA2
+)
+
+// ErrDecode reports malformed BER input.
+var ErrDecode = errors.New("snmp: malformed BER")
+
+// OID is an object identifier.
+type OID []uint32
+
+// ParseOID parses dotted notation ("1.3.6.1.2.1.1.1.0").
+func ParseOID(s string) (OID, error) {
+	parts := strings.Split(strings.TrimPrefix(s, "."), ".")
+	out := make(OID, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.ParseUint(p, 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("snmp: bad OID %q", s)
+		}
+		out = append(out, uint32(v))
+	}
+	if len(out) < 2 {
+		return nil, fmt.Errorf("snmp: OID %q too short", s)
+	}
+	return out, nil
+}
+
+// MustOID is ParseOID for constants; it panics on error.
+func MustOID(s string) OID {
+	o, err := ParseOID(s)
+	if err != nil {
+		panic(err)
+	}
+	return o
+}
+
+// String renders dotted notation.
+func (o OID) String() string {
+	parts := make([]string, len(o))
+	for i, v := range o {
+		parts[i] = strconv.FormatUint(uint64(v), 10)
+	}
+	return strings.Join(parts, ".")
+}
+
+// Compare orders OIDs lexicographically (the MIB tree walk order).
+func (o OID) Compare(p OID) int {
+	for i := 0; i < len(o) && i < len(p); i++ {
+		if o[i] != p[i] {
+			if o[i] < p[i] {
+				return -1
+			}
+			return 1
+		}
+	}
+	switch {
+	case len(o) < len(p):
+		return -1
+	case len(o) > len(p):
+		return 1
+	}
+	return 0
+}
+
+// HasPrefix reports whether o lies under prefix p.
+func (o OID) HasPrefix(p OID) bool {
+	if len(o) < len(p) {
+		return false
+	}
+	return o[:len(p)].Compare(p) == 0
+}
+
+// Append returns o extended by the given arcs (a fresh slice).
+func (o OID) Append(arcs ...uint32) OID {
+	out := make(OID, 0, len(o)+len(arcs))
+	out = append(out, o...)
+	return append(out, arcs...)
+}
+
+// Value is one typed SNMP value.
+type Value struct {
+	Kind ValueKind
+	Int  int64
+	Str  []byte
+	OID  OID
+}
+
+// ValueKind discriminates Value contents.
+type ValueKind int
+
+// Value kinds.
+const (
+	KindNull ValueKind = iota
+	KindInteger
+	KindOctetString
+	KindOID
+	KindIPAddress
+	KindCounter32
+	KindGauge32
+	KindTimeTicks
+)
+
+// Integer returns an INTEGER value.
+func Integer(v int64) Value { return Value{Kind: KindInteger, Int: v} }
+
+// OctetString returns an OCTET STRING value.
+func OctetString(b []byte) Value { return Value{Kind: KindOctetString, Str: b} }
+
+// Counter32 returns a Counter32 value.
+func Counter32(v uint32) Value { return Value{Kind: KindCounter32, Int: int64(v)} }
+
+// Gauge32 returns a Gauge32 value.
+func Gauge32(v uint32) Value { return Value{Kind: KindGauge32, Int: int64(v)} }
+
+// TimeTicks returns a TimeTicks value (hundredths of a second).
+func TimeTicks(v uint32) Value { return Value{Kind: KindTimeTicks, Int: int64(v)} }
+
+// IPAddressVal returns an IpAddress value from 4 bytes.
+func IPAddressVal(b [4]byte) Value { return Value{Kind: KindIPAddress, Str: b[:]} }
+
+// String renders the value for display.
+func (v Value) String() string {
+	switch v.Kind {
+	case KindInteger, KindCounter32, KindGauge32, KindTimeTicks:
+		return strconv.FormatInt(v.Int, 10)
+	case KindOctetString:
+		return string(v.Str)
+	case KindIPAddress:
+		if len(v.Str) == 4 {
+			return fmt.Sprintf("%d.%d.%d.%d", v.Str[0], v.Str[1], v.Str[2], v.Str[3])
+		}
+		return "?"
+	case KindOID:
+		return v.OID.String()
+	}
+	return "null"
+}
+
+// --- BER encoding ---------------------------------------------------------
+
+func appendLen(b []byte, n int) []byte {
+	if n < 0x80 {
+		return append(b, byte(n))
+	}
+	if n <= 0xFF {
+		return append(b, 0x81, byte(n))
+	}
+	return append(b, 0x82, byte(n>>8), byte(n))
+}
+
+func appendTLV(b []byte, tag byte, content []byte) []byte {
+	b = append(b, tag)
+	b = appendLen(b, len(content))
+	return append(b, content...)
+}
+
+func appendInt(b []byte, tag byte, v int64) []byte {
+	// Minimal two's-complement encoding.
+	var content []byte
+	switch {
+	case v >= -0x80 && v < 0x80:
+		content = []byte{byte(v)}
+	case v >= -0x8000 && v < 0x8000:
+		content = []byte{byte(v >> 8), byte(v)}
+	case v >= -0x800000 && v < 0x800000:
+		content = []byte{byte(v >> 16), byte(v >> 8), byte(v)}
+	case v >= -0x80000000 && v < 0x80000000:
+		content = []byte{byte(v >> 24), byte(v >> 16), byte(v >> 8), byte(v)}
+	default:
+		content = []byte{byte(v >> 32), byte(v >> 24), byte(v >> 16), byte(v >> 8), byte(v)}
+	}
+	return appendTLV(b, tag, content)
+}
+
+func encodeOID(o OID) ([]byte, error) {
+	if len(o) < 2 || o[0] > 2 || o[1] >= 40 {
+		return nil, fmt.Errorf("snmp: unencodable OID %v", o)
+	}
+	out := []byte{byte(o[0]*40 + o[1])}
+	for _, arc := range o[2:] {
+		out = append(out, encodeBase128(arc)...)
+	}
+	return out, nil
+}
+
+func encodeBase128(v uint32) []byte {
+	if v == 0 {
+		return []byte{0}
+	}
+	var tmp [5]byte
+	i := len(tmp)
+	last := true
+	for v > 0 {
+		i--
+		b := byte(v & 0x7F)
+		if !last {
+			b |= 0x80
+		}
+		tmp[i] = b
+		last = false
+		v >>= 7
+	}
+	return tmp[i:]
+}
+
+func encodeValue(v Value) ([]byte, error) {
+	switch v.Kind {
+	case KindNull:
+		return []byte{tagNull, 0}, nil
+	case KindInteger:
+		return appendInt(nil, tagInteger, v.Int), nil
+	case KindCounter32:
+		return appendInt(nil, tagCounter32, v.Int), nil
+	case KindGauge32:
+		return appendInt(nil, tagGauge32, v.Int), nil
+	case KindTimeTicks:
+		return appendInt(nil, tagTimeTicks, v.Int), nil
+	case KindOctetString:
+		return appendTLV(nil, tagOctetStr, v.Str), nil
+	case KindIPAddress:
+		return appendTLV(nil, tagIPAddress, v.Str), nil
+	case KindOID:
+		enc, err := encodeOID(v.OID)
+		if err != nil {
+			return nil, err
+		}
+		return appendTLV(nil, tagOID, enc), nil
+	}
+	return nil, fmt.Errorf("snmp: unencodable value kind %d", v.Kind)
+}
+
+// --- BER decoding ---------------------------------------------------------
+
+type reader struct {
+	b   []byte
+	pos int
+}
+
+func (r *reader) done() bool { return r.pos >= len(r.b) }
+
+func (r *reader) readTLV() (tag byte, content []byte, err error) {
+	if r.pos+2 > len(r.b) {
+		return 0, nil, ErrDecode
+	}
+	tag = r.b[r.pos]
+	r.pos++
+	l := int(r.b[r.pos])
+	r.pos++
+	if l >= 0x80 {
+		n := l & 0x7F
+		if n == 0 || n > 3 || r.pos+n > len(r.b) {
+			return 0, nil, ErrDecode
+		}
+		l = 0
+		for i := 0; i < n; i++ {
+			l = l<<8 | int(r.b[r.pos])
+			r.pos++
+		}
+	}
+	if r.pos+l > len(r.b) {
+		return 0, nil, ErrDecode
+	}
+	content = r.b[r.pos : r.pos+l]
+	r.pos += l
+	return tag, content, nil
+}
+
+func decodeInt(content []byte) (int64, error) {
+	if len(content) == 0 || len(content) > 8 {
+		return 0, ErrDecode
+	}
+	v := int64(0)
+	if content[0]&0x80 != 0 {
+		v = -1
+	}
+	for _, b := range content {
+		v = v<<8 | int64(b)
+	}
+	return v, nil
+}
+
+func decodeOID(content []byte) (OID, error) {
+	if len(content) == 0 {
+		return nil, ErrDecode
+	}
+	out := OID{uint32(content[0]) / 40, uint32(content[0]) % 40}
+	var cur uint32
+	for _, b := range content[1:] {
+		cur = cur<<7 | uint32(b&0x7F)
+		if b&0x80 == 0 {
+			out = append(out, cur)
+			cur = 0
+		}
+	}
+	return out, nil
+}
+
+func decodeValue(tag byte, content []byte) (Value, error) {
+	switch tag {
+	case tagNull:
+		return Value{Kind: KindNull}, nil
+	case tagInteger, tagCounter32, tagGauge32, tagTimeTicks:
+		v, err := decodeInt(content)
+		if err != nil {
+			return Value{}, err
+		}
+		kind := map[byte]ValueKind{
+			tagInteger: KindInteger, tagCounter32: KindCounter32,
+			tagGauge32: KindGauge32, tagTimeTicks: KindTimeTicks,
+		}[tag]
+		return Value{Kind: kind, Int: v}, nil
+	case tagOctetStr:
+		return Value{Kind: KindOctetString, Str: append([]byte(nil), content...)}, nil
+	case tagIPAddress:
+		if len(content) != 4 {
+			return Value{}, ErrDecode
+		}
+		return Value{Kind: KindIPAddress, Str: append([]byte(nil), content...)}, nil
+	case tagOID:
+		o, err := decodeOID(content)
+		if err != nil {
+			return Value{}, err
+		}
+		return Value{Kind: KindOID, OID: o}, nil
+	}
+	return Value{}, fmt.Errorf("snmp: unsupported value tag 0x%02x", tag)
+}
+
+// --- Messages -------------------------------------------------------------
+
+// PDUType is the request/response kind.
+type PDUType byte
+
+// PDU types.
+const (
+	Get      PDUType = tagGetRequest
+	GetNext  PDUType = tagGetNextRequest
+	Response PDUType = tagGetResponse
+)
+
+// VarBind is one (OID, value) binding.
+type VarBind struct {
+	OID   OID
+	Value Value
+}
+
+// Message is one SNMPv2c message.
+type Message struct {
+	Community string
+	Type      PDUType
+	RequestID int32
+	// ErrorStatus 2 = noSuchName, used at end-of-MIB for GetNext.
+	ErrorStatus int32
+	ErrorIndex  int32
+	Bindings    []VarBind
+}
+
+// NoSuchName is the error status the agent returns walking off the MIB.
+const NoSuchName = 2
+
+// Marshal encodes the message.
+func (m *Message) Marshal() ([]byte, error) {
+	var binds []byte
+	for _, vb := range m.Bindings {
+		oidEnc, err := encodeOID(vb.OID)
+		if err != nil {
+			return nil, err
+		}
+		var one []byte
+		one = appendTLV(one, tagOID, oidEnc)
+		val, err := encodeValue(vb.Value)
+		if err != nil {
+			return nil, err
+		}
+		one = append(one, val...)
+		binds = appendTLV(binds, tagSequence, one)
+	}
+	var pdu []byte
+	pdu = appendInt(pdu, tagInteger, int64(m.RequestID))
+	pdu = appendInt(pdu, tagInteger, int64(m.ErrorStatus))
+	pdu = appendInt(pdu, tagInteger, int64(m.ErrorIndex))
+	pdu = appendTLV(pdu, tagSequence, binds)
+
+	var body []byte
+	body = appendInt(body, tagInteger, 1) // version: SNMPv2c
+	body = appendTLV(body, tagOctetStr, []byte(m.Community))
+	body = appendTLV(body, byte(m.Type), pdu)
+	return appendTLV(nil, tagSequence, body), nil
+}
+
+// Unmarshal decodes a message.
+func Unmarshal(b []byte) (*Message, error) {
+	r := &reader{b: b}
+	tag, content, err := r.readTLV()
+	if err != nil || tag != tagSequence {
+		return nil, ErrDecode
+	}
+	r = &reader{b: content}
+	// version
+	tag, vc, err := r.readTLV()
+	if err != nil || tag != tagInteger {
+		return nil, ErrDecode
+	}
+	if v, _ := decodeInt(vc); v != 1 {
+		return nil, fmt.Errorf("snmp: unsupported version %d", v)
+	}
+	// community
+	tag, cc, err := r.readTLV()
+	if err != nil || tag != tagOctetStr {
+		return nil, ErrDecode
+	}
+	m := &Message{Community: string(cc)}
+	// PDU
+	tag, pc, err := r.readTLV()
+	if err != nil {
+		return nil, ErrDecode
+	}
+	switch tag {
+	case tagGetRequest, tagGetNextRequest, tagGetResponse:
+		m.Type = PDUType(tag)
+	default:
+		return nil, fmt.Errorf("snmp: unsupported PDU 0x%02x", tag)
+	}
+	pr := &reader{b: pc}
+	for i, dst := range []*int32{&m.RequestID, &m.ErrorStatus, &m.ErrorIndex} {
+		tag, ic, err := pr.readTLV()
+		if err != nil || tag != tagInteger {
+			return nil, ErrDecode
+		}
+		v, err := decodeInt(ic)
+		if err != nil {
+			return nil, err
+		}
+		*dst = int32(v)
+		_ = i
+	}
+	tag, bindsC, err := pr.readTLV()
+	if err != nil || tag != tagSequence {
+		return nil, ErrDecode
+	}
+	br := &reader{b: bindsC}
+	for !br.done() {
+		tag, one, err := br.readTLV()
+		if err != nil || tag != tagSequence {
+			return nil, ErrDecode
+		}
+		or := &reader{b: one}
+		tag, oc, err := or.readTLV()
+		if err != nil || tag != tagOID {
+			return nil, ErrDecode
+		}
+		oid, err := decodeOID(oc)
+		if err != nil {
+			return nil, err
+		}
+		tag, vc, err := or.readTLV()
+		if err != nil {
+			return nil, ErrDecode
+		}
+		val, err := decodeValue(tag, vc)
+		if err != nil {
+			return nil, err
+		}
+		m.Bindings = append(m.Bindings, VarBind{OID: oid, Value: val})
+	}
+	return m, nil
+}
+
+// SortVarBinds orders bindings by OID (test helper and view builder).
+func SortVarBinds(vbs []VarBind) {
+	sort.Slice(vbs, func(i, j int) bool { return vbs[i].OID.Compare(vbs[j].OID) < 0 })
+}

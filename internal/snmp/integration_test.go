@@ -1,0 +1,116 @@
+package snmp_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/netsim"
+	"repro/internal/snmp"
+	"repro/internal/topo"
+	"repro/internal/workload"
+)
+
+// buildNetwork runs a post-transition network so FIXW holds every kind of
+// state: DVMRP routes, forwarding cache, IGMP, PIM stars, MSDP SA cache.
+func buildNetwork(t *testing.T) *netsim.Network {
+	t.Helper()
+	cfg := topo.DefaultInternetConfig()
+	cfg.NumDomains = 4
+	inet := topo.BuildInternet(cfg)
+	wl := workload.New(workload.DefaultConfig(), inet.Topo)
+	n := netsim.New(inet, wl, netsim.DefaultConfig())
+	if err := n.Track("fixw", "ucsb-r1"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		n.Step()
+	}
+	for _, d := range n.Topo.Domains() {
+		if d.Name != "ucsb" {
+			n.TransitionDomain(d.Name)
+		}
+	}
+	for i := 0; i < 4; i++ {
+		n.Step()
+	}
+	return n
+}
+
+func TestMIBViewMatchesRouterState(t *testing.T) {
+	n := buildNetwork(t)
+	r := n.Router("ucsb-r1")
+	view := snmp.BuildView(r, n.Now())
+	agent := snmp.NewAgent("public")
+	agent.SetView(view)
+	c := snmp.NewClient("public", snmp.AgentTransport(agent))
+
+	// sysName.
+	v, err := c.Get(snmp.OIDSysName)
+	if err != nil || string(v.Str) != "ucsb-r1" {
+		t.Errorf("sysName = %v, %v", v, err)
+	}
+
+	// The DVMRP route table walk returns 3 columns per route.
+	routes, err := c.Walk(snmp.OIDDVMRPRoute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := n.DVMRP.RouteCount(r.Spec.ID) * 3
+	if len(routes) != want {
+		t.Errorf("dvmrp walk = %d bindings, want %d", len(routes), want)
+	}
+
+	// The forwarding cache walk returns 4 columns per (S,G).
+	mroutes, err := c.Walk(snmp.OIDIPMRoute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mroutes) != r.FWD.Len()*4 {
+		t.Errorf("mroute walk = %d bindings, want %d", len(mroutes), r.FWD.Len()*4)
+	}
+}
+
+func TestSNMPCoverageGap(t *testing.T) {
+	// The paper's reason for scraping CLIs: the era's MIBs cover DVMRP,
+	// the forwarding cache and IGMP — but there is no MSDP subtree and
+	// no PIM state, which FIXW (a border with an SA cache and PIM
+	// neighbors) plainly has.
+	n := buildNetwork(t)
+	r := n.Router("fixw")
+	if n.MSDP.CacheSize(r.Spec.ID) == 0 {
+		t.Fatal("FIXW has no SA cache; scenario broken")
+	}
+	view := snmp.BuildView(r, n.Now())
+	agent := snmp.NewAgent("public")
+	agent.SetView(view)
+	c := snmp.NewClient("public", snmp.AgentTransport(agent))
+
+	// What SNMP can see.
+	routes, _ := c.Walk(snmp.OIDDVMRPRoute)
+	mroutes, _ := c.Walk(snmp.OIDIPMRoute)
+	if len(routes) == 0 || len(mroutes) == 0 {
+		t.Errorf("SNMP should cover DVMRP (%d) and mroutes (%d)", len(routes), len(mroutes))
+	}
+
+	// What it cannot: nothing anywhere in the tree mentions the MSDP SA
+	// cache contents the CLI exposes.
+	all, err := c.Walk(snmp.MustOID("1.3"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli := r.Execute("show ip msdp sa-cache")
+	if !strings.Contains(cli, "entries") || strings.Contains(cli, "- 0 entries") {
+		t.Fatalf("CLI SA cache unexpectedly empty: %q", cli[:40])
+	}
+	saCount := n.MSDP.CacheSize(r.Spec.ID)
+	// Count bindings that could plausibly encode SA entries: none exist,
+	// because no MSDP subtree is served at all.
+	for _, vb := range all {
+		if vb.OID.HasPrefix(snmp.OIDIPMRoute) || vb.OID.HasPrefix(snmp.OIDDVMRPRoute) ||
+			vb.OID.HasPrefix(snmp.OIDIGMPCache) || vb.OID.HasPrefix(snmp.OIDSystem) {
+			continue
+		}
+		t.Errorf("unexpected subtree binding %s", vb.OID)
+	}
+	t.Logf("coverage gap confirmed: CLI sees %d SA entries, SNMP sees 0 (no MIB)", saCount)
+}

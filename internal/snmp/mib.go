@@ -1,0 +1,130 @@
+package snmp
+
+import (
+	"time"
+
+	"repro/internal/addr"
+	"repro/internal/router"
+)
+
+// The MIB subtrees a 1998-era multicast router could serve. Arc choices
+// follow the standards of the time:
+//
+//	system          1.3.6.1.2.1.1          (RFC 1907)
+//	ipMRouteTable   1.3.6.1.2.1.83.1.1.2   (RFC 2932, IPMROUTE-STD-MIB)
+//	igmpCacheTable  1.3.6.1.2.1.85.1.1     (RFC 2933, IGMP-STD-MIB)
+//	dvmrpRouteTable 1.3.6.1.3.62.1.1.3     (experimental DVMRP MIB draft)
+//
+// Deliberately absent — the paper's point: no MSDP subtree existed at
+// all, and PIM-SM state had no deployed MIB. BuildView therefore exposes
+// routes, the forwarding cache and IGMP membership, and nothing of the
+// MSDP SA cache or PIM (*,G) state that the CLI scrape captures.
+var (
+	OIDSystem     = MustOID("1.3.6.1.2.1.1")
+	OIDSysDescr   = MustOID("1.3.6.1.2.1.1.1.0")
+	OIDSysName    = MustOID("1.3.6.1.2.1.1.5.0")
+	OIDIPMRoute   = MustOID("1.3.6.1.2.1.83.1.1.2.1")
+	OIDIGMPCache  = MustOID("1.3.6.1.2.1.85.1.1.1")
+	OIDDVMRPRoute = MustOID("1.3.6.1.3.62.1.1.3.1")
+)
+
+// ipMRouteEntry columns served.
+const (
+	colMRouteUpstream = 4 // IpAddress: RPF neighbor (unspecified at source)
+	colMRouteUpTime   = 6 // TimeTicks
+	colMRoutePkts     = 7 // Counter32
+	colMRouteOctets   = 8 // Counter32
+)
+
+// dvmrpRouteEntry columns served.
+const (
+	colDVMRPUpstream = 3 // IpAddress ("local" encodes as 0.0.0.0)
+	colDVMRPMetric   = 5 // Integer
+	colDVMRPUpTime   = 6 // TimeTicks
+)
+
+// igmpCacheEntry columns served.
+const (
+	colIGMPReporter = 2 // IpAddress: last reporter
+	colIGMPUpTime   = 3 // TimeTicks
+)
+
+func ipArcs(ip addr.IP) []uint32 {
+	a, b, c, d := ip.Octets()
+	return []uint32{uint32(a), uint32(b), uint32(c), uint32(d)}
+}
+
+func ipBytes(ip addr.IP) [4]byte {
+	a, b, c, d := ip.Octets()
+	return [4]byte{a, b, c, d}
+}
+
+func ticks(d time.Duration) Value {
+	if d < 0 {
+		d = 0
+	}
+	return TimeTicks(uint32(d / (10 * time.Millisecond)))
+}
+
+// BuildView snapshots a router's state into the MIB view its SNMP agent
+// serves. The coverage boundary is the era's: DVMRP routes, the
+// forwarding cache and IGMP membership are present; MSDP and PIM state
+// are not representable.
+func BuildView(r *router.Router, now time.Time) *View {
+	var binds []VarBind
+
+	binds = append(binds,
+		VarBind{OID: OIDSysDescr, Value: OctetString([]byte("mantra simulated multicast router (" + r.Spec.Mode.String() + ")"))},
+		VarBind{OID: OIDSysName, Value: OctetString([]byte(r.Spec.Name))},
+	)
+
+	// dvmrpRouteTable, indexed by source prefix + mask.
+	if r.DVMRP != nil && r.DVMRP.HasRouter(r.Spec.ID) {
+		for _, rt := range r.DVMRP.Table(r.Spec.ID) {
+			idx := append(ipArcs(rt.Prefix.Addr), ipArcs(rt.Prefix.Mask())...)
+			up := addr.Unspecified
+			if rt.Via >= 0 {
+				if n := r.Topo.Router(rt.Via); n != nil {
+					up = n.Loopback
+				}
+			}
+			binds = append(binds,
+				VarBind{OID: OIDDVMRPRoute.Append(colDVMRPUpstream).Append(idx...), Value: IPAddressVal(ipBytes(up))},
+				VarBind{OID: OIDDVMRPRoute.Append(colDVMRPMetric).Append(idx...), Value: Integer(int64(rt.Metric))},
+				VarBind{OID: OIDDVMRPRoute.Append(colDVMRPUpTime).Append(idx...), Value: ticks(now.Sub(rt.Since))},
+			)
+		}
+	}
+
+	// ipMRouteTable, indexed by group + source + source mask (/32).
+	hostMask := ipArcs(addr.IP(0xFFFFFFFF))
+	for _, e := range r.FWD.Entries() {
+		idx := append(ipArcs(e.Key.Group), ipArcs(e.Key.Source)...)
+		idx = append(idx, hostMask...)
+		up := addr.Unspecified
+		if e.IIF >= 0 {
+			if l := r.Topo.Link(e.IIF); l != nil {
+				up = l.Other(r.Spec.ID).Addr
+			}
+		}
+		binds = append(binds,
+			VarBind{OID: OIDIPMRoute.Append(colMRouteUpstream).Append(idx...), Value: IPAddressVal(ipBytes(up))},
+			VarBind{OID: OIDIPMRoute.Append(colMRouteUpTime).Append(idx...), Value: ticks(now.Sub(e.Created))},
+			VarBind{OID: OIDIPMRoute.Append(colMRoutePkts).Append(idx...), Value: Counter32(uint32(e.Packets))},
+			VarBind{OID: OIDIPMRoute.Append(colMRouteOctets).Append(idx...), Value: Counter32(uint32(e.Bytes))},
+		)
+	}
+
+	// igmpCacheTable, indexed by group + reporter.
+	for _, g := range r.IGMP.Groups() {
+		for _, m := range r.IGMP.Members(g) {
+			idx := append(ipArcs(g), ipArcs(m.Host)...)
+			binds = append(binds,
+				VarBind{OID: OIDIGMPCache.Append(colIGMPReporter).Append(idx...), Value: IPAddressVal(ipBytes(m.Host))},
+				VarBind{OID: OIDIGMPCache.Append(colIGMPUpTime).Append(idx...), Value: ticks(now.Sub(m.Since))},
+			)
+		}
+	}
+
+	return NewView(binds)
+}

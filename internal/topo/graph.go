@@ -1,0 +1,119 @@
+package topo
+
+// LinkFilter selects which links a graph traversal may use. A nil filter
+// accepts every up link.
+type LinkFilter func(*Link) bool
+
+// DVMRPLinks accepts links usable by the DVMRP cloud: every up link whose
+// both endpoints speak DVMRP (pure DVMRP routers or borders).
+func (t *Topology) DVMRPLinks() LinkFilter {
+	return func(l *Link) bool {
+		a, b := t.Router(l.A.Router), t.Router(l.B.Router)
+		return speaksDVMRP(a) && speaksDVMRP(b)
+	}
+}
+
+// NativeLinks accepts non-tunnel links between PIM-capable routers.
+func (t *Topology) NativeLinks() LinkFilter {
+	return func(l *Link) bool {
+		if l.Tunnel {
+			return false
+		}
+		a, b := t.Router(l.A.Router), t.Router(l.B.Router)
+		return speaksPIM(a) && speaksPIM(b)
+	}
+}
+
+// DenseLinks accepts links usable by flood-and-prune forwarding: both
+// endpoints run a dense-mode data plane (DVMRP, PIM-DM, or a border).
+// This is broader than DVMRPLinks: a PIM-DM campus segment floods data
+// but exchanges no DVMRP routes.
+func (t *Topology) DenseLinks() LinkFilter {
+	return func(l *Link) bool {
+		a, b := t.Router(l.A.Router), t.Router(l.B.Router)
+		return speaksDense(a) && speaksDense(b)
+	}
+}
+
+func speaksDVMRP(r *Router) bool {
+	return r != nil && (r.Mode == ModeDVMRP || r.Mode == ModeBorder)
+}
+
+func speaksDense(r *Router) bool {
+	return r != nil && (r.Mode == ModeDVMRP || r.Mode == ModeBorder || r.Mode == ModePIMDM)
+}
+
+func speaksPIM(r *Router) bool {
+	return r != nil && (r.Mode == ModePIMSM || r.Mode == ModeBorder)
+}
+
+// BFS computes hop counts and predecessor links from src over up links
+// accepted by filter. Unreached routers are absent from the returned maps.
+func (t *Topology) BFS(src NodeID, filter LinkFilter) (dist map[NodeID]int, prev map[NodeID]*Link) {
+	dist = map[NodeID]int{src: 0}
+	prev = map[NodeID]*Link{}
+	queue := []NodeID{src}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, l := range t.LinksOf(cur) {
+			if !l.Up {
+				continue
+			}
+			if filter != nil && !filter(l) {
+				continue
+			}
+			nxt := l.Other(cur).Router
+			if _, seen := dist[nxt]; seen {
+				continue
+			}
+			dist[nxt] = dist[cur] + 1
+			prev[nxt] = l
+			queue = append(queue, nxt)
+		}
+	}
+	return dist, prev
+}
+
+// Path returns the router sequence from src to dst inclusive over links
+// accepted by filter, or nil if dst is unreachable. The path is a shortest
+// path by hop count, deterministic for a given topology.
+func (t *Topology) Path(src, dst NodeID, filter LinkFilter) []NodeID {
+	if src == dst {
+		return []NodeID{src}
+	}
+	_, prev := t.BFS(src, filter)
+	if _, ok := prev[dst]; !ok {
+		return nil
+	}
+	var rev []NodeID
+	for cur := dst; cur != src; {
+		rev = append(rev, cur)
+		l := prev[cur]
+		cur = l.Other(cur).Router
+	}
+	rev = append(rev, src)
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}
+
+// Reachable returns the set of routers reachable from src over links
+// accepted by filter, including src itself.
+func (t *Topology) Reachable(src NodeID, filter LinkFilter) map[NodeID]bool {
+	dist, _ := t.BFS(src, filter)
+	out := make(map[NodeID]bool, len(dist))
+	for id := range dist {
+		out[id] = true
+	}
+	return out
+}
+
+// SpanningTree returns, for every router reachable from root, the link
+// toward root (the RPF link of a flood from root). Root maps to nil.
+func (t *Topology) SpanningTree(root NodeID, filter LinkFilter) map[NodeID]*Link {
+	_, prev := t.BFS(root, filter)
+	prev[root] = nil
+	return prev
+}

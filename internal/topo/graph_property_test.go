@@ -1,0 +1,104 @@
+package topo
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/addr"
+)
+
+// randomTopo builds a random connected topology of n routers.
+func randomTopo(rng *rand.Rand, n int) (*Topology, []NodeID) {
+	t := New()
+	t.AddDomain("d", 1, ModeDVMRP, nil, false)
+	ids := make([]NodeID, n)
+	for i := 0; i < n; i++ {
+		ids[i] = t.AddRouter(fmt.Sprintf("r%d", i), "d", ModeDVMRP, addr.IP(i+1)).ID
+	}
+	for i := 1; i < n; i++ {
+		t.Connect(ids[i], ids[rng.Intn(i)], 0, 0, false, 0, 0)
+	}
+	for k := 0; k < rng.Intn(n); k++ {
+		i, j := rng.Intn(n), rng.Intn(n)
+		if i != j {
+			t.Connect(ids[i], ids[j], 0, 0, false, 0, 0)
+		}
+	}
+	return t, ids
+}
+
+// TestPathPropertyValidAndShortest verifies that Path returns a walkable
+// link sequence whose length equals the BFS distance, on random graphs.
+func TestPathPropertyValidAndShortest(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(12)
+		tp, ids := randomTopo(rng, n)
+		src := ids[rng.Intn(n)]
+		dst := ids[rng.Intn(n)]
+		path := tp.Path(src, dst, nil)
+		dist, _ := tp.BFS(src, nil)
+		want, reachable := dist[dst]
+		if !reachable {
+			return path == nil
+		}
+		if path == nil || len(path) != want+1 {
+			return false
+		}
+		if path[0] != src || path[len(path)-1] != dst {
+			return false
+		}
+		// Consecutive hops must share an up link.
+		for i := 0; i+1 < len(path); i++ {
+			adjacent := false
+			for _, l := range tp.LinksOf(path[i]) {
+				if l.Up && l.Other(path[i]).Router == path[i+1] {
+					adjacent = true
+					break
+				}
+			}
+			if !adjacent {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSpanningTreePropertyCoversComponent verifies that every reachable
+// node's tree link leads strictly closer to the root.
+func TestSpanningTreePropertyCoversComponent(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(12)
+		tp, ids := randomTopo(rng, n)
+		root := ids[rng.Intn(n)]
+		tree := tp.SpanningTree(root, nil)
+		dist, _ := tp.BFS(root, nil)
+		for id, d := range dist {
+			if id == root {
+				if tree[root] != nil {
+					return false
+				}
+				continue
+			}
+			l, ok := tree[id]
+			if !ok || l == nil {
+				return false
+			}
+			parent := l.Other(id).Router
+			if dist[parent] != d-1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,297 @@
+// Package topo models the simulated multicast internetwork: administrative
+// domains, routers, point-to-point links and DVMRP tunnels.
+//
+// The topology is pure structure — protocol engines (internal/dvmrp,
+// internal/pim, ...) and the network stepper (internal/netsim) attach state
+// to it. The shapes it can build mirror the paper's two collection
+// vantages: a campus network (the UCSB mrouted) and a multi-domain
+// internetwork whose exchange point (FIXW) transitions from MBone core
+// router to DVMRP border router.
+package topo
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/addr"
+)
+
+// NodeID identifies a router within a topology.
+type NodeID int
+
+// Mode is the routing mode a router or domain operates in.
+type Mode int
+
+// Routing modes. A Border router speaks DVMRP on tunnel interfaces and
+// PIM/MBGP on native ones — the role FIXW assumed after the transition.
+// ModePIMDM is campus-interior dense mode: flood-and-prune forwarding
+// like DVMRP but with no routing protocol of its own (PIM-DM RPFs off
+// the unicast table), so such routers carry no DVMRP route table — a
+// monitoring blind spot of the era.
+const (
+	ModeDVMRP Mode = iota
+	ModePIMSM
+	ModeBorder
+	ModePIMDM
+)
+
+// String returns the conventional mode name.
+func (m Mode) String() string {
+	switch m {
+	case ModeDVMRP:
+		return "dvmrp"
+	case ModePIMSM:
+		return "pim-sm"
+	case ModeBorder:
+		return "border"
+	case ModePIMDM:
+		return "pim-dm"
+	}
+	return "unknown"
+}
+
+// Router is one multicast router.
+type Router struct {
+	ID     NodeID
+	Name   string
+	Domain string
+	Mode   Mode
+	// Loopback is the router identifier used in protocol messages.
+	Loopback addr.IP
+	// RP marks the rendezvous point of a sparse-mode domain.
+	RP bool
+	// Core marks exchange-point routers that form the interdomain
+	// transit mesh (FIXW and its native successors).
+	Core bool
+	// LeafPrefixes are directly attached host subnets.
+	LeafPrefixes []addr.Prefix
+}
+
+// LinkEnd names one side of a link.
+type LinkEnd struct {
+	Router NodeID
+	// Addr is the interface address on this end.
+	Addr addr.IP
+}
+
+// Link is a point-to-point link or DVMRP tunnel between two routers.
+type Link struct {
+	ID int
+	A  LinkEnd
+	B  LinkEnd
+	// Tunnel marks a DVMRP tunnel (a virtual link riding unicast).
+	Tunnel bool
+	// Up is the administrative/operational state.
+	Up bool
+	// LossProb is the probability that one control message traversing
+	// the link is lost. Tunnels riding the congested 1998 Internet have
+	// materially higher loss than native links, which is one source of
+	// the route-table inconsistency the paper reports.
+	LossProb float64
+	// CapacityKbps bounds data bandwidth across the link.
+	CapacityKbps float64
+}
+
+// Other returns the far end of the link as seen from r.
+// It panics if r is not attached to the link.
+func (l *Link) Other(r NodeID) LinkEnd {
+	switch r {
+	case l.A.Router:
+		return l.B
+	case l.B.Router:
+		return l.A
+	}
+	panic(fmt.Sprintf("topo: router %d not on link %d", r, l.ID))
+}
+
+// Has reports whether r is one of the link's endpoints.
+func (l *Link) Has(r NodeID) bool {
+	return l.A.Router == r || l.B.Router == r
+}
+
+// Domain is an administrative domain (an AS running one routing mode).
+type Domain struct {
+	Name string
+	ASN  uint16
+	Mode Mode
+	// Prefixes is the address space the domain originates.
+	Prefixes []addr.Prefix
+	// Aggregate controls whether the border advertises Prefixes
+	// aggregated; domains differ, which diverges route tables.
+	Aggregate bool
+	// Routers lists the domain's routers; Routers[0] is the border.
+	Routers []NodeID
+}
+
+// Border returns the domain's border router ID.
+func (d *Domain) Border() NodeID { return d.Routers[0] }
+
+// Topology is the complete internetwork.
+type Topology struct {
+	routers map[NodeID]*Router
+	links   []*Link
+	domains map[string]*Domain
+	// adjacency caches, invalidated on mutation
+	adj   map[NodeID][]*Link
+	next  NodeID
+	names map[string]NodeID
+}
+
+// New returns an empty topology.
+func New() *Topology {
+	return &Topology{
+		routers: make(map[NodeID]*Router),
+		domains: make(map[string]*Domain),
+		names:   make(map[string]NodeID),
+	}
+}
+
+// AddDomain registers a domain. The domain starts with no routers.
+func (t *Topology) AddDomain(name string, asn uint16, mode Mode, prefixes []addr.Prefix, aggregate bool) *Domain {
+	if _, dup := t.domains[name]; dup {
+		panic(fmt.Sprintf("topo: duplicate domain %q", name))
+	}
+	d := &Domain{Name: name, ASN: asn, Mode: mode, Prefixes: prefixes, Aggregate: aggregate}
+	t.domains[name] = d
+	return d
+}
+
+// AddRouter creates a router in domain (which must exist, except for the
+// empty domain used by exchange points) and returns it.
+func (t *Topology) AddRouter(name, domain string, mode Mode, loopback addr.IP) *Router {
+	if _, dup := t.names[name]; dup {
+		panic(fmt.Sprintf("topo: duplicate router %q", name))
+	}
+	r := &Router{ID: t.next, Name: name, Domain: domain, Mode: mode, Loopback: loopback}
+	t.next++
+	t.routers[r.ID] = r
+	t.names[name] = r.ID
+	if domain != "" {
+		d, ok := t.domains[domain]
+		if !ok {
+			panic(fmt.Sprintf("topo: unknown domain %q", domain))
+		}
+		d.Routers = append(d.Routers, r.ID)
+	}
+	t.adj = nil
+	return r
+}
+
+// Connect adds a link between two routers and returns it.
+func (t *Topology) Connect(a, b NodeID, aAddr, bAddr addr.IP, tunnel bool, lossProb, capacityKbps float64) *Link {
+	if _, ok := t.routers[a]; !ok {
+		panic(fmt.Sprintf("topo: unknown router %d", a))
+	}
+	if _, ok := t.routers[b]; !ok {
+		panic(fmt.Sprintf("topo: unknown router %d", b))
+	}
+	l := &Link{
+		ID:           len(t.links),
+		A:            LinkEnd{Router: a, Addr: aAddr},
+		B:            LinkEnd{Router: b, Addr: bAddr},
+		Tunnel:       tunnel,
+		Up:           true,
+		LossProb:     lossProb,
+		CapacityKbps: capacityKbps,
+	}
+	t.links = append(t.links, l)
+	t.adj = nil
+	return l
+}
+
+// Router returns the router with the given ID, or nil.
+func (t *Topology) Router(id NodeID) *Router { return t.routers[id] }
+
+// RouterByName returns the router with the given name, or nil.
+func (t *Topology) RouterByName(name string) *Router {
+	id, ok := t.names[name]
+	if !ok {
+		return nil
+	}
+	return t.routers[id]
+}
+
+// Routers returns all routers ordered by ID.
+func (t *Topology) Routers() []*Router {
+	out := make([]*Router, 0, len(t.routers))
+	for _, r := range t.routers {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Links returns all links.
+func (t *Topology) Links() []*Link { return t.links }
+
+// Link returns the link with the given ID, or nil.
+func (t *Topology) Link(id int) *Link {
+	if id < 0 || id >= len(t.links) {
+		return nil
+	}
+	return t.links[id]
+}
+
+// Domain returns the named domain, or nil.
+func (t *Topology) Domain(name string) *Domain { return t.domains[name] }
+
+// Domains returns all domains sorted by name.
+func (t *Topology) Domains() []*Domain {
+	out := make([]*Domain, 0, len(t.domains))
+	for _, d := range t.domains {
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// LinksOf returns the links attached to r (up or down).
+func (t *Topology) LinksOf(r NodeID) []*Link {
+	if t.adj == nil {
+		t.adj = make(map[NodeID][]*Link)
+		for _, l := range t.links {
+			t.adj[l.A.Router] = append(t.adj[l.A.Router], l)
+			t.adj[l.B.Router] = append(t.adj[l.B.Router], l)
+		}
+	}
+	return t.adj[r]
+}
+
+// Neighbors returns the router IDs adjacent to r over up links, optionally
+// restricted by a link filter.
+func (t *Topology) Neighbors(r NodeID, accept func(*Link) bool) []NodeID {
+	var out []NodeID
+	for _, l := range t.LinksOf(r) {
+		if !l.Up {
+			continue
+		}
+		if accept != nil && !accept(l) {
+			continue
+		}
+		out = append(out, l.Other(r).Router)
+	}
+	return out
+}
+
+// DomainOf returns the domain a router belongs to, or nil for exchange
+// points outside any domain.
+func (t *Topology) DomainOf(r NodeID) *Domain {
+	rt := t.routers[r]
+	if rt == nil || rt.Domain == "" {
+		return nil
+	}
+	return t.domains[rt.Domain]
+}
+
+// EdgeRouterFor returns the router owning the leaf prefix containing host,
+// or nil if no router attaches that subnet.
+func (t *Topology) EdgeRouterFor(host addr.IP) *Router {
+	for _, r := range t.Routers() {
+		for _, p := range r.LeafPrefixes {
+			if p.Contains(host) {
+				return r
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,321 @@
+package topo
+
+import (
+	"testing"
+
+	"repro/internal/addr"
+)
+
+func twoRouterTopo(t *testing.T) (*Topology, *Router, *Router, *Link) {
+	t.Helper()
+	tp := New()
+	tp.AddDomain("d", 1, ModeDVMRP, []addr.Prefix{addr.MustParsePrefix("10.0.0.0/24")}, false)
+	a := tp.AddRouter("a", "d", ModeDVMRP, addr.MustParse("1.1.1.1"))
+	b := tp.AddRouter("b", "d", ModeDVMRP, addr.MustParse("1.1.1.2"))
+	l := tp.Connect(a.ID, b.ID, addr.MustParse("10.0.0.1"), addr.MustParse("10.0.0.2"), false, 0, 1000)
+	return tp, a, b, l
+}
+
+func TestAddAndLookup(t *testing.T) {
+	tp, a, b, l := twoRouterTopo(t)
+	if tp.Router(a.ID) != a || tp.RouterByName("b") != b {
+		t.Fatal("lookup failed")
+	}
+	if tp.RouterByName("zzz") != nil {
+		t.Error("unknown name should be nil")
+	}
+	if tp.Link(l.ID) != l || tp.Link(99) != nil {
+		t.Error("link lookup wrong")
+	}
+	if len(tp.Routers()) != 2 || len(tp.Links()) != 1 {
+		t.Error("counts wrong")
+	}
+	if d := tp.DomainOf(a.ID); d == nil || d.Name != "d" {
+		t.Error("DomainOf wrong")
+	}
+	if d := tp.Domain("d"); d.Border() != a.ID {
+		t.Error("first router should be border")
+	}
+}
+
+func TestDuplicateRouterPanics(t *testing.T) {
+	tp, _, _, _ := twoRouterTopo(t)
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate router name should panic")
+		}
+	}()
+	tp.AddRouter("a", "d", ModeDVMRP, 0)
+}
+
+func TestDuplicateDomainPanics(t *testing.T) {
+	tp, _, _, _ := twoRouterTopo(t)
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate domain should panic")
+		}
+	}()
+	tp.AddDomain("d", 2, ModeDVMRP, nil, false)
+}
+
+func TestUnknownDomainPanics(t *testing.T) {
+	tp := New()
+	defer func() {
+		if recover() == nil {
+			t.Error("unknown domain should panic")
+		}
+	}()
+	tp.AddRouter("x", "nope", ModeDVMRP, 0)
+}
+
+func TestLinkOther(t *testing.T) {
+	_, a, b, l := twoRouterTopo(t)
+	if l.Other(a.ID).Router != b.ID || l.Other(b.ID).Router != a.ID {
+		t.Error("Other wrong")
+	}
+	if !l.Has(a.ID) || l.Has(NodeID(99)) {
+		t.Error("Has wrong")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Other with foreign router should panic")
+		}
+	}()
+	l.Other(NodeID(99))
+}
+
+func TestNeighborsRespectsLinkState(t *testing.T) {
+	tp, a, b, l := twoRouterTopo(t)
+	if n := tp.Neighbors(a.ID, nil); len(n) != 1 || n[0] != b.ID {
+		t.Fatalf("Neighbors = %v", n)
+	}
+	l.Up = false
+	if n := tp.Neighbors(a.ID, nil); len(n) != 0 {
+		t.Errorf("down link still visible: %v", n)
+	}
+}
+
+func TestBFSAndPath(t *testing.T) {
+	tp := New()
+	tp.AddDomain("d", 1, ModeDVMRP, nil, false)
+	var ids []NodeID
+	for i := 0; i < 4; i++ {
+		r := tp.AddRouter(string(rune('a'+i)), "d", ModeDVMRP, addr.IP(i+1))
+		ids = append(ids, r.ID)
+	}
+	// chain a-b-c-d plus shortcut a-d
+	tp.Connect(ids[0], ids[1], 0, 0, false, 0, 0)
+	tp.Connect(ids[1], ids[2], 0, 0, false, 0, 0)
+	tp.Connect(ids[2], ids[3], 0, 0, false, 0, 0)
+	short := tp.Connect(ids[0], ids[3], 0, 0, false, 0, 0)
+
+	p := tp.Path(ids[0], ids[3], nil)
+	if len(p) != 2 {
+		t.Fatalf("path with shortcut = %v", p)
+	}
+	short.Up = false
+	p = tp.Path(ids[0], ids[3], nil)
+	if len(p) != 4 || p[0] != ids[0] || p[3] != ids[3] {
+		t.Fatalf("path without shortcut = %v", p)
+	}
+	if got := tp.Path(ids[2], ids[2], nil); len(got) != 1 {
+		t.Errorf("self path = %v", got)
+	}
+	dist, _ := tp.BFS(ids[0], nil)
+	if dist[ids[3]] != 3 {
+		t.Errorf("dist = %d", dist[ids[3]])
+	}
+}
+
+func TestPathUnreachable(t *testing.T) {
+	tp, a, b, l := twoRouterTopo(t)
+	l.Up = false
+	if p := tp.Path(a.ID, b.ID, nil); p != nil {
+		t.Errorf("path over down link = %v", p)
+	}
+	if r := tp.Reachable(a.ID, nil); len(r) != 1 || !r[a.ID] {
+		t.Errorf("Reachable = %v", r)
+	}
+}
+
+func TestSpanningTree(t *testing.T) {
+	tp := New()
+	tp.AddDomain("d", 1, ModeDVMRP, nil, false)
+	a := tp.AddRouter("a", "d", ModeDVMRP, 1)
+	b := tp.AddRouter("b", "d", ModeDVMRP, 2)
+	c := tp.AddRouter("c", "d", ModeDVMRP, 3)
+	tp.Connect(a.ID, b.ID, 0, 0, false, 0, 0)
+	tp.Connect(b.ID, c.ID, 0, 0, false, 0, 0)
+	tree := tp.SpanningTree(a.ID, nil)
+	if tree[a.ID] != nil {
+		t.Error("root should map to nil")
+	}
+	if tree[b.ID] == nil || tree[c.ID] == nil {
+		t.Error("tree incomplete")
+	}
+	if tree[c.ID].Other(c.ID).Router != b.ID {
+		t.Error("c's RPF link should point at b")
+	}
+}
+
+func TestModeFilters(t *testing.T) {
+	tp := New()
+	tp.AddDomain("d", 1, ModeDVMRP, nil, false)
+	dv := tp.AddRouter("dv", "d", ModeDVMRP, 1)
+	pim := tp.AddRouter("pim", "d", ModePIMSM, 2)
+	bord := tp.AddRouter("bord", "d", ModeBorder, 3)
+	l1 := tp.Connect(dv.ID, pim.ID, 0, 0, false, 0, 0)   // mixed: neither cloud
+	l2 := tp.Connect(dv.ID, bord.ID, 0, 0, true, 0, 0)   // dvmrp tunnel
+	l3 := tp.Connect(pim.ID, bord.ID, 0, 0, false, 0, 0) // native
+	l4 := tp.Connect(pim.ID, bord.ID, 0, 0, true, 0, 0)  // tunnel: not native
+
+	dvf := tp.DVMRPLinks()
+	if dvf(l1) || !dvf(l2) {
+		t.Error("DVMRP filter wrong")
+	}
+	nf := tp.NativeLinks()
+	if nf(l1) || nf(l2) || !nf(l3) || nf(l4) {
+		t.Error("native filter wrong")
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if ModeDVMRP.String() != "dvmrp" || ModePIMSM.String() != "pim-sm" ||
+		ModeBorder.String() != "border" || Mode(9).String() != "unknown" {
+		t.Error("Mode.String wrong")
+	}
+}
+
+func TestEdgeRouterFor(t *testing.T) {
+	tp, a, _, _ := twoRouterTopo(t)
+	a.LeafPrefixes = []addr.Prefix{addr.MustParsePrefix("10.0.0.0/24")}
+	if r := tp.EdgeRouterFor(addr.MustParse("10.0.0.55")); r != a {
+		t.Error("EdgeRouterFor missed")
+	}
+	if r := tp.EdgeRouterFor(addr.MustParse("11.0.0.1")); r != nil {
+		t.Error("EdgeRouterFor false positive")
+	}
+}
+
+func TestBuildInternetShape(t *testing.T) {
+	cfg := DefaultInternetConfig()
+	cfg.NumDomains = 6
+	in := BuildInternet(cfg)
+	tp := in.Topo
+
+	if in.FIXW == nil || !in.FIXW.Core || in.FIXW.Mode != ModeDVMRP {
+		t.Fatal("FIXW malformed")
+	}
+	if in.UCSB == nil || in.UCSBGateway == nil {
+		t.Fatal("UCSB routers missing")
+	}
+	if len(tp.Domains()) != 7 { // ucsb + 6
+		t.Fatalf("domains = %d", len(tp.Domains()))
+	}
+	// Every leaf domain border must reach FIXW through the DVMRP cloud.
+	reach := tp.Reachable(in.FIXW.ID, tp.DVMRPLinks())
+	for _, d := range tp.Domains() {
+		if !reach[d.Border()] {
+			t.Errorf("domain %s border unreachable from FIXW over DVMRP", d.Name)
+		}
+	}
+	// Native links exist but are down pre-transition.
+	for name, links := range in.NativeLinks {
+		for _, l := range links {
+			if l.Up {
+				t.Errorf("native link of %s is up before transition", name)
+			}
+		}
+	}
+	// Route origination volume lands in the paper's range.
+	total := 0
+	for _, d := range tp.Domains() {
+		total += len(d.Prefixes)
+	}
+	if total < 300 {
+		t.Errorf("originated prefixes = %d, want hundreds", total)
+	}
+}
+
+func TestBuildInternetDeterministic(t *testing.T) {
+	cfg := DefaultInternetConfig()
+	cfg.NumDomains = 4
+	a := BuildInternet(cfg)
+	b := BuildInternet(cfg)
+	if len(a.Topo.Routers()) != len(b.Topo.Routers()) || len(a.Topo.Links()) != len(b.Topo.Links()) {
+		t.Fatal("same seed produced different shapes")
+	}
+	for i, r := range a.Topo.Routers() {
+		if b.Topo.Routers()[i].Name != r.Name || b.Topo.Routers()[i].Loopback != r.Loopback {
+			t.Fatalf("router %d differs", i)
+		}
+	}
+}
+
+func TestTransitionDomain(t *testing.T) {
+	cfg := DefaultInternetConfig()
+	cfg.NumDomains = 4
+	in := BuildInternet(cfg)
+	name := "dom00"
+	d := in.Topo.Domain(name)
+	if d == nil {
+		t.Fatal("dom00 missing")
+	}
+	in.TransitionDomain(name)
+	if d.Mode != ModePIMSM {
+		t.Error("domain mode unchanged")
+	}
+	if in.Topo.Router(d.Border()).Mode != ModePIMSM || !in.Topo.Router(d.Border()).RP {
+		t.Error("border should be PIM RP")
+	}
+	if in.TunnelLinks[name].Up {
+		t.Error("tunnel should be down")
+	}
+	for _, l := range in.NativeLinks[name] {
+		if !l.Up {
+			t.Error("native link should be up")
+		}
+	}
+	if in.FIXW.Mode != ModeBorder {
+		t.Error("FIXW should become border")
+	}
+	// Idempotent / no-op for unknown domains.
+	in.TransitionDomain(name)
+	in.TransitionDomain("nope")
+	// Border must now reach a native core over native links.
+	reach := in.Topo.Reachable(d.Border(), in.Topo.NativeLinks())
+	foundCore := false
+	for id := range reach {
+		if r := in.Topo.Router(id); r != nil && r.Core && r.Name != "fixw" {
+			foundCore = true
+		}
+	}
+	if !foundCore {
+		t.Error("transitioned border cannot reach native core")
+	}
+}
+
+func TestBuildCampus(t *testing.T) {
+	tp := BuildCampus(CampusConfig{Base: addr.MustParsePrefix("10.10.0.0/16")})
+	if tp.RouterByName("campus-gw") == nil || tp.RouterByName("campus-r1") == nil {
+		t.Fatal("campus routers missing")
+	}
+	d := tp.Domain("campus")
+	if d == nil || len(d.Prefixes) != 8 {
+		t.Fatalf("campus domain wrong: %+v", d)
+	}
+	// All routers reachable from gateway.
+	reach := tp.Reachable(d.Border(), nil)
+	if len(reach) != len(tp.Routers()) {
+		t.Error("campus not connected")
+	}
+	// Hosts in leaf prefixes resolve to edge routers.
+	r1 := tp.RouterByName("campus-r1")
+	if len(r1.LeafPrefixes) == 0 {
+		t.Fatal("r1 has no leaf prefixes")
+	}
+	host := r1.LeafPrefixes[0].First() + 5
+	if tp.EdgeRouterFor(host) != r1 {
+		t.Error("EdgeRouterFor host wrong")
+	}
+}

@@ -1,0 +1,560 @@
+// Package workload generates the multicast usage the monitored routers
+// see: sessions, their participant hosts, and the traffic each
+// participant sources.
+//
+// Every participant sources *something*: at minimum RTCP-style feedback at
+// well under 4 kbps. That detail is what makes the paper's methodology
+// work — network-layer monitoring counts participants by the (S,G)
+// forwarding state their control traffic creates, and classifies
+// "senders" as participants exceeding the 4 kbps content threshold.
+//
+// The generator's session classes are calibrated to the distributional
+// facts the paper reports for Nov 1998 – Apr 1999:
+//
+//   - bursts of experimental sessions: when the session count spikes past
+//     500, more than 85 % of sessions have a single member;
+//   - at typical instants ≥65 % of sessions have at most two members,
+//     while <6 % of sessions hold ~80 % of all participants;
+//   - aggregate content bandwidth through the exchange averages ≈4 Mbps
+//     with high variance (σ ≈ 2.2 Mbps around a 2.9 Mbps median).
+package workload
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/addr"
+	"repro/internal/sim"
+	"repro/internal/topo"
+)
+
+// Class categorizes a session's behaviour.
+type Class int
+
+// Session classes.
+const (
+	// ClassExperimental sessions arrive in bursts from a single host
+	// (an mrouted test run, an sdr experiment): one member, short life.
+	ClassExperimental Class = iota
+	// ClassConference is a small interactive group: a few members,
+	// one or two audio senders.
+	ClassConference
+	// ClassBroadcast is a seminar/IETF-style channel: many passive
+	// members, one video/audio sender.
+	ClassBroadcast
+	// ClassIdle sessions have members but never a content sender
+	// (announced sessions nobody transmits on).
+	ClassIdle
+)
+
+// String names the class.
+func (c Class) String() string {
+	switch c {
+	case ClassExperimental:
+		return "experimental"
+	case ClassConference:
+		return "conference"
+	case ClassBroadcast:
+		return "broadcast"
+	case ClassIdle:
+		return "idle"
+	}
+	return "unknown"
+}
+
+// Member is one participant host of a session.
+type Member struct {
+	Host addr.IP
+	// Edge is the router whose leaf subnet the host sits on.
+	Edge topo.NodeID
+	// CtrlKbps is the control-traffic rate the member always sources.
+	CtrlKbps float64
+	// ContentKbps is the content rate if the member is a sender, else 0.
+	ContentKbps float64
+	Joined      time.Time
+	// Leaves is when the member departs.
+	Leaves time.Time
+}
+
+// Rate returns the member's total sourcing rate in kbps.
+func (m *Member) Rate() float64 { return m.CtrlKbps + m.ContentKbps }
+
+// Session is one active multicast session.
+type Session struct {
+	Group   addr.IP
+	Class   Class
+	Created time.Time
+	// Ends is when the session terminates regardless of members.
+	Ends    time.Time
+	Members map[addr.IP]*Member
+}
+
+// MemberList returns the members sorted by host address.
+func (s *Session) MemberList() []*Member {
+	out := make([]*Member, 0, len(s.Members))
+	for _, m := range s.Members {
+		out = append(out, m)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Host < out[j].Host })
+	return out
+}
+
+// Senders returns members whose content rate is non-zero.
+func (s *Session) Senders() []*Member {
+	var out []*Member
+	for _, m := range s.MemberList() {
+		if m.ContentKbps > 0 {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// Config holds arrival rates (per day) and size parameters per class.
+type Config struct {
+	// ExperimentalBurstsPerDay is the arrival rate of burst events, each
+	// spawning BurstMin..BurstMax single-member sessions.
+	ExperimentalBurstsPerDay float64
+	BurstMin, BurstMax       int
+	// ConferencesPerDay, BroadcastsPerDay, IdlePerDay are session
+	// arrival rates.
+	ConferencesPerDay, BroadcastsPerDay, IdlePerDay float64
+	// DiurnalAmplitude in [0,1) scales arrivals by time of day.
+	DiurnalAmplitude float64
+	// Seed drives the generator's private random stream.
+	Seed int64
+}
+
+// DefaultConfig returns rates calibrated to the paper's reported
+// magnitudes (hundreds of sessions, spikes past 500, ≈4 Mbps at the
+// exchange).
+func DefaultConfig() Config {
+	return Config{
+		ExperimentalBurstsPerDay: 1.1,
+		BurstMin:                 60,
+		BurstMax:                 520,
+		ConferencesPerDay:        40,
+		BroadcastsPerDay:         14,
+		IdlePerDay:               150,
+		DiurnalAmplitude:         0.35,
+		Seed:                     407,
+	}
+}
+
+// Generator produces and ages sessions over a topology.
+type Generator struct {
+	cfg    Config
+	topo   *topo.Topology
+	rng    *sim.RNG
+	groups *addr.GroupAllocator
+	// hostPools caches per-domain host allocation cursors.
+	hostCursor map[string]int
+	sessions   map[addr.IP]*Session
+	// domains is the stable domain list for weighted selection.
+	domains []*topo.Domain
+	// popul holds Zipf popularity weights per domain index.
+	popul []float64
+	// scheduled one-shot events.
+	events []*scheduledEvent
+	stats  Stats
+}
+
+// Stats counts generator activity.
+type Stats struct {
+	SessionsCreated, SessionsEnded uint64
+	JoinEvents, LeaveEvents        uint64
+}
+
+type scheduledEvent struct {
+	at    time.Time
+	fired bool
+	fn    func(g *Generator, now time.Time)
+}
+
+// New returns a generator over t.
+func New(cfg Config, t *topo.Topology) *Generator {
+	g := &Generator{
+		cfg:        cfg,
+		topo:       t,
+		rng:        sim.NewRNG(cfg.Seed),
+		groups:     addr.NewGroupAllocator(addr.MustParsePrefix("224.2.0.0/15")),
+		hostCursor: make(map[string]int),
+		sessions:   make(map[addr.IP]*Session),
+	}
+	for _, d := range t.Domains() {
+		g.domains = append(g.domains, d)
+	}
+	// Zipf-like popularity: early domains host most participants. The
+	// UCSB campus gets second-rank weight — universities were among the
+	// heaviest MBone participants, and receivers there are what keeps
+	// cross-world flows traversing the FIXW border after the transition.
+	for i, d := range g.domains {
+		w := 1 / float64(i+1)
+		if d.Name == "ucsb" {
+			w = 0.5
+		}
+		g.popul = append(g.popul, w)
+	}
+	return g
+}
+
+// Stats returns a copy of the counters.
+func (g *Generator) Stats() Stats { return g.stats }
+
+// Sessions returns the active sessions sorted by group.
+func (g *Generator) Sessions() []*Session {
+	out := make([]*Session, 0, len(g.sessions))
+	for _, s := range g.sessions {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Group < out[j].Group })
+	return out
+}
+
+// SessionCount returns the number of active sessions.
+func (g *Generator) SessionCount() int { return len(g.sessions) }
+
+// At schedules fn to run during the first Advance whose window covers t.
+func (g *Generator) At(t time.Time, fn func(g *Generator, now time.Time)) {
+	g.events = append(g.events, &scheduledEvent{at: t, fn: fn})
+}
+
+// pickHost allocates a host in the given domain, round-robin across the
+// domain's leaf subnets.
+func (g *Generator) pickHost(d *topo.Domain) (addr.IP, topo.NodeID, bool) {
+	// Collect leaf-bearing routers once per call; domains are small.
+	type leaf struct {
+		r *topo.Router
+		p addr.Prefix
+	}
+	var leaves []leaf
+	for _, id := range d.Routers {
+		r := g.topo.Router(id)
+		for _, p := range r.LeafPrefixes {
+			leaves = append(leaves, leaf{r: r, p: p})
+		}
+	}
+	if len(leaves) == 0 {
+		return 0, 0, false
+	}
+	cur := g.hostCursor[d.Name]
+	g.hostCursor[d.Name] = cur + 1
+	l := leaves[cur%len(leaves)]
+	host := l.p.First() + addr.IP(10+cur%200)
+	return host, l.r.ID, true
+}
+
+// pickDomain selects a domain weighted by popularity.
+func (g *Generator) pickDomain() *topo.Domain {
+	if len(g.domains) == 0 {
+		return nil
+	}
+	return g.domains[g.rng.Pick(g.popul)]
+}
+
+// diurnal returns the arrival-rate multiplier for the hour of day.
+func (g *Generator) diurnal(now time.Time) float64 {
+	h := float64(now.Hour()) + float64(now.Minute())/60
+	// Peak around 14:00 UTC (US working hours dominated the MBone).
+	phase := (h - 14) / 24 * 2 * 3.14159265
+	return 1 + g.cfg.DiurnalAmplitude*cosApprox(phase)
+}
+
+// cosApprox avoids importing math for one cosine; accuracy is irrelevant
+// for a rate modulator. It wraps the argument and uses a parabola fit.
+func cosApprox(x float64) float64 {
+	const pi = 3.14159265358979
+	for x > pi {
+		x -= 2 * pi
+	}
+	for x < -pi {
+		x += 2 * pi
+	}
+	// Bhaskara-style approximation, adequate within ±0.002.
+	x2 := x * x
+	return (pi*pi - 4*x2) / (pi*pi + x2)
+}
+
+// arrivals draws a Poisson count for a per-day rate over window dt.
+func (g *Generator) arrivals(perDay float64, dt time.Duration, now time.Time) int {
+	lambda := perDay * dt.Hours() / 24 * g.diurnal(now)
+	return g.rng.Poisson(lambda)
+}
+
+func (g *Generator) newGroup() (addr.IP, bool) {
+	grp, err := g.groups.Next()
+	if err != nil {
+		return 0, false
+	}
+	return grp, true
+}
+
+// ctrlRate draws an RTCP-like control rate, always below 4 kbps.
+func (g *Generator) ctrlRate() float64 { return g.rng.Range(0.3, 3.2) }
+
+// addMember attaches a new member to s.
+func (g *Generator) addMember(s *Session, d *topo.Domain, contentKbps float64, now, leaves time.Time) *Member {
+	host, edge, ok := g.pickHost(d)
+	if !ok {
+		return nil
+	}
+	if _, dup := s.Members[host]; dup {
+		// Same host re-joining is a refresh.
+		s.Members[host].Leaves = leaves
+		return s.Members[host]
+	}
+	m := &Member{
+		Host: host, Edge: edge,
+		CtrlKbps: g.ctrlRate(), ContentKbps: contentKbps,
+		Joined: now, Leaves: leaves,
+	}
+	s.Members[host] = m
+	g.stats.JoinEvents++
+	return m
+}
+
+func (g *Generator) createSession(class Class, now time.Time, life time.Duration) *Session {
+	grp, ok := g.newGroup()
+	if !ok {
+		return nil
+	}
+	s := &Session{
+		Group: grp, Class: class, Created: now,
+		Ends:    now.Add(life),
+		Members: make(map[addr.IP]*Member),
+	}
+	g.sessions[grp] = s
+	g.stats.SessionsCreated++
+	return s
+}
+
+// pickBurstDomain selects a domain for an experimental burst: uniform
+// over the leaf domains, never the campus (experimental mrouted runs came
+// from many scattered sites; keeping them off the campus also keeps the
+// monitored vantages' instability sources distinct).
+func (g *Generator) pickBurstDomain() *topo.Domain {
+	var candidates []*topo.Domain
+	for _, d := range g.domains {
+		if d.Name != "ucsb" {
+			candidates = append(candidates, d)
+		}
+	}
+	if len(candidates) == 0 {
+		if len(g.domains) == 0 {
+			return nil
+		}
+		return g.domains[0]
+	}
+	return candidates[g.rng.Intn(len(candidates))]
+}
+
+// spawnExperimentalBurst creates many single-member sessions from one host.
+func (g *Generator) spawnExperimentalBurst(now time.Time) {
+	d := g.pickBurstDomain()
+	if d == nil {
+		return
+	}
+	n := g.cfg.BurstMin
+	if g.cfg.BurstMax > g.cfg.BurstMin {
+		n += g.rng.Intn(g.cfg.BurstMax - g.cfg.BurstMin)
+	}
+	host, edge, ok := g.pickHost(d)
+	if !ok {
+		return
+	}
+	for i := 0; i < n; i++ {
+		life := time.Duration(g.rng.Range(0.4, 4) * float64(time.Hour))
+		s := g.createSession(ClassExperimental, now, life)
+		if s == nil {
+			return
+		}
+		m := &Member{
+			Host: host, Edge: edge,
+			CtrlKbps: g.ctrlRate(), Joined: now, Leaves: s.Ends,
+		}
+		s.Members[host] = m
+		g.stats.JoinEvents++
+	}
+}
+
+func (g *Generator) spawnConference(now time.Time) {
+	life := time.Duration(g.rng.LogNormal(0.5, 0.7) * float64(time.Hour))
+	s := g.createSession(ClassConference, now, life)
+	if s == nil {
+		return
+	}
+	n := 2 + g.rng.Intn(6)
+	senders := 1 + g.rng.Intn(2)
+	// Conferences were largely a research-community affair; most include
+	// a campus participant, which is also what keeps conference flows
+	// crossing the FIXW border after the transition (the paper's
+	// "senders remained almost the same").
+	campus := g.domainByName("ucsb")
+	for i := 0; i < n; i++ {
+		var content float64
+		if i < senders {
+			content = g.rng.Range(12, 72) // audio
+		}
+		stay := time.Duration(g.rng.Range(0.3, 1) * float64(life))
+		d := g.pickDomain()
+		if i == n-1 && campus != nil && g.rng.Bool(0.7) {
+			d = campus
+		}
+		g.addMember(s, d, content, now, now.Add(stay))
+	}
+}
+
+// domainByName returns the named domain, or nil.
+func (g *Generator) domainByName(name string) *topo.Domain {
+	for _, d := range g.domains {
+		if d.Name == name {
+			return d
+		}
+	}
+	return nil
+}
+
+func (g *Generator) spawnBroadcast(now time.Time) {
+	life := time.Duration(g.rng.Range(2, 10) * float64(time.Hour))
+	s := g.createSession(ClassBroadcast, now, life)
+	if s == nil {
+		return
+	}
+	// One video sender plus a long-tailed audience across many domains.
+	g.addMember(s, g.pickDomain(), g.rng.Range(256, 2048), now, s.Ends)
+	audience := int(g.rng.Pareto(25, 1.15))
+	if audience > 350 {
+		audience = 350
+	}
+	for i := 0; i < audience; i++ {
+		stay := time.Duration(g.rng.Range(0.2, 1) * float64(life))
+		g.addMember(s, g.pickDomain(), 0, now, now.Add(stay))
+	}
+}
+
+func (g *Generator) spawnIdle(now time.Time) {
+	// Announced-but-idle sessions linger for many hours to days: the
+	// persistent base of the session count.
+	life := time.Duration(g.rng.LogNormal(2.8, 0.8) * float64(time.Hour))
+	s := g.createSession(ClassIdle, now, life)
+	if s == nil {
+		return
+	}
+	// Mostly one or two members, keeping the paper's ≥65 % share of
+	// sessions with at most two participants.
+	n := 1 + g.rng.Pick([]float64{0.45, 0.35, 0.2})
+	for i := 0; i < n; i++ {
+		g.addMember(s, g.pickDomain(), 0, now, s.Ends)
+	}
+}
+
+// SpawnEvent creates a large scheduled broadcast (the IETF-43 pattern):
+// a handful of channels with big audiences and solid senders, lasting for
+// the given duration. Exported so experiments can script it.
+func (g *Generator) SpawnEvent(now time.Time, channels, audiencePerChannel int, d time.Duration) {
+	for c := 0; c < channels; c++ {
+		s := g.createSession(ClassBroadcast, now, d)
+		if s == nil {
+			return
+		}
+		g.addMember(s, g.pickDomain(), g.rng.Range(200, 900), now, s.Ends) // video
+		g.addMember(s, g.pickDomain(), g.rng.Range(32, 80), now, s.Ends)   // audio
+		for i := 0; i < audiencePerChannel; i++ {
+			stay := time.Duration(g.rng.Range(0.3, 1) * float64(d))
+			g.addMember(s, g.pickDomain(), 0, now, now.Add(stay))
+		}
+	}
+}
+
+// Advance moves the workload forward across the window (now-dt, now]:
+// scheduled events fire, new sessions arrive, members churn, and expired
+// members/sessions are removed.
+func (g *Generator) Advance(now time.Time, dt time.Duration) {
+	for _, ev := range g.events {
+		if !ev.fired && !ev.at.After(now) {
+			ev.fired = true
+			ev.fn(g, now)
+		}
+	}
+
+	for i := 0; i < g.arrivals(g.cfg.ExperimentalBurstsPerDay, dt, now); i++ {
+		g.spawnExperimentalBurst(now)
+	}
+	for i := 0; i < g.arrivals(g.cfg.ConferencesPerDay, dt, now); i++ {
+		g.spawnConference(now)
+	}
+	for i := 0; i < g.arrivals(g.cfg.BroadcastsPerDay, dt, now); i++ {
+		g.spawnBroadcast(now)
+	}
+	for i := 0; i < g.arrivals(g.cfg.IdlePerDay, dt, now); i++ {
+		g.spawnIdle(now)
+	}
+
+	// Late joins to existing broadcast sessions: new participants prefer
+	// the already-popular groups (the density-spike correlation of Fig 4).
+	lateJoins := g.arrivals(60, dt, now)
+	var broadcasts []*Session
+	for _, s := range g.sessions {
+		if s.Class == ClassBroadcast {
+			broadcasts = append(broadcasts, s)
+		}
+	}
+	sort.Slice(broadcasts, func(i, j int) bool { return broadcasts[i].Group < broadcasts[j].Group })
+	for i := 0; i < lateJoins && len(broadcasts) > 0; i++ {
+		s := broadcasts[g.rng.Zipf(1.4, len(broadcasts))]
+		stay := time.Duration(g.rng.Range(0.5, 3) * float64(time.Hour))
+		g.addMember(s, g.pickDomain(), 0, now, now.Add(stay))
+	}
+
+	// Expire members and sessions.
+	for grp, s := range g.sessions {
+		for h, m := range s.Members {
+			if !m.Leaves.After(now) {
+				delete(s.Members, h)
+				g.stats.LeaveEvents++
+			}
+		}
+		if !s.Ends.After(now) || len(s.Members) == 0 {
+			delete(g.sessions, grp)
+			g.stats.SessionsEnded++
+		}
+	}
+}
+
+// Snapshot summarizes the current workload for tests and logging.
+type Snapshot struct {
+	Sessions, Participants, Senders int
+	SingleMember                    int
+	TotalContentKbps                float64
+}
+
+// Snapshot computes aggregate facts about the live workload.
+func (g *Generator) Snapshot() Snapshot {
+	var sn Snapshot
+	sn.Sessions = len(g.sessions)
+	seenHosts := make(map[addr.IP]bool)
+	senders := make(map[addr.IP]bool)
+	// Iterate in sorted order so the float sum is deterministic.
+	for _, s := range g.Sessions() {
+		if len(s.Members) == 1 {
+			sn.SingleMember++
+		}
+		for _, m := range s.MemberList() {
+			seenHosts[m.Host] = true
+			if m.ContentKbps > 0 {
+				senders[m.Host] = true
+				sn.TotalContentKbps += m.ContentKbps
+			}
+		}
+	}
+	sn.Participants = len(seenHosts)
+	sn.Senders = len(senders)
+	return sn
+}
+
+// String renders the snapshot compactly.
+func (s Snapshot) String() string {
+	return fmt.Sprintf("sessions=%d participants=%d senders=%d single=%d content=%.0fkbps",
+		s.Sessions, s.Participants, s.Senders, s.SingleMember, s.TotalContentKbps)
+}

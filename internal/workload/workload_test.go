@@ -1,0 +1,278 @@
+package workload
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/addr"
+	"repro/internal/sim"
+	"repro/internal/topo"
+)
+
+const cycle = 30 * time.Minute
+
+func testTopo() *topo.Topology {
+	cfg := topo.DefaultInternetConfig()
+	cfg.NumDomains = 8
+	return topo.BuildInternet(cfg).Topo
+}
+
+func advanceDays(g *Generator, start time.Time, days int) time.Time {
+	now := start
+	steps := days * 48
+	for i := 0; i < steps; i++ {
+		now = now.Add(cycle)
+		g.Advance(now, cycle)
+	}
+	return now
+}
+
+func TestSessionsAppearAndChurn(t *testing.T) {
+	g := New(DefaultConfig(), testTopo())
+	now := advanceDays(g, sim.Epoch, 3)
+	if g.SessionCount() == 0 {
+		t.Fatal("no sessions after 3 days")
+	}
+	st := g.Stats()
+	if st.SessionsCreated == 0 || st.SessionsEnded == 0 {
+		t.Errorf("no churn: %+v", st)
+	}
+	if st.JoinEvents == 0 || st.LeaveEvents == 0 {
+		t.Errorf("no member churn: %+v", st)
+	}
+	_ = now
+}
+
+func TestSessionsExpire(t *testing.T) {
+	g := New(DefaultConfig(), testTopo())
+	now := advanceDays(g, sim.Epoch, 2)
+	// Stop all arrivals and advance far past the idle-session lifetime
+	// tail: everything must drain.
+	g.cfg = Config{Seed: 1}
+	for i := 0; i < 48*15; i++ {
+		now = now.Add(cycle)
+		g.Advance(now, cycle)
+	}
+	if g.SessionCount() != 0 {
+		t.Errorf("%d sessions survived with no arrivals", g.SessionCount())
+	}
+}
+
+func TestMembersBelongToLeafSubnets(t *testing.T) {
+	tp := testTopo()
+	g := New(DefaultConfig(), tp)
+	advanceDays(g, sim.Epoch, 2)
+	for _, s := range g.Sessions() {
+		for _, m := range s.MemberList() {
+			edge := tp.Router(m.Edge)
+			if edge == nil {
+				t.Fatalf("member edge %d unknown", m.Edge)
+			}
+			found := false
+			for _, p := range edge.LeafPrefixes {
+				if p.Contains(m.Host) {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("host %v not in any leaf prefix of %s", m.Host, edge.Name)
+			}
+		}
+	}
+}
+
+func TestControlRatesBelowThresholdContentAbove(t *testing.T) {
+	g := New(DefaultConfig(), testTopo())
+	advanceDays(g, sim.Epoch, 3)
+	for _, s := range g.Sessions() {
+		for _, m := range s.MemberList() {
+			if m.CtrlKbps <= 0 || m.CtrlKbps >= 4 {
+				t.Fatalf("control rate %f outside (0,4)", m.CtrlKbps)
+			}
+			if m.ContentKbps != 0 && m.ContentKbps < 4 {
+				t.Fatalf("content rate %f below sender threshold", m.ContentKbps)
+			}
+		}
+	}
+}
+
+func TestGroupsAreMulticastAndUnique(t *testing.T) {
+	g := New(DefaultConfig(), testTopo())
+	advanceDays(g, sim.Epoch, 2)
+	seen := make(map[addr.IP]bool)
+	for _, s := range g.Sessions() {
+		if !s.Group.IsMulticast() {
+			t.Fatalf("group %v not multicast", s.Group)
+		}
+		if seen[s.Group] {
+			t.Fatalf("group %v duplicated", s.Group)
+		}
+		seen[s.Group] = true
+	}
+}
+
+func TestDensityDistributionMatchesPaper(t *testing.T) {
+	g := New(DefaultConfig(), testTopo())
+	now := sim.Epoch
+	// Sample over 10 days and check the paper's distribution claims on
+	// time-averaged statistics.
+	lowDensityOK, samples := 0, 0
+	for i := 0; i < 48*10; i++ {
+		now = now.Add(cycle)
+		g.Advance(now, cycle)
+		if i < 48 {
+			continue // warm-up
+		}
+		sessions := g.Sessions()
+		if len(sessions) < 20 {
+			continue
+		}
+		samples++
+		twoOrLess := 0
+		for _, s := range sessions {
+			if len(s.Members) <= 2 {
+				twoOrLess++
+			}
+		}
+		if float64(twoOrLess) >= 0.65*float64(len(sessions)) {
+			lowDensityOK++
+		}
+	}
+	if samples == 0 {
+		t.Fatal("no samples")
+	}
+	if float64(lowDensityOK) < 0.8*float64(samples) {
+		t.Errorf("≤2-member share below 65%% in %d/%d samples", samples-lowDensityOK, samples)
+	}
+}
+
+func TestBurstsAreSingleMemberDominated(t *testing.T) {
+	g := New(DefaultConfig(), testTopo())
+	now := sim.Epoch
+	found := false
+	for i := 0; i < 48*20 && !found; i++ {
+		now = now.Add(cycle)
+		g.Advance(now, cycle)
+		sn := g.Snapshot()
+		if sn.Sessions > 500 {
+			found = true
+			if float64(sn.SingleMember) < 0.85*float64(sn.Sessions) {
+				t.Errorf("burst instant: %d/%d single-member (<85%%)", sn.SingleMember, sn.Sessions)
+			}
+		}
+	}
+	if !found {
+		t.Skip("no >500-session burst in 20 days at this seed")
+	}
+}
+
+func TestHeavyTailConcentration(t *testing.T) {
+	// A small fraction of sessions should hold a large share of
+	// participant slots at typical instants (the broadcast tail).
+	// Averaged over daily snapshots to dampen single-instant noise.
+	g := New(DefaultConfig(), testTopo())
+	now := advanceDays(g, sim.Epoch, 3)
+	shareSum, samples := 0.0, 0
+	for day := 0; day < 6; day++ {
+		now = advanceDays(g, now, 1)
+		sessions := g.Sessions()
+		if len(sessions) < 30 {
+			continue
+		}
+		sizes := make([]int, 0, len(sessions))
+		total := 0
+		for _, s := range sessions {
+			sizes = append(sizes, len(s.Members))
+			total += len(s.Members)
+		}
+		for i := 0; i < len(sizes); i++ {
+			for j := i + 1; j < len(sizes); j++ {
+				if sizes[j] > sizes[i] {
+					sizes[i], sizes[j] = sizes[j], sizes[i]
+				}
+			}
+		}
+		top := len(sizes) * 6 / 100
+		if top < 1 {
+			top = 1
+		}
+		sum := 0
+		for _, v := range sizes[:top] {
+			sum += v
+		}
+		shareSum += float64(sum) / float64(total)
+		samples++
+	}
+	if samples == 0 {
+		t.Skip("too few sessions at this seed")
+	}
+	if mean := shareSum / float64(samples); mean < 0.33 {
+		t.Errorf("top 6%% sessions hold only %.0f%% of member slots on average", mean*100)
+	}
+}
+
+func TestSpawnEvent(t *testing.T) {
+	g := New(DefaultConfig(), testTopo())
+	now := sim.Epoch
+	g.SpawnEvent(now, 4, 120, 8*time.Hour)
+	if g.SessionCount() != 4 {
+		t.Fatalf("sessions = %d", g.SessionCount())
+	}
+	sn := g.Snapshot()
+	if sn.Participants < 200 {
+		t.Errorf("event participants = %d", sn.Participants)
+	}
+	if sn.Senders < 4 {
+		t.Errorf("event senders = %d", sn.Senders)
+	}
+}
+
+func TestScheduledEventFires(t *testing.T) {
+	g := New(DefaultConfig(), testTopo())
+	fired := false
+	g.At(sim.Epoch.Add(24*time.Hour), func(g *Generator, now time.Time) { fired = true })
+	now := sim.Epoch
+	for i := 0; i < 47; i++ {
+		now = now.Add(cycle)
+		g.Advance(now, cycle)
+	}
+	if fired {
+		t.Fatal("event fired early")
+	}
+	now = now.Add(cycle)
+	g.Advance(now, cycle)
+	if !fired {
+		t.Fatal("event did not fire")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() Snapshot {
+		g := New(DefaultConfig(), testTopo())
+		advanceDays(g, sim.Epoch, 3)
+		return g.Snapshot()
+	}
+	if run() != run() {
+		t.Error("same seed produced different workloads")
+	}
+}
+
+func TestClassString(t *testing.T) {
+	for c, want := range map[Class]string{
+		ClassExperimental: "experimental", ClassConference: "conference",
+		ClassBroadcast: "broadcast", ClassIdle: "idle", Class(9): "unknown",
+	} {
+		if c.String() != want {
+			t.Errorf("%d.String() = %q", c, c.String())
+		}
+	}
+}
+
+func TestDiurnalModulation(t *testing.T) {
+	g := New(DefaultConfig(), testTopo())
+	peak := g.diurnal(time.Date(1998, 11, 3, 14, 0, 0, 0, time.UTC))
+	trough := g.diurnal(time.Date(1998, 11, 3, 2, 0, 0, 0, time.UTC))
+	if peak <= trough {
+		t.Errorf("peak %f <= trough %f", peak, trough)
+	}
+}

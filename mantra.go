@@ -1,0 +1,240 @@
+// Package mantra is the public API of the Mantra multicast monitoring
+// system, a reproduction of:
+//
+//	P. Rajvaidya and K. C. Almeroth, "A Router-Based Technique for
+//	Monitoring the Next-Generation of Internet Multicast Protocols",
+//	ICPP 2001.
+//
+// Mantra monitors multicast at the network layer: each monitoring cycle
+// it logs into the configured routers, dumps their internal tables
+// (DVMRP routes, the multicast forwarding cache, IGMP/PIM/MSDP/MBGP
+// state), normalizes the dumps into its local Pair/Participant/Session/
+// Route tables, logs deltas for off-line analysis, updates the result
+// time series, and refreshes the interactive summary tables served over
+// HTTP.
+//
+// A Monitor drives the five modules of the paper's design:
+// Data Collector → Router-Table Processor → Data Logger → Data Processor
+// → Output Interface.
+//
+//	m := mantra.New()
+//	m.AddTarget(mantra.Target{
+//		Name:     "fixw",
+//		Dialer:   collect.TCPDialer{Addr: "198.32.233.1:2601"},
+//		Password: "public",
+//		Prompt:   "fixw> ",
+//	})
+//	stats, err := m.RunCycle(time.Now())
+package mantra
+
+import (
+	"fmt"
+	"net/http"
+	"time"
+
+	"repro/internal/core/collect"
+	"repro/internal/core/logger"
+	"repro/internal/core/output"
+	"repro/internal/core/process"
+	"repro/internal/core/tables"
+)
+
+// Target identifies one monitored router; it aliases the collector's
+// target so callers need only the public package for common use.
+type Target = collect.Target
+
+// Metric names a result time series; see the Metric* constants re-exported
+// below.
+type Metric = process.Metric
+
+// The metrics a Monitor maintains per target, one per figure panel of the
+// paper's evaluation.
+const (
+	MetricSessions       = process.MetricSessions
+	MetricParticipants   = process.MetricParticipants
+	MetricActiveSessions = process.MetricActiveSessions
+	MetricSenders        = process.MetricSenders
+	MetricAvgDensity     = process.MetricAvgDensity
+	MetricBandwidthKbps  = process.MetricBandwidthKbps
+	MetricSavedFactor    = process.MetricSavedFactor
+	MetricActiveRatio    = process.MetricActiveRatio
+	MetricSenderRatio    = process.MetricSenderRatio
+	MetricRoutes         = process.MetricRoutes
+	MetricRouteChurn     = process.MetricRouteChurn
+)
+
+// CycleStats is one cycle's computed statistics for one target.
+type CycleStats = process.CycleStats
+
+// Anomaly is a detected routing irregularity.
+type Anomaly = process.Anomaly
+
+// Monitor is a running Mantra instance.
+type Monitor struct {
+	// Commands is the dump set collected each cycle; defaults to the
+	// standard six show commands.
+	Commands []string
+
+	targets []Target
+	log     *logger.Logger
+	proc    *process.Processor
+	server  *output.Server
+	// latest holds the most recent snapshot per target.
+	latest map[string]*tables.Snapshot
+	// stability tracks per-prefix route stability per target.
+	stability map[string]*process.RouteStability
+	// aggregate enables the combined multi-router view; see
+	// EnableAggregation.
+	aggregate bool
+}
+
+// New returns an idle monitor with the paper's default configuration
+// (4 kbps sender threshold, standard command set).
+func New() *Monitor {
+	p := process.New()
+	return &Monitor{
+		Commands:  append([]string(nil), collect.StandardCommands...),
+		log:       logger.New(),
+		proc:      p,
+		server:    output.NewServer(p),
+		latest:    make(map[string]*tables.Snapshot),
+		stability: make(map[string]*process.RouteStability),
+	}
+}
+
+// AddTarget registers a router to be polled each cycle.
+func (m *Monitor) AddTarget(t Target) {
+	m.targets = append(m.targets, t)
+}
+
+// Targets returns the registered target names in registration order.
+func (m *Monitor) Targets() []string {
+	out := make([]string, len(m.targets))
+	for i, t := range m.targets {
+		out[i] = t.Name
+	}
+	return out
+}
+
+// RunCycle performs one full monitoring cycle stamped at now: collection,
+// table processing, delta logging, statistics, and summary-table refresh.
+// It returns per-target statistics; a target that fails to collect aborts
+// the cycle with an error identifying it.
+func (m *Monitor) RunCycle(now time.Time) ([]CycleStats, error) {
+	var out []CycleStats
+	for _, t := range m.targets {
+		dumps, err := collect.CollectAll(t, m.Commands, now)
+		if err != nil {
+			return out, fmt.Errorf("mantra: %w", err)
+		}
+		sn, err := tables.BuildSnapshot(dumps)
+		if err != nil {
+			return out, fmt.Errorf("mantra: %w", err)
+		}
+		m.log.Append(sn)
+		st := m.proc.Ingest(sn)
+		m.observeStability(sn)
+		m.latest[t.Name] = sn
+		m.refreshTables(t.Name, sn)
+		out = append(out, st)
+	}
+	return out, nil
+}
+
+// observeStability folds a snapshot into its target's stability tracker.
+func (m *Monitor) observeStability(sn *tables.Snapshot) {
+	rs := m.stability[sn.Target]
+	if rs == nil {
+		rs = process.NewRouteStability()
+		m.stability[sn.Target] = rs
+	}
+	rs.Observe(sn.Routes, sn.At)
+}
+
+// RouteStability returns the per-prefix stability tracker of a target,
+// or nil before the first cycle — route lifetimes, availability and flap
+// counts (the route-monitoring outputs of §II-B).
+func (m *Monitor) RouteStability(target string) *process.RouteStability {
+	return m.stability[target]
+}
+
+// refreshTables rebuilds the published summary tables for a target.
+func (m *Monitor) refreshTables(name string, sn *tables.Snapshot) {
+	busiest := output.NewTable("busiest-"+name, "group", "density", "kbps", "protocol")
+	for _, s := range process.BusiestSessions(sn, 20) {
+		_ = busiest.AddRow(
+			output.Str(s.Group.String()),
+			output.Num(float64(s.Density)),
+			output.Num(s.TotalRateKbps),
+			output.Str(s.Protocol),
+		)
+	}
+	m.server.RegisterTable(busiest)
+
+	senders := output.NewTable("senders-"+name, "host", "groups", "max_kbps")
+	for _, p := range process.TopSenders(sn, 20) {
+		_ = senders.AddRow(
+			output.Str(p.Host.String()),
+			output.Num(float64(p.Groups)),
+			output.Num(p.MaxRateKbps),
+		)
+	}
+	m.server.RegisterTable(senders)
+
+	routes := output.NewTable("routes-"+name, "metric", "count")
+	rs := process.SummarizeRoutes(sn)
+	for metric := 0; metric <= 64; metric++ {
+		if c := rs.MetricCounts[metric]; c > 0 {
+			_ = routes.AddRow(output.Num(float64(metric)), output.Num(float64(c)))
+		}
+	}
+	m.server.RegisterTable(routes)
+}
+
+// Series returns the named result series for a target, or nil before the
+// first cycle.
+func (m *Monitor) Series(target string, metric Metric) *process.Series {
+	return m.proc.Series(target, metric)
+}
+
+// Latest returns the most recent normalized snapshot for a target, or nil.
+func (m *Monitor) Latest(target string) *tables.Snapshot {
+	return m.latest[target]
+}
+
+// Anomalies returns the anomalies detected so far.
+func (m *Monitor) Anomalies() []Anomaly {
+	return m.proc.Anomalies()
+}
+
+// Processor exposes the underlying data processor for advanced analysis
+// (distribution computations, custom thresholds).
+func (m *Monitor) Processor() *process.Processor { return m.proc }
+
+// Log exposes the delta logger for off-line reconstruction and archival.
+func (m *Monitor) Log() *logger.Logger { return m.log }
+
+// Handler returns the HTTP handler serving results: series JSON, ASCII
+// graphs, interactive tables, and the anomaly feed.
+func (m *Monitor) Handler() http.Handler { return m.server }
+
+// RegisterTable publishes an additional summary table.
+func (m *Monitor) RegisterTable(t *output.Table) { m.server.RegisterTable(t) }
+
+// BusiestSessions returns a snapshot's top-n sessions by bandwidth — the
+// paper's "busiest multicast sessions" summary.
+func BusiestSessions(sn *tables.Snapshot, n int) tables.SessionTable {
+	return process.BusiestSessions(sn, n)
+}
+
+// TopSenders returns a snapshot's top-n participants by peak rate.
+func TopSenders(sn *tables.Snapshot, n int) tables.ParticipantTable {
+	return process.TopSenders(sn, n)
+}
+
+// DensityDistribution computes the fraction of sessions with at most k
+// members and the participant share of the top fraction of sessions —
+// the §IV-B distribution analysis.
+func DensityDistribution(sn *tables.Snapshot, k int, topFrac float64) (atMostK, topShare float64) {
+	return process.DensityDistribution(sn, k, topFrac)
+}

@@ -1,0 +1,179 @@
+package mantra_test
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	mantra "repro"
+	"repro/internal/core/collect"
+	"repro/internal/netsim"
+	"repro/internal/topo"
+	"repro/internal/workload"
+)
+
+// newMonitoredNetwork wires a Monitor to a small simulated internetwork.
+func newMonitoredNetwork(t *testing.T) (*netsim.Network, *mantra.Monitor) {
+	t.Helper()
+	cfg := topo.DefaultInternetConfig()
+	cfg.NumDomains = 4
+	inet := topo.BuildInternet(cfg)
+	wl := workload.New(workload.DefaultConfig(), inet.Topo)
+	n := netsim.New(inet, wl, netsim.DefaultConfig())
+	if err := n.Track("fixw", "ucsb-r1"); err != nil {
+		t.Fatal(err)
+	}
+	m := mantra.New()
+	for _, name := range []string{"fixw", "ucsb-r1"} {
+		r := n.Router(name)
+		r.Password = "pw"
+		m.AddTarget(mantra.Target{
+			Name:     name,
+			Dialer:   collect.PipeDialer{Router: r},
+			Password: "pw",
+			Prompt:   name + "> ",
+		})
+	}
+	return n, m
+}
+
+func TestMonitorRunCycle(t *testing.T) {
+	n, m := newMonitoredNetwork(t)
+	if got := m.Targets(); len(got) != 2 || got[0] != "fixw" {
+		t.Fatalf("targets = %v", got)
+	}
+	var last []mantra.CycleStats
+	for i := 0; i < 5; i++ {
+		n.Step()
+		stats, err := m.RunCycle(n.Now())
+		if err != nil {
+			t.Fatal(err)
+		}
+		last = stats
+	}
+	if len(last) != 2 {
+		t.Fatalf("stats = %d targets", len(last))
+	}
+	fixw := last[0]
+	if fixw.Target != "fixw" || fixw.Sessions == 0 || fixw.Participants == 0 {
+		t.Errorf("fixw stats = %+v", fixw)
+	}
+	if fixw.Routes < 100 {
+		t.Errorf("routes = %d", fixw.Routes)
+	}
+	if m.Series("fixw", mantra.MetricSessions).Len() != 5 {
+		t.Error("series not extended per cycle")
+	}
+	if m.Latest("fixw") == nil || m.Latest("ghost") != nil {
+		t.Error("Latest wrong")
+	}
+	if m.Log().Cycles("fixw") != 5 {
+		t.Errorf("logged cycles = %d", m.Log().Cycles("fixw"))
+	}
+}
+
+func TestMonitorClassificationConsistency(t *testing.T) {
+	n, m := newMonitoredNetwork(t)
+	for i := 0; i < 6; i++ {
+		n.Step()
+	}
+	stats, err := m.RunCycle(n.Now())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := stats[0]
+	if st.Senders > st.Participants {
+		t.Error("senders exceed participants")
+	}
+	if st.ActiveSessions > st.Sessions {
+		t.Error("active sessions exceed sessions")
+	}
+	if st.SavedFactor < 1 && st.BandwidthKbps > 0 {
+		t.Errorf("saved factor %f < 1", st.SavedFactor)
+	}
+}
+
+func TestMonitorHTTPEndToEnd(t *testing.T) {
+	n, m := newMonitoredNetwork(t)
+	for i := 0; i < 3; i++ {
+		n.Step()
+		if _, err := m.RunCycle(n.Now()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	srv := httptest.NewServer(m.Handler())
+	defer srv.Close()
+	for _, path := range []string{
+		"/series/fixw/sessions",
+		"/graph/fixw/routes",
+		"/tables/busiest-fixw",
+		"/tables/senders-fixw",
+		"/tables/routes-fixw",
+		"/anomalies",
+	} {
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != 200 {
+			t.Errorf("%s -> %d", path, resp.StatusCode)
+		}
+		resp.Body.Close()
+	}
+}
+
+func TestMonitorFailedTargetAborts(t *testing.T) {
+	n, m := newMonitoredNetwork(t)
+	m.AddTarget(mantra.Target{
+		Name:    "dead",
+		Dialer:  collect.TCPDialer{Addr: "127.0.0.1:1", Timeout: 100 * time.Millisecond},
+		Prompt:  "dead> ",
+		Timeout: 100 * time.Millisecond,
+	})
+	n.Step()
+	stats, err := m.RunCycle(n.Now())
+	if err == nil {
+		t.Fatal("expected error from dead target")
+	}
+	if len(stats) != 2 {
+		t.Errorf("live targets collected = %d, want 2", len(stats))
+	}
+	if !strings.Contains(err.Error(), "mantra:") {
+		t.Errorf("error not wrapped: %v", err)
+	}
+}
+
+func TestMonitorDeltaLogReconstruction(t *testing.T) {
+	n, m := newMonitoredNetwork(t)
+	for i := 0; i < 4; i++ {
+		n.Step()
+		if _, err := m.RunCycle(n.Now()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The reconstructed latest cycle must equal the live snapshot.
+	sn := m.Latest("fixw")
+	routes, err := m.Log().ReconstructRoutes("fixw", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(routes) != len(sn.Routes) {
+		t.Errorf("reconstructed %d routes, snapshot has %d", len(routes), len(sn.Routes))
+	}
+	pairs, err := m.Log().ReconstructPairs("fixw", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pairs) != len(sn.Pairs) {
+		t.Errorf("reconstructed %d pairs, snapshot has %d", len(pairs), len(sn.Pairs))
+	}
+	// Delta storage must beat full snapshots on the route table.
+	d, f, ratio := m.Log().StorageStats("fixw")
+	if d >= f {
+		t.Errorf("deltas (%d) not smaller than full (%d)", d, f)
+	}
+	if ratio <= 1 {
+		t.Errorf("compression ratio = %f", ratio)
+	}
+}
