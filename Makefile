@@ -1,0 +1,36 @@
+# Developer entry points. `make check` is the pre-commit gate: vet plus
+# the full suite under the race detector.
+
+GO ?= go
+
+.PHONY: build vet test race bench bench-collect chaos figures check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Every benchmark: one per paper figure, ablations, micro-benchmarks.
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem .
+
+# The collector benchmarks: plain CLI scrape vs the resilient path.
+# The delta between the two is the retry layer's happy-path overhead.
+bench-collect:
+	$(GO) test -run '^$$' -bench 'BenchmarkAblationCLIScrape|BenchmarkResilientCollectHappyPath' -benchtime 3s -count 3 .
+
+# The 220-cycle fault-injection run and the breaker lifecycle, verbosely.
+chaos:
+	$(GO) test -run 'TestChaos' -v .
+
+figures:
+	$(GO) run ./cmd/figures -scale quick -out out
+
+check: vet race

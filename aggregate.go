@@ -1,13 +1,11 @@
 package mantra
 
 import (
-	"fmt"
 	"sort"
 	"sync"
 	"time"
 
 	"repro/internal/addr"
-	"repro/internal/core/collect"
 	"repro/internal/core/tables"
 )
 
@@ -28,57 +26,22 @@ func (m *Monitor) EnableAggregation() {
 
 // RunCycleConcurrent is RunCycle with parallel collection: every target
 // is dialed and dumped on its own goroutine, then the snapshots are
-// processed in registration order so results stay deterministic. With
-// aggregation enabled, the merged view is processed last.
+// processed in registration order so results stay deterministic. Failing
+// targets degrade the cycle exactly as in RunCycle — skipped, recorded,
+// gap-marked — they never abort it. With aggregation enabled, the merged
+// view over the targets that succeeded is processed last.
 func (m *Monitor) RunCycleConcurrent(now time.Time) ([]CycleStats, error) {
-	type result struct {
-		idx int
-		sn  *tables.Snapshot
-		err error
-	}
-	results := make([]result, len(m.targets))
+	outcomes := make([]cycleOutcome, len(m.targets))
 	var wg sync.WaitGroup
 	for i, t := range m.targets {
 		wg.Add(1)
 		go func(i int, t Target) {
 			defer wg.Done()
-			dumps, err := collect.CollectAll(t, m.Commands, now)
-			if err != nil {
-				results[i] = result{idx: i, err: fmt.Errorf("mantra: %w", err)}
-				return
-			}
-			sn, err := tables.BuildSnapshot(dumps)
-			if err != nil {
-				err = fmt.Errorf("mantra: %w", err)
-			}
-			results[i] = result{idx: i, sn: sn, err: err}
+			outcomes[i] = m.collectTarget(t, now)
 		}(i, t)
 	}
 	wg.Wait()
-
-	var out []CycleStats
-	var snaps []*tables.Snapshot
-	for _, r := range results {
-		if r.err != nil {
-			return out, r.err
-		}
-		m.log.Append(r.sn)
-		st := m.proc.Ingest(r.sn)
-		m.observeStability(r.sn)
-		m.latest[r.sn.Target] = r.sn
-		m.refreshTables(r.sn.Target, r.sn)
-		out = append(out, st)
-		snaps = append(snaps, r.sn)
-	}
-	if m.aggregate && len(snaps) > 0 {
-		agg := MergeSnapshots(AggregateTarget, now, snaps...)
-		m.log.Append(agg)
-		st := m.proc.Ingest(agg)
-		m.latest[AggregateTarget] = agg
-		m.refreshTables(AggregateTarget, agg)
-		out = append(out, st)
-	}
-	return out, nil
+	return m.processOutcomes(now, outcomes)
 }
 
 // MergeSnapshots combines several routers' cycle snapshots into one

@@ -217,6 +217,38 @@ func BenchmarkAblationCLIScrape(b *testing.B) {
 	}
 }
 
+// BenchmarkResilientCollectHappyPath measures the same collection as
+// BenchmarkAblationCLIScrape but through the resilient Collector — breaker
+// bookkeeping, dump validation and result recording included. The gap
+// between the two is the retry path's happy-case overhead, which must stay
+// negligible next to the session round trips themselves.
+func BenchmarkResilientCollectHappyPath(b *testing.B) {
+	r := getUsageRunner(b)
+	rt := r.Net.Router("fixw")
+	tgt := mantra.Target{
+		Name:   "fixw",
+		Dialer: collect.PipeDialer{Router: rt},
+		Prompt: "fixw> ",
+	}
+	rt.Password = ""
+	c := collect.NewCollector(collect.DefaultPolicy())
+	now := r.Net.Now()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := c.Collect(tgt, collect.StandardCommands, now)
+		if res.Err != nil {
+			b.Fatal(res.Err)
+		}
+		if _, err := tables.BuildSnapshot(res.Dumps); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if h, _ := c.TargetHealth("fixw"); h.TotalFailures != 0 {
+		b.Fatalf("happy path recorded failures: %+v", h)
+	}
+}
+
 // BenchmarkAblationDirectRead is the hypothetical SNMP-like alternative:
 // building the same snapshot straight from router state, skipping the
 // text round trip. The gap against BenchmarkAblationCLIScrape is the cost

@@ -1,0 +1,205 @@
+package mantra_test
+
+// Chaos test for the resilient collection path: one router is wrapped in
+// the session-fault layer with ~30% of sessions failing in assorted ways
+// (refused connections, rejected logins, hangs, truncation, garbling,
+// drops) while a second router stays healthy. Over a long run the monitor
+// must never panic, never abort a cycle, never ingest a corrupted
+// snapshot, and never let the faulty target's trouble leak into the
+// healthy target's series. Faults draw from the simulation's seeded RNG,
+// so the run is deterministic.
+
+import (
+	"testing"
+	"time"
+
+	mantra "repro"
+	"repro/internal/core/collect"
+	"repro/internal/netsim"
+	"repro/internal/router"
+	"repro/internal/topo"
+	"repro/internal/workload"
+)
+
+// chaosMonitor builds a 2-router monitored network with fault injection on
+// fixw and a clean path to ucsb-r1.
+func chaosMonitor(t *testing.T, profile router.FaultProfile, policy collect.Policy) (*netsim.Network, *mantra.Monitor, *router.FaultyRouter) {
+	t.Helper()
+	cfg := topo.DefaultInternetConfig()
+	cfg.NumDomains = 4
+	inet := topo.BuildInternet(cfg)
+	wl := workload.New(workload.DefaultConfig(), inet.Topo)
+	n := netsim.New(inet, wl, netsim.DefaultConfig())
+	if err := n.Track("fixw", "ucsb-r1"); err != nil {
+		t.Fatal(err)
+	}
+	faulty := n.FaultyRouter("fixw", profile)
+	if faulty == nil {
+		t.Fatal("no faulty router")
+	}
+	m := mantra.New()
+	m.SetCollectPolicy(policy)
+	n.Router("fixw").Password = "pw"
+	n.Router("ucsb-r1").Password = "pw"
+	m.AddTarget(mantra.Target{
+		Name:     "fixw",
+		Dialer:   collect.PipeDialer{Router: faulty},
+		Password: "pw",
+		Prompt:   "fixw> ",
+		Timeout:  100 * time.Millisecond,
+	})
+	m.AddTarget(mantra.Target{
+		Name:     "ucsb-r1",
+		Dialer:   collect.PipeDialer{Router: n.Router("ucsb-r1")},
+		Password: "pw",
+		Prompt:   "ucsb-r1> ",
+		Timeout:  5 * time.Second,
+	})
+	return n, m, faulty
+}
+
+func TestChaosCollection(t *testing.T) {
+	profile := router.FaultProfile{
+		RefuseConn:  0.06,
+		RejectLogin: 0.05,
+		Hang:        0.05,
+		Truncate:    0.05,
+		Garble:      0.05,
+		Drop:        0.04,
+	}
+	n, m, faulty := chaosMonitor(t, profile, collect.Policy{
+		MaxAttempts:      2,
+		BreakerThreshold: 3,
+		BreakerCooldown:  90 * time.Minute,
+		Sleep:            func(time.Duration) {},
+	})
+
+	const cycles = 220
+	counts := map[collect.Status]int{}
+	for i := 0; i < cycles; i++ {
+		n.Step()
+		_, err := m.RunCycle(n.Now())
+		if err != nil {
+			t.Fatalf("cycle %d aborted with a healthy target present: %v", i, err)
+		}
+		results := m.LastResults()
+		if len(results) != 2 {
+			t.Fatalf("cycle %d results = %d", i, len(results))
+		}
+		fixw, healthy := results[0], results[1]
+		counts[fixw.Status]++
+		if healthy.Status != collect.StatusOK {
+			t.Fatalf("cycle %d: healthy target contaminated: %+v", i, healthy)
+		}
+		if fixw.Stats != nil {
+			// Any snapshot that made it through must match ground truth —
+			// a truncated or garbled dump slipping past validation would
+			// show up here as a wrong route count.
+			r := n.Router("fixw")
+			if want := len(r.DVMRP.Table(r.Spec.ID)); fixw.Stats.Routes != want {
+				t.Fatalf("cycle %d ingested a corrupted snapshot: routes = %d, want %d",
+					i, fixw.Stats.Routes, want)
+			}
+		}
+	}
+
+	// The healthy target's series must be gap-free and complete.
+	healthy := m.Series("ucsb-r1", mantra.MetricSessions)
+	if healthy.Len() != cycles || healthy.GapCount() != 0 {
+		t.Errorf("healthy series: %d points, %d gaps; want %d, 0",
+			healthy.Len(), healthy.GapCount(), cycles)
+	}
+	// The faulty target's series must account for every cycle: a point on
+	// success, an explicit gap otherwise.
+	fs := m.Series("fixw", mantra.MetricSessions)
+	if fs.Len()+fs.GapCount() != cycles {
+		t.Errorf("faulty series: %d points + %d gaps != %d cycles",
+			fs.Len(), fs.GapCount(), cycles)
+	}
+	if ok := counts[collect.StatusOK] + counts[collect.StatusRetried]; fs.Len() != ok {
+		t.Errorf("faulty series has %d points, %d cycles succeeded", fs.Len(), ok)
+	}
+	// Sanity: the chaos actually happened, and the target still mostly
+	// collected (retries absorb most single-attempt faults).
+	if counts[collect.StatusRetried] == 0 {
+		t.Error("no cycle needed a retry — fault injection inert?")
+	}
+	if counts[collect.StatusDegraded]+counts[collect.StatusBreakerOpen] == 0 {
+		t.Error("no cycle degraded over the whole chaos run")
+	}
+	if counts[collect.StatusOK] == 0 {
+		t.Error("no clean cycle over the whole chaos run")
+	}
+	injected := 0
+	for _, c := range faulty.Injected() {
+		injected += c
+	}
+	if injected == 0 {
+		t.Error("no faults injected")
+	}
+	t.Logf("statuses: %v; injected: %v", counts, faulty.Injected())
+}
+
+// TestChaosBreakerLifecycle drives a fully dead target through the whole
+// breaker arc under simulated time: closed → open after the threshold,
+// cooldown skips, a failed half-open probe re-opening it, then recovery to
+// closed once the router heals.
+func TestChaosBreakerLifecycle(t *testing.T) {
+	n, m, faulty := chaosMonitor(t, router.FaultProfile{RefuseConn: 1}, collect.Policy{
+		MaxAttempts:      1,
+		BreakerThreshold: 3,
+		BreakerCooldown:  90 * time.Minute, // three 30-minute sim cycles
+		Sleep:            func(time.Duration) {},
+	})
+	cycle := func() mantra.CollectResult {
+		t.Helper()
+		n.Step()
+		if _, err := m.RunCycle(n.Now()); err != nil {
+			t.Fatalf("cycle aborted: %v", err)
+		}
+		return m.LastResults()[0]
+	}
+
+	// Three failed cycles open the breaker.
+	for i := 0; i < 3; i++ {
+		if r := cycle(); r.Status != collect.StatusDegraded {
+			t.Fatalf("cycle %d = %+v, want degraded", i, r)
+		}
+	}
+	if h := m.Health()[0]; h.Breaker != collect.BreakerOpen || h.ConsecutiveFailures != 3 {
+		t.Fatalf("breaker did not open: %+v", h)
+	}
+	// Two cycles inside the 90-minute cooldown are skipped outright.
+	for i := 0; i < 2; i++ {
+		if r := cycle(); r.Status != collect.StatusBreakerOpen || r.Attempts != 0 {
+			t.Fatalf("cooldown cycle %d = %+v, want breaker-open skip", i, r)
+		}
+	}
+	// The cooldown has elapsed: a half-open probe runs, fails, re-opens.
+	if r := cycle(); r.Status != collect.StatusDegraded || r.Attempts != 1 {
+		t.Fatalf("probe cycle = %+v, want a single failed attempt", r)
+	}
+	if r := cycle(); r.Status != collect.StatusBreakerOpen {
+		t.Fatalf("after failed probe = %+v, want breaker-open", r)
+	}
+
+	// Heal the router; the next probe closes the breaker and collection
+	// resumes.
+	faulty.Profile = router.FaultProfile{}
+	if r := cycle(); r.Status != collect.StatusBreakerOpen {
+		t.Fatalf("still cooling down = %+v", r)
+	}
+	if r := cycle(); r.Status != collect.StatusOK {
+		t.Fatalf("recovery probe = %+v, want ok", r)
+	}
+	h := m.Health()[0]
+	if h.Breaker != collect.BreakerClosed || h.ConsecutiveFailures != 0 {
+		t.Errorf("breaker did not recover: %+v", h)
+	}
+	if h.LastSuccess.IsZero() || h.LastError != "" {
+		t.Errorf("health not reset on recovery: %+v", h)
+	}
+	if r := cycle(); r.Status != collect.StatusOK {
+		t.Errorf("post-recovery cycle = %+v", r)
+	}
+}

@@ -6,8 +6,16 @@
 //	mantra -target fixw=127.0.0.1:2601 -target ucsb-r1=127.0.0.1:2602 \
 //	       -password mantra -interval 2s -http 127.0.0.1:8080
 //
+// Collection is resilient: each target gets per-cycle retries with
+// backoff, a circuit breaker that opens after repeated failed cycles, and
+// structural dump validation. A failing target degrades the cycle instead
+// of aborting it; per-target health is printed each cycle and served at
+// /health. With -max-consecutive-failures N the daemon exits non-zero
+// once every target is breaker-open with at least N consecutive failures,
+// so a fully dead deployment fails loudly instead of spinning.
+//
 // Endpoints: /  /series/<target>/<metric>  /graph/<target>/<metric>
-// /tables/<name>  /anomalies
+// /tables/<name>  /anomalies  /health
 package main
 
 import (
@@ -15,6 +23,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"os"
 	"strings"
 	"time"
 
@@ -39,6 +48,12 @@ func main() {
 	cycles := flag.Int("cycles", 0, "stop after N cycles (0 = run forever)")
 	concurrent := flag.Bool("concurrent", false, "collect all targets in parallel")
 	aggregate := flag.Bool("aggregate", false, "publish a combined multi-router view (implies -concurrent)")
+	retries := flag.Int("retries", 3, "collection attempts per target per cycle")
+	retryBase := flag.Duration("retry-base", 100*time.Millisecond, "backoff before the first retry (doubles per retry)")
+	breakerThreshold := flag.Int("breaker-threshold", 5, "consecutive failed cycles before a target's circuit breaker opens")
+	breakerCooldown := flag.Duration("breaker-cooldown", time.Minute, "how long an open breaker waits before a half-open probe")
+	maxConsecFail := flag.Int("max-consecutive-failures", 0, "exit non-zero once every target is breaker-open with at least this many consecutive failures (0 disables)")
+	showHealth := flag.Bool("health", true, "print per-target collection health each cycle")
 	flag.Parse()
 
 	if len(targets) == 0 {
@@ -46,6 +61,12 @@ func main() {
 	}
 
 	m := mantra.New()
+	m.SetCollectPolicy(collect.Policy{
+		MaxAttempts:      *retries,
+		BaseDelay:        *retryBase,
+		BreakerThreshold: *breakerThreshold,
+		BreakerCooldown:  *breakerCooldown,
+	})
 	if *aggregate {
 		m.EnableAggregation()
 		*concurrent = true
@@ -81,16 +102,50 @@ func main() {
 			stats, err = m.RunCycle(now)
 		}
 		if err != nil {
-			log.Printf("mantra: cycle failed: %v", err)
+			log.Printf("mantra: cycle degraded: %v", err)
 		}
 		for _, st := range stats {
 			fmt.Printf("%s %-10s sessions=%-5d participants=%-5d active=%-4d senders=%-4d bw=%.0fkbps routes=%d churn=%d\n",
 				now.Format("15:04:05"), st.Target, st.Sessions, st.Participants,
 				st.ActiveSessions, st.Senders, st.BandwidthKbps, st.Routes, st.RouteChurn)
 		}
+		health := m.Health()
+		if *showHealth {
+			for _, h := range health {
+				last := "never"
+				if !h.LastSuccess.IsZero() {
+					last = h.LastSuccess.Format("15:04:05")
+				}
+				line := fmt.Sprintf("%s %-10s health breaker=%-9s consecutive_failures=%-3d last_success=%s",
+					now.Format("15:04:05"), h.Target, h.Breaker, h.ConsecutiveFailures, last)
+				if h.LastError != "" {
+					line += " last_error=" + h.LastError
+				}
+				fmt.Println(line)
+			}
+		}
+		if *maxConsecFail > 0 && allBreakerOpen(health, *maxConsecFail) {
+			log.Printf("mantra: every target is breaker-open with >=%d consecutive failures; giving up", *maxConsecFail)
+			os.Exit(1)
+		}
 		for _, a := range m.Anomalies() {
 			log.Printf("mantra: ANOMALY %s at %s: %s", a.Kind, a.Target, a.Detail)
 		}
 		time.Sleep(*interval)
 	}
+}
+
+// allBreakerOpen reports whether every target's breaker is open with at
+// least minFailures consecutive failures — the "nothing left to monitor"
+// condition under -max-consecutive-failures.
+func allBreakerOpen(health []mantra.TargetHealth, minFailures int) bool {
+	if len(health) == 0 {
+		return false
+	}
+	for _, h := range health {
+		if h.Breaker != collect.BreakerOpen || h.ConsecutiveFailures < minFailures {
+			return false
+		}
+	}
+	return true
 }

@@ -15,10 +15,9 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"os"
 	"strings"
 	"time"
-
-	"repro/internal/router"
 )
 
 // ErrTimeout reports that an expected pattern did not arrive in time.
@@ -48,10 +47,17 @@ func (d TCPDialer) Dial() (io.ReadWriteCloser, error) {
 	return net.DialTimeout("tcp", d.Addr, to)
 }
 
+// SessionHandler serves one CLI session over a byte stream. *router.Router
+// implements it, as does the fault-injecting *router.FaultyRouter wrapper,
+// so either can back an in-process collection target.
+type SessionHandler interface {
+	HandleSession(rw io.ReadWriter) error
+}
+
 // PipeDialer runs sessions against an in-process simulated router through
 // a synchronous pipe — the same session logic as TCP without a socket.
 type PipeDialer struct {
-	Router *router.Router
+	Router SessionHandler
 }
 
 // Dial implements Dialer.
@@ -95,13 +101,21 @@ type deadliner interface {
 }
 
 // readUntil consumes the stream until pattern appears, returning
-// everything read including the pattern.
+// everything read including the pattern. The session timeout is enforced
+// for every transport: connections with native read deadlines use them,
+// and all others get a watchdog timer that closes the connection — the
+// only way to unblock a stuck Read — so a hung router can never wedge the
+// collector. A timed-out session is dead either way; callers retry with a
+// fresh login.
 func (s *Session) readUntil(pattern string) (string, error) {
 	var sb strings.Builder
 	deadline := time.Now().Add(s.timeout)
 	if d, ok := s.conn.(deadliner); ok {
 		_ = d.SetReadDeadline(deadline)
 		defer d.SetReadDeadline(time.Time{})
+	} else {
+		watchdog := time.AfterFunc(s.timeout, func() { s.conn.Close() })
+		defer watchdog.Stop()
 	}
 	tmp := make([]byte, 4096)
 	for {
@@ -116,6 +130,9 @@ func (s *Session) readUntil(pattern string) (string, error) {
 		if err != nil {
 			if strings.Contains(sb.String(), pattern) {
 				return sb.String(), nil
+			}
+			if errors.Is(err, os.ErrDeadlineExceeded) || !time.Now().Before(deadline) {
+				return sb.String(), fmt.Errorf("%w: %q (%v)", ErrTimeout, pattern, err)
 			}
 			return sb.String(), err
 		}
@@ -165,9 +182,19 @@ func (s *Session) Run(cmd string) (string, error) {
 	if err != nil {
 		return "", err
 	}
-	out = strings.TrimSuffix(out, s.prompt)
-	// Strip a leading echo of the command, if the transport echoes.
-	out = strings.TrimPrefix(out, cmd+"\n")
+	trimmed := strings.TrimSuffix(out, s.prompt)
+	if trimmed == out {
+		// CRLF transports may append a stray carriage return to the prompt.
+		trimmed = strings.TrimSuffix(strings.TrimSuffix(out, "\r"), s.prompt)
+	}
+	out = trimmed
+	// Strip a leading echo of the command for both LF and CRLF transports.
+	for _, echo := range []string{cmd + "\r\n", cmd + "\n", cmd + "\r"} {
+		if rest, ok := strings.CutPrefix(out, echo); ok {
+			out = rest
+			break
+		}
+	}
 	return out, nil
 }
 

@@ -47,7 +47,7 @@ func RunScript(rw io.ReadWriter, script Script, timeout time.Duration) (map[stri
 	if timeout <= 0 {
 		timeout = 10 * time.Second
 	}
-	s := &Session{conn: nopCloser{rw}, timeout: timeout}
+	s := &Session{conn: sessionStream(rw), timeout: timeout}
 	captures := make(map[string]string)
 	for i, step := range script {
 		if step.Expect != "" {
@@ -68,19 +68,38 @@ func RunScript(rw io.ReadWriter, script Script, timeout time.Duration) (map[stri
 	return captures, nil
 }
 
-// nopCloser adapts an io.ReadWriter to the session's closer requirement,
-// passing read deadlines through when the underlying stream supports them
-// (net.Conn, net.Pipe ends). Streams without deadline support rely on the
-// peer eventually producing the expected text or closing.
-type nopCloser struct{ io.ReadWriter }
+// sessionStream adapts an io.ReadWriter to the session's closer
+// requirement. Streams with native read deadlines (net.Conn, net.Pipe
+// ends) keep them; all others must NOT claim deadline support, so the
+// session arms its watchdog and a blocked Read can be severed by closing
+// the underlying stream.
+func sessionStream(rw io.ReadWriter) io.ReadWriteCloser {
+	if _, ok := rw.(deadliner); ok {
+		return deadlineStream{rw}
+	}
+	return plainStream{rw}
+}
 
-// Close implements io.Closer as a no-op.
-func (nopCloser) Close() error { return nil }
+// deadlineStream wraps a stream that supports read deadlines.
+type deadlineStream struct{ io.ReadWriter }
 
-// SetReadDeadline forwards to the underlying stream when possible.
-func (n nopCloser) SetReadDeadline(t time.Time) error {
-	if d, ok := n.ReadWriter.(deadliner); ok {
-		return d.SetReadDeadline(t)
+// Close implements io.Closer as a no-op; the caller owns the stream.
+func (deadlineStream) Close() error { return nil }
+
+// SetReadDeadline forwards to the underlying stream.
+func (d deadlineStream) SetReadDeadline(t time.Time) error {
+	return d.ReadWriter.(deadliner).SetReadDeadline(t)
+}
+
+// plainStream wraps a deadline-less stream; the watchdog's Close call
+// forwards to the underlying stream when it is closable, which is the
+// only way to unblock a stuck Read on such transports.
+type plainStream struct{ io.ReadWriter }
+
+// Close forwards to the underlying stream when possible.
+func (p plainStream) Close() error {
+	if c, ok := p.ReadWriter.(io.Closer); ok {
+		return c.Close()
 	}
 	return nil
 }

@@ -1,0 +1,386 @@
+package collect
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"sync"
+	"time"
+)
+
+// ErrBreakerOpen reports a collection skipped because the target's circuit
+// breaker is open: the target failed too many consecutive cycles and is in
+// its cooldown before the next half-open probe.
+var ErrBreakerOpen = errors.New("collect: circuit breaker open")
+
+// Status classifies one target's collection outcome within a cycle.
+type Status string
+
+// The per-target cycle outcomes.
+const (
+	// StatusOK: collection succeeded on the first attempt.
+	StatusOK Status = "ok"
+	// StatusRetried: collection succeeded after at least one retry.
+	StatusRetried Status = "retried"
+	// StatusDegraded: every attempt this cycle failed; the target is
+	// skipped and its series get a gap marker.
+	StatusDegraded Status = "degraded"
+	// StatusBreakerOpen: no attempt was made; the breaker is cooling down.
+	StatusBreakerOpen Status = "breaker-open"
+)
+
+// BreakerState is a circuit breaker's position.
+type BreakerState int
+
+// Breaker states: closed (normal), open (skipping), half-open (probing).
+const (
+	BreakerClosed BreakerState = iota
+	BreakerOpen
+	BreakerHalfOpen
+)
+
+// String renders the state for health views and logs.
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	}
+	return "closed"
+}
+
+// MarshalJSON encodes the state as its string form.
+func (s BreakerState) MarshalJSON() ([]byte, error) {
+	return []byte(`"` + s.String() + `"`), nil
+}
+
+// UnmarshalJSON decodes the string form written by MarshalJSON.
+func (s *BreakerState) UnmarshalJSON(b []byte) error {
+	switch string(b) {
+	case `"closed"`:
+		*s = BreakerClosed
+	case `"open"`:
+		*s = BreakerOpen
+	case `"half-open"`:
+		*s = BreakerHalfOpen
+	default:
+		return fmt.Errorf("collect: unknown breaker state %s", b)
+	}
+	return nil
+}
+
+// Breaker is a per-target circuit breaker. It opens after a configured
+// number of consecutive failed cycles, stays open for a cooldown, then
+// admits a single half-open probe: success closes it, failure re-opens
+// it for another cooldown. Time comes from the cycle timestamps the
+// caller supplies, so breakers work identically under virtual sim time
+// and wall clocks. Breaker is not safe for concurrent use; the Collector
+// serializes access.
+type Breaker struct {
+	threshold   int
+	cooldown    time.Duration
+	state       BreakerState
+	consecutive int
+	openedAt    time.Time
+}
+
+// NewBreaker returns a closed breaker opening after threshold consecutive
+// failures and probing after cooldown.
+func NewBreaker(threshold int, cooldown time.Duration) *Breaker {
+	return &Breaker{threshold: threshold, cooldown: cooldown}
+}
+
+// Allow reports whether a collection attempt may proceed at time now,
+// transitioning an open breaker to half-open once its cooldown elapsed.
+func (b *Breaker) Allow(now time.Time) bool {
+	if b.state == BreakerOpen {
+		if now.Sub(b.openedAt) >= b.cooldown {
+			b.state = BreakerHalfOpen
+			return true
+		}
+		return false
+	}
+	return true
+}
+
+// Success records a successful cycle, closing the breaker.
+func (b *Breaker) Success() {
+	b.state = BreakerClosed
+	b.consecutive = 0
+}
+
+// Failure records a failed cycle at time now, opening the breaker when the
+// threshold is reached or a half-open probe fails.
+func (b *Breaker) Failure(now time.Time) {
+	b.consecutive++
+	if b.state == BreakerHalfOpen || b.consecutive >= b.threshold {
+		b.state = BreakerOpen
+		b.openedAt = now
+	}
+}
+
+// State returns the breaker's current position.
+func (b *Breaker) State() BreakerState { return b.state }
+
+// Consecutive returns the current run of failed cycles.
+func (b *Breaker) Consecutive() int { return b.consecutive }
+
+// Policy configures the resilient collection path: per-cycle retries with
+// exponential backoff and deterministic jitter, circuit breaking, and dump
+// validation. The zero value means "all defaults" — see DefaultPolicy.
+type Policy struct {
+	// MaxAttempts is the number of collection attempts per target per
+	// cycle; 0 means 3.
+	MaxAttempts int
+	// BaseDelay is the backoff before the first retry; 0 means 100 ms.
+	// Each further retry doubles it, capped at MaxDelay (0 means 2 s).
+	BaseDelay time.Duration
+	MaxDelay  time.Duration
+	// JitterSeed perturbs the deterministic backoff jitter so distinct
+	// deployments desynchronize; any fixed value keeps runs reproducible.
+	JitterSeed int64
+	// BreakerThreshold is the consecutive failed cycles before a target's
+	// breaker opens; 0 means 5.
+	BreakerThreshold int
+	// BreakerCooldown is how long an open breaker waits before admitting
+	// a half-open probe; 0 means 5 minutes.
+	BreakerCooldown time.Duration
+	// DisableValidation skips the structural dump validation that rejects
+	// truncated or garbled output before parsing.
+	DisableValidation bool
+	// Sleep is the backoff clock, overridable in tests; nil means
+	// time.Sleep.
+	Sleep func(time.Duration)
+}
+
+// DefaultPolicy returns the production defaults: 3 attempts, 100 ms base
+// backoff capped at 2 s, breaker opening after 5 failed cycles with a
+// 5-minute cooldown, validation on.
+func DefaultPolicy() Policy { return Policy{}.withDefaults() }
+
+func (p Policy) withDefaults() Policy {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = 3
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = 100 * time.Millisecond
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = 2 * time.Second
+	}
+	if p.BreakerThreshold <= 0 {
+		p.BreakerThreshold = 5
+	}
+	if p.BreakerCooldown <= 0 {
+		p.BreakerCooldown = 5 * time.Minute
+	}
+	if p.Sleep == nil {
+		p.Sleep = time.Sleep
+	}
+	return p
+}
+
+// Backoff returns the delay before retry attempt (attempt ≥ 1) against the
+// named target: exponential from BaseDelay capped at MaxDelay, scaled into
+// [0.5, 1.0) by a jitter derived deterministically from the target name,
+// attempt number and JitterSeed — retries desynchronize across targets
+// without a shared random source, and identical runs stay identical.
+func (p Policy) Backoff(target string, attempt int) time.Duration {
+	p = p.withDefaults()
+	if attempt < 1 {
+		attempt = 1
+	}
+	d := p.BaseDelay
+	for i := 1; i < attempt && d < p.MaxDelay; i++ {
+		d *= 2
+	}
+	if d > p.MaxDelay {
+		d = p.MaxDelay
+	}
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s/%d/%d", target, attempt, p.JitterSeed)
+	frac := 0.5 + 0.5*float64(h.Sum64()%1024)/1024
+	return time.Duration(float64(d) * frac)
+}
+
+// TargetHealth is the operator-facing view of one target's collection
+// health, exposed through Monitor.Health and the HTTP /health endpoint.
+type TargetHealth struct {
+	Target              string       `json:"target"`
+	Breaker             BreakerState `json:"breaker"`
+	ConsecutiveFailures int          `json:"consecutive_failures"`
+	TotalCycles         int          `json:"total_cycles"`
+	TotalFailures       int          `json:"total_failures"`
+	LastStatus          Status       `json:"last_status,omitempty"`
+	LastSuccess         time.Time    `json:"last_success"`
+	LastError           string       `json:"last_error,omitempty"`
+}
+
+// Result is the per-target outcome of one resilient collection.
+type Result struct {
+	Target   string
+	Status   Status
+	Attempts int
+	// Dumps holds the captured tables on success, nil otherwise.
+	Dumps []Dump
+	// Err is the last attempt's error when the cycle failed.
+	Err error
+	// Breaker is the target's breaker state after this cycle.
+	Breaker BreakerState
+}
+
+// Collector wraps CollectAll with the resilience the paper's Mantra needed
+// to run unattended for months against flaky routers: per-cycle retries
+// with backoff, structural dump validation, a per-target circuit breaker,
+// and a health ledger. It is safe for concurrent use across targets.
+type Collector struct {
+	policy Policy
+
+	mu      sync.Mutex
+	targets map[string]*targetState
+}
+
+type targetState struct {
+	breaker *Breaker
+	health  TargetHealth
+}
+
+// NewCollector returns a collector applying policy (zero fields take the
+// defaults of DefaultPolicy).
+func NewCollector(policy Policy) *Collector {
+	return &Collector{
+		policy:  policy.withDefaults(),
+		targets: make(map[string]*targetState),
+	}
+}
+
+// Policy returns the collector's normalized policy.
+func (c *Collector) Policy() Policy { return c.policy }
+
+func (c *Collector) state(name string) *targetState {
+	st := c.targets[name]
+	if st == nil {
+		st = &targetState{
+			breaker: NewBreaker(c.policy.BreakerThreshold, c.policy.BreakerCooldown),
+			health:  TargetHealth{Target: name},
+		}
+		c.targets[name] = st
+	}
+	return st
+}
+
+// Collect performs one resilient collection of the target: breaker check,
+// up to MaxAttempts tries with backoff between them, and dump validation.
+// It never panics and never blocks past the per-step timeouts; a target
+// that cannot be collected comes back as StatusDegraded (or
+// StatusBreakerOpen when skipped) with the last error attached.
+func (c *Collector) Collect(t Target, commands []string, now time.Time) Result {
+	c.mu.Lock()
+	st := c.state(t.Name)
+	allowed := st.breaker.Allow(now)
+	if !allowed {
+		st.health.TotalCycles++
+		st.health.LastStatus = StatusBreakerOpen
+		res := Result{
+			Target:  t.Name,
+			Status:  StatusBreakerOpen,
+			Err:     fmt.Errorf("%w: %s skipped", ErrBreakerOpen, t.Name),
+			Breaker: st.breaker.State(),
+		}
+		c.mu.Unlock()
+		return res
+	}
+	c.mu.Unlock()
+
+	var lastErr error
+	attempts := 0
+	for attempt := 0; attempt < c.policy.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			c.policy.Sleep(c.policy.Backoff(t.Name, attempt))
+		}
+		attempts++
+		dumps, err := CollectAll(t, commands, now)
+		if err == nil && !c.policy.DisableValidation {
+			err = ValidateDumps(t.Prompt, dumps)
+		}
+		if err == nil {
+			status := StatusOK
+			if attempt > 0 {
+				status = StatusRetried
+			}
+			br := c.record(t.Name, now, status, "")
+			return Result{Target: t.Name, Status: status, Attempts: attempts, Dumps: dumps, Breaker: br}
+		}
+		lastErr = err
+	}
+	br := c.record(t.Name, now, StatusDegraded, lastErr.Error())
+	return Result{
+		Target:   t.Name,
+		Status:   StatusDegraded,
+		Attempts: attempts,
+		Err:      fmt.Errorf("collect %s: degraded after %d attempts: %w", t.Name, attempts, lastErr),
+		Breaker:  br,
+	}
+}
+
+// RecordFailure feeds an out-of-band per-target failure — e.g. a snapshot
+// parse error downstream of collection — into the breaker and health
+// ledger, so corrupted cycles count toward opening the breaker even when
+// the CLI session itself succeeded.
+func (c *Collector) RecordFailure(name string, now time.Time, err error) {
+	detail := ""
+	if err != nil {
+		detail = err.Error()
+	}
+	c.record(name, now, StatusDegraded, detail)
+}
+
+// record updates breaker and health for one finished cycle and returns the
+// breaker state after the transition.
+func (c *Collector) record(name string, now time.Time, status Status, lastErr string) BreakerState {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := c.state(name)
+	st.health.TotalCycles++
+	st.health.LastStatus = status
+	switch status {
+	case StatusOK, StatusRetried:
+		st.breaker.Success()
+		st.health.LastSuccess = now
+		st.health.LastError = ""
+	default:
+		st.breaker.Failure(now)
+		st.health.TotalFailures++
+		st.health.LastError = lastErr
+	}
+	st.health.Breaker = st.breaker.State()
+	st.health.ConsecutiveFailures = st.breaker.Consecutive()
+	return st.breaker.State()
+}
+
+// Health returns a snapshot of every tracked target's health, sorted by
+// target name.
+func (c *Collector) Health() []TargetHealth {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]TargetHealth, 0, len(c.targets))
+	for _, st := range c.targets {
+		out = append(out, st.health)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Target < out[j].Target })
+	return out
+}
+
+// TargetHealth returns one target's health and whether it has been
+// collected (or skipped) at least once.
+func (c *Collector) TargetHealth(name string) (TargetHealth, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st, ok := c.targets[name]
+	if !ok {
+		return TargetHealth{Target: name}, false
+	}
+	return st.health, true
+}

@@ -1,0 +1,131 @@
+package collect
+
+import (
+	"errors"
+	"fmt"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// ErrTruncated reports a dump that arrived structurally incomplete — cut
+// mid-line, missing declared table rows, or empty where a table header was
+// required.
+var ErrTruncated = errors.New("collect: truncated dump")
+
+// ErrGarbled reports a dump whose content is corrupted — non-printable
+// bytes, a mangled table header, prompt echoes inside the body, or more
+// rows than the header declared.
+var ErrGarbled = errors.New("collect: garbled dump")
+
+// tableHeaders maps each standard show command to the prefix of its dump's
+// header line. Every table header also declares its entry count, which
+// lets validation catch a session that died mid-table even though the
+// prompt still arrived.
+var tableHeaders = map[string]string{
+	"show ip dvmrp route":    "DVMRP Routing Table",
+	"show ip dvmrp neighbor": "DVMRP Neighbor Table",
+	"show ip mroute":         "IP Multicast Forwarding Table",
+	"show ip igmp groups":    "IGMP Group Membership",
+	"show ip pim group":      "PIM Group Table",
+	"show ip pim neighbor":   "PIM Neighbor Table",
+	"show ip msdp sa-cache":  "MSDP Source-Active Cache",
+	"show ip mbgp":           "MBGP Table",
+}
+
+// headerCountRE extracts the declared counts from a table header line,
+// e.g. "... - 12 entries" or "... - 3 groups, 7 members".
+var headerCountRE = regexp.MustCompile(`- (\d+) (entries|neighbors|groups)(?:, (\d+) members)?$`)
+
+// ValidateDump checks the structural integrity of one raw table dump
+// before it reaches the table parsers: a mid-line cut, a row count short
+// of what the header declares, prompt echoes corrupting the body, or
+// non-printable garbage all reject the dump. Unknown commands get only
+// the generic checks; the standard show commands are additionally held to
+// their table layout.
+func ValidateDump(prompt, command, raw string) error {
+	header, known := tableHeaders[command]
+	if raw == "" {
+		if known {
+			return fmt.Errorf("%w: empty %q dump", ErrTruncated, command)
+		}
+		return nil
+	}
+	if !strings.HasSuffix(raw, "\n") {
+		return fmt.Errorf("%w: %q output cut mid-line", ErrTruncated, command)
+	}
+	if prompt != "" && strings.Contains(raw, prompt) {
+		return fmt.Errorf("%w: prompt echo inside %q dump", ErrGarbled, command)
+	}
+	// One fused byte scan checks printability and counts non-blank lines
+	// without materializing them; only the header line becomes a string.
+	// The dumps are ASCII, so byte checks suffice (any UTF-8 continuation
+	// byte is >0x7e and rejected just like a rune check would).
+	var first string
+	total := 0
+	start := 0
+	blank := true
+	for i := 0; i <= len(raw); i++ {
+		c := byte('\n')
+		if i < len(raw) {
+			c = raw[i]
+		}
+		switch {
+		case c == '\n':
+			if !blank {
+				if total == 0 {
+					first = strings.TrimRight(raw[start:i], "\r")
+				}
+				total++
+			}
+			start = i + 1
+			blank = true
+		case c == '\r' || c == '\t' || c == ' ':
+		case c < 0x20 || c > 0x7e:
+			return fmt.Errorf("%w: non-printable byte in %q dump", ErrGarbled, command)
+		default:
+			blank = false
+		}
+	}
+	if !known {
+		return nil
+	}
+	if total == 0 {
+		return fmt.Errorf("%w: empty %q dump", ErrTruncated, command)
+	}
+	if !strings.HasPrefix(first, header) {
+		return fmt.Errorf("%w: %q header mangled: %q", ErrGarbled, command, first)
+	}
+	m := headerCountRE.FindStringSubmatch(first)
+	if m == nil {
+		return fmt.Errorf("%w: %q header count unreadable: %q", ErrGarbled, command, first)
+	}
+	declared, _ := strconv.Atoi(m[1])
+	if m[3] != "" {
+		// IGMP declares "N groups, M members"; the body has one row per member.
+		declared, _ = strconv.Atoi(m[3])
+	}
+	if declared == 0 {
+		return nil
+	}
+	// Header line, column-header line, then exactly `declared` rows.
+	rows := total - 2
+	if rows < declared {
+		return fmt.Errorf("%w: %q table has %d of %d declared rows", ErrTruncated, command, rows, declared)
+	}
+	if rows > declared {
+		return fmt.Errorf("%w: %q table has %d rows against %d declared", ErrGarbled, command, rows, declared)
+	}
+	return nil
+}
+
+// ValidateDumps runs ValidateDump over a full cycle's dump set, returning
+// the first structural defect found.
+func ValidateDumps(prompt string, dumps []Dump) error {
+	for _, d := range dumps {
+		if err := ValidateDump(prompt, d.Command, d.Raw); err != nil {
+			return err
+		}
+	}
+	return nil
+}

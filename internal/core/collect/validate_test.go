@@ -1,0 +1,137 @@
+package collect_test
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/core/collect"
+)
+
+func TestValidateDumpAcceptsRealOutput(t *testing.T) {
+	n := testNetwork(t)
+	dumps, err := collect.CollectAll(target(n, "fixw", "pw"), collect.StandardCommands, n.Now())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := collect.ValidateDumps("fixw> ", dumps); err != nil {
+		t.Errorf("clean dumps rejected: %v", err)
+	}
+}
+
+func TestValidateDump(t *testing.T) {
+	const cmd = "show ip dvmrp route"
+	cases := []struct {
+		name string
+		cmd  string
+		raw  string
+		want error // nil means accept
+	}{
+		{
+			name: "valid",
+			cmd:  cmd,
+			raw:  "DVMRP Routing Table - 2 entries\nOrigin Gateway Metric Uptime\n10.0.0.0/8 local 1 0:01:00\n10.1.0.0/16 local 1 0:01:00\n",
+		},
+		{
+			name: "valid zero entries",
+			cmd:  cmd,
+			raw:  "DVMRP Routing Table - 0 entries\n",
+		},
+		{
+			name: "valid crlf lines",
+			cmd:  cmd,
+			raw:  "DVMRP Routing Table - 1 entries\r\nOrigin Gateway Metric Uptime\r\n10.0.0.0/8 local 1 0:01:00\r\n",
+		},
+		{
+			name: "valid igmp members count",
+			cmd:  "show ip igmp groups",
+			raw:  "IGMP Group Membership - 2 groups, 3 members\nGroup Host Uptime\nr1\nr2\nr3\n",
+		},
+		{
+			name: "valid unknown command",
+			cmd:  "show version",
+			raw:  "fixw uptime is 24:00:00\n",
+		},
+		{
+			name: "empty unknown command",
+			cmd:  "show version",
+			raw:  "",
+		},
+		{
+			name: "empty known command",
+			cmd:  cmd,
+			raw:  "",
+			want: collect.ErrTruncated,
+		},
+		{
+			name: "cut mid-line",
+			cmd:  cmd,
+			raw:  "DVMRP Routing Table - 2 entries\nOrigin Gateway Metric Uptime\n10.0.0.0/8 loc",
+			want: collect.ErrTruncated,
+		},
+		{
+			name: "missing declared rows",
+			cmd:  cmd,
+			raw:  "DVMRP Routing Table - 3 entries\nOrigin Gateway Metric Uptime\n10.0.0.0/8 local 1 0:01:00\n",
+			want: collect.ErrTruncated,
+		},
+		{
+			name: "extra rows",
+			cmd:  cmd,
+			raw:  "DVMRP Routing Table - 1 entries\nOrigin Gateway Metric Uptime\nrow\nrow\n",
+			want: collect.ErrGarbled,
+		},
+		{
+			name: "mangled header",
+			cmd:  cmd,
+			raw:  "DVM\x10P Routing Table - 1 entries\nOrigin Gateway Metric Uptime\nrow\n",
+			want: collect.ErrGarbled,
+		},
+		{
+			name: "header count unreadable",
+			cmd:  cmd,
+			raw:  "DVMRP Routing Table\nOrigin Gateway Metric Uptime\nrow\n",
+			want: collect.ErrGarbled,
+		},
+		{
+			name: "prompt echo in body",
+			cmd:  cmd,
+			raw:  "DVMRP Routing Table - 1 entries\nOrigin Gateway Metric Uptime\nfixw> row\n",
+			want: collect.ErrGarbled,
+		},
+		{
+			name: "non-printable noise",
+			cmd:  cmd,
+			raw:  "DVMRP Routing Table - 1 entries\nOrigin Gateway Metric Uptime\nrow\x01\x02\x03\n",
+			want: collect.ErrGarbled,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := collect.ValidateDump("fixw> ", tc.cmd, tc.raw)
+			if tc.want == nil {
+				if err != nil {
+					t.Errorf("rejected: %v", err)
+				}
+				return
+			}
+			if !errors.Is(err, tc.want) {
+				t.Errorf("err = %v, want %v", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestValidateDumpsReportsFirstDefect(t *testing.T) {
+	at := time.Unix(0, 0)
+	dumps := []collect.Dump{
+		{Target: "fixw", Command: "show version", Raw: "ok\n", At: at},
+		{Target: "fixw", Command: "show ip dvmrp route", Raw: "DVMRP Routing Table - 1 entries\ncols\nro", At: at},
+	}
+	if err := collect.ValidateDumps("fixw> ", dumps); !errors.Is(err, collect.ErrTruncated) {
+		t.Errorf("err = %v, want ErrTruncated", err)
+	}
+	if err := collect.ValidateDumps("fixw> ", dumps[:1]); err != nil {
+		t.Errorf("clean prefix rejected: %v", err)
+	}
+}

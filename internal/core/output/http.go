@@ -16,6 +16,7 @@ type Server struct {
 	mux    *http.ServeMux
 	proc   *process.Processor
 	tables map[string]*Table
+	health func() any
 }
 
 // NewServer returns a server over a processor's live series. Summary
@@ -31,8 +32,13 @@ func NewServer(p *process.Processor) *Server {
 	s.mux.HandleFunc("/graph/", s.handleGraph)
 	s.mux.HandleFunc("/tables/", s.handleTable)
 	s.mux.HandleFunc("/anomalies", s.handleAnomalies)
+	s.mux.HandleFunc("/health", s.handleHealth)
 	return s
 }
+
+// SetHealth installs the health snapshot source served at /health — the
+// monitor wires its per-target collection health view here.
+func (s *Server) SetHealth(fn func() any) { s.health = fn }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
@@ -81,12 +87,27 @@ func (s *Server) handleSeries(w http.ResponseWriter, r *http.Request) {
 	type point struct {
 		T time.Time `json:"t"`
 		V float64   `json:"v"`
+		// Gap marks a cycle in which collection failed; V is meaningless.
+		Gap bool `json:"gap,omitempty"`
 	}
-	pts := make([]point, series.Len())
+	pts := make([]point, 0, series.Len()+len(series.Gaps))
 	for i := range series.Values {
-		pts[i] = point{T: series.Times[i], V: series.Values[i]}
+		pts = append(pts, point{T: series.Times[i], V: series.Values[i]})
 	}
+	for _, g := range series.Gaps {
+		pts = append(pts, point{T: g, Gap: true})
+	}
+	sort.SliceStable(pts, func(i, j int) bool { return pts[i].T.Before(pts[j].T) })
 	writeJSON(w, pts)
+}
+
+// handleHealth serves the per-target collection health view as JSON.
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	if s.health == nil {
+		http.NotFound(w, r)
+		return
+	}
+	writeJSON(w, s.health())
 }
 
 // handleGraph serves /graph/<target>/<metric> as an ASCII chart.

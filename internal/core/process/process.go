@@ -53,6 +53,10 @@ var AllMetrics = []Metric{
 type Series struct {
 	Times  []time.Time
 	Values []float64
+	// Gaps holds the cycle timestamps at which collection failed and no
+	// value could be recorded — explicit markers so degraded cycles are
+	// visible in the outputs instead of silently missing.
+	Gaps []time.Time
 }
 
 // Append adds one point.
@@ -60,6 +64,14 @@ func (s *Series) Append(t time.Time, v float64) {
 	s.Times = append(s.Times, t)
 	s.Values = append(s.Values, v)
 }
+
+// MarkGap records a failed cycle at time t.
+func (s *Series) MarkGap(t time.Time) {
+	s.Gaps = append(s.Gaps, t)
+}
+
+// GapCount returns the number of failed cycles recorded.
+func (s *Series) GapCount() int { return len(s.Gaps) }
 
 // Len returns the number of points.
 func (s *Series) Len() int { return len(s.Values) }
@@ -203,6 +215,16 @@ func (p *Processor) seriesFor(target string) map[Metric]*Series {
 		p.series[target] = ts
 	}
 	return ts
+}
+
+// MarkGap records a failed collection cycle for a target at time at: every
+// series of that target gets an explicit gap marker, so downstream
+// consumers can distinguish "no data because the target was down" from
+// "series not yet started". The target's series are created if absent.
+func (p *Processor) MarkGap(target string, at time.Time) {
+	for _, s := range p.seriesFor(target) {
+		s.MarkGap(at)
+	}
 }
 
 // Ingest processes one cycle snapshot: computes the cycle statistics,

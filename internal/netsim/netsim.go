@@ -242,6 +242,19 @@ func (n *Network) Router(name string) *router.Router {
 // RouterByID returns a router handle by node ID, or nil.
 func (n *Network) RouterByID(id topo.NodeID) *router.Router { return n.routers[id] }
 
+// FaultyRouter wraps the named router's CLI in the session-fault layer,
+// drawing faults from an independent stream forked off the sim RNG so
+// chaos experiments reproduce exactly per seed. Returns nil for unknown
+// routers. The wrapper implements the collector's SessionHandler contract
+// and plugs straight into collect.PipeDialer.
+func (n *Network) FaultyRouter(name string, profile router.FaultProfile) *router.FaultyRouter {
+	r := n.Router(name)
+	if r == nil {
+		return nil
+	}
+	return router.NewFaultyRouter(r, profile, n.rng.Fork())
+}
+
 // Cycles returns how many Steps have run.
 func (n *Network) Cycles() uint64 { return n.cycles }
 

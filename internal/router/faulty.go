@@ -1,0 +1,242 @@
+// Session-fault injection: a wrapper that subjects the router CLI to the
+// failure modes the paper's Mantra faced against real routers — refused
+// connections, rejected logins, sessions hanging mid-dump, truncated and
+// garbled output, dropped connections. Faults are drawn from an injected
+// deterministic random stream so chaos runs reproduce exactly per seed.
+package router
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+)
+
+// Injected-fault errors, returned by the session handler so transports
+// close the stream the way a real failure would.
+var (
+	ErrFaultRefused = errors.New("router: connection refused (injected fault)")
+	ErrFaultDropped = errors.New("router: session dropped (injected fault)")
+)
+
+// Rand is the random source the fault layer draws from; *sim.RNG
+// implements it.
+type Rand interface {
+	Float64() float64
+	Intn(n int) int
+}
+
+// FaultProfile configures per-session fault probabilities. At most one
+// fault is injected per session, drawn once at session start; the
+// probabilities should sum to at most 1, with the remainder serving the
+// session cleanly.
+type FaultProfile struct {
+	// RefuseConn closes the stream before any output.
+	RefuseConn float64
+	// RejectLogin prompts for a password and denies whatever arrives.
+	RejectLogin float64
+	// Hang serves output normally up to a byte budget, then goes silent
+	// while keeping the stream open — the classic stuck session.
+	Hang float64
+	// Truncate cuts long command outputs mid-dump; the prompt still
+	// arrives, so only dump validation can catch it.
+	Truncate float64
+	// Garble corrupts random output lines with noise bytes.
+	Garble float64
+	// Drop severs the stream after a byte budget, mid-whatever.
+	Drop float64
+
+	// TruncateAfter bounds how many bytes survive truncation, hangs and
+	// drops; 0 means 200.
+	TruncateAfter int
+	// GarblePerLine is the chance each output line is corrupted within a
+	// garbling session; 0 means 0.25.
+	GarblePerLine float64
+}
+
+// Total returns the combined per-session fault probability.
+func (p FaultProfile) Total() float64 {
+	return p.RefuseConn + p.RejectLogin + p.Hang + p.Truncate + p.Garble + p.Drop
+}
+
+func (p FaultProfile) truncateAfter() int {
+	if p.TruncateAfter <= 0 {
+		return 200
+	}
+	return p.TruncateAfter
+}
+
+func (p FaultProfile) garblePerLine() float64 {
+	if p.GarblePerLine <= 0 {
+		return 0.25
+	}
+	return p.GarblePerLine
+}
+
+// FaultyRouter wraps a Router's CLI with the session-fault layer. It
+// implements the same HandleSession contract as Router, so it drops into
+// any dialer that serves in-process sessions. Profile may be swapped
+// between sessions (e.g. to heal a router and watch breakers recover);
+// swapping it while sessions are in flight is not synchronized.
+type FaultyRouter struct {
+	R       *Router
+	Profile FaultProfile
+
+	mu       sync.Mutex
+	rand     Rand
+	injected map[string]int
+}
+
+// NewFaultyRouter wraps r with fault injection drawing from rnd.
+func NewFaultyRouter(r *Router, profile FaultProfile, rnd Rand) *FaultyRouter {
+	return &FaultyRouter{R: r, Profile: profile, rand: rnd, injected: make(map[string]int)}
+}
+
+// Injected returns a copy of the per-mode injected-fault counts.
+func (f *FaultyRouter) Injected() map[string]int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make(map[string]int, len(f.injected))
+	for k, v := range f.injected {
+		out[k] = v
+	}
+	return out
+}
+
+// drawMode picks at most one fault for a new session.
+func (f *FaultyRouter) drawMode() string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	x := f.rand.Float64()
+	for _, m := range []struct {
+		name string
+		p    float64
+	}{
+		{"refuse", f.Profile.RefuseConn},
+		{"reject-login", f.Profile.RejectLogin},
+		{"hang", f.Profile.Hang},
+		{"truncate", f.Profile.Truncate},
+		{"garble", f.Profile.Garble},
+		{"drop", f.Profile.Drop},
+	} {
+		if x < m.p {
+			f.injected[m.name]++
+			return m.name
+		}
+		x -= m.p
+	}
+	return ""
+}
+
+// cut draws the byte budget after which a hang/drop/truncate fault trips.
+func (f *FaultyRouter) cut() int {
+	k := f.Profile.truncateAfter()
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return k/2 + f.rand.Intn(k/2+1)
+}
+
+// HandleSession serves one CLI session, possibly under an injected fault.
+func (f *FaultyRouter) HandleSession(rw io.ReadWriter) error {
+	switch f.drawMode() {
+	case "refuse":
+		return ErrFaultRefused
+	case "reject-login":
+		return rejectLogin(rw)
+	case "hang":
+		// After the byte budget the stream stays open but silent; the
+		// session ends when the starved peer gives up and closes.
+		return f.R.handleSessionWith(&faultStream{rw: rw, remaining: f.cut(), silent: true}, f.R.Execute)
+	case "drop":
+		return f.R.handleSessionWith(&faultStream{rw: rw, remaining: f.cut()}, f.R.Execute)
+	case "truncate":
+		return f.R.handleSessionWith(rw, f.truncatingExec)
+	case "garble":
+		return f.R.handleSessionWith(rw, f.garblingExec)
+	}
+	return f.R.HandleSession(rw)
+}
+
+// rejectLogin mimics a router that prompts but denies every credential.
+func rejectLogin(rw io.ReadWriter) error {
+	w := bufio.NewWriter(rw)
+	if _, err := w.WriteString("Password: "); err != nil {
+		return err
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	scan := bufio.NewScanner(rw)
+	scan.Scan()
+	fmt.Fprintln(w, "% Bad passwords")
+	return w.Flush()
+}
+
+// truncatingExec cuts any output longer than the session's byte budget,
+// leaving the session protocol (and the trailing prompt) intact.
+func (f *FaultyRouter) truncatingExec(cmd string) string {
+	out := f.R.Execute(cmd)
+	if k := f.cut(); len(out) > k {
+		return out[:k]
+	}
+	return out
+}
+
+// garblingExec corrupts a window of random output lines with noise bytes.
+func (f *FaultyRouter) garblingExec(cmd string) string {
+	out := f.R.Execute(cmd)
+	lines := strings.Split(out, "\n")
+	perLine := f.Profile.garblePerLine()
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for i, ln := range lines {
+		if ln == "" || f.rand.Float64() >= perLine {
+			continue
+		}
+		b := []byte(ln)
+		start := f.rand.Intn(len(b))
+		for j := start; j < len(b) && j < start+8; j++ {
+			b[j] = byte(1 + f.rand.Intn(31))
+		}
+		lines[i] = string(b)
+	}
+	return strings.Join(lines, "\n")
+}
+
+// faultStream passes writes through until a byte budget is exhausted, then
+// either swallows them silently (hang) or fails them (drop). Reads pass
+// through untouched so the session protocol keeps consuming input.
+type faultStream struct {
+	rw        io.ReadWriter
+	remaining int
+	silent    bool
+	tripped   bool
+}
+
+// Read implements io.Reader.
+func (s *faultStream) Read(p []byte) (int, error) { return s.rw.Read(p) }
+
+// Write implements io.Writer under the fault budget.
+func (s *faultStream) Write(p []byte) (int, error) {
+	if s.tripped {
+		if s.silent {
+			return len(p), nil
+		}
+		return 0, ErrFaultDropped
+	}
+	if len(p) <= s.remaining {
+		s.remaining -= len(p)
+		return s.rw.Write(p)
+	}
+	n, err := s.rw.Write(p[:s.remaining])
+	s.tripped = true
+	if err != nil {
+		return n, err
+	}
+	if s.silent {
+		return len(p), nil
+	}
+	return n, ErrFaultDropped
+}

@@ -322,6 +322,13 @@ func (r *Router) showMBGP() string {
 // lines: a "Password: " prompt (if a password is set), then "<name)> "
 // prompts. This is what the collector's expect scripts drive.
 func (r *Router) HandleSession(rw io.ReadWriter) error {
+	return r.handleSessionWith(rw, r.Execute)
+}
+
+// handleSessionWith is HandleSession with a pluggable command executor,
+// the seam the fault-injection layer uses to corrupt dumps without
+// duplicating the session protocol.
+func (r *Router) handleSessionWith(rw io.ReadWriter, exec func(string) string) error {
 	w := bufio.NewWriter(rw)
 	scan := bufio.NewScanner(rw)
 	scan.Buffer(make([]byte, 64*1024), 1024*1024)
@@ -363,7 +370,7 @@ func (r *Router) HandleSession(rw io.ReadWriter) error {
 			fmt.Fprintln(w, "Connection closed.")
 			return w.Flush()
 		}
-		if _, err := w.WriteString(r.Execute(line)); err != nil {
+		if _, err := w.WriteString(exec(line)); err != nil {
 			return err
 		}
 	}

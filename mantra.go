@@ -28,7 +28,6 @@
 package mantra
 
 import (
-	"fmt"
 	"net/http"
 	"time"
 
@@ -79,6 +78,11 @@ type Monitor struct {
 	log     *logger.Logger
 	proc    *process.Processor
 	server  *output.Server
+	// collector is the resilient collection path: retries, per-target
+	// circuit breakers, dump validation, health ledger.
+	collector *collect.Collector
+	// lastResults holds the per-target outcomes of the latest cycle.
+	lastResults []CollectResult
 	// latest holds the most recent snapshot per target.
 	latest map[string]*tables.Snapshot
 	// stability tracks per-prefix route stability per target.
@@ -92,14 +96,17 @@ type Monitor struct {
 // (4 kbps sender threshold, standard command set).
 func New() *Monitor {
 	p := process.New()
-	return &Monitor{
+	m := &Monitor{
 		Commands:  append([]string(nil), collect.StandardCommands...),
 		log:       logger.New(),
 		proc:      p,
 		server:    output.NewServer(p),
+		collector: collect.NewCollector(collect.DefaultPolicy()),
 		latest:    make(map[string]*tables.Snapshot),
 		stability: make(map[string]*process.RouteStability),
 	}
+	m.server.SetHealth(func() any { return m.Health() })
+	return m
 }
 
 // AddTarget registers a router to be polled each cycle.
@@ -116,29 +123,20 @@ func (m *Monitor) Targets() []string {
 	return out
 }
 
-// RunCycle performs one full monitoring cycle stamped at now: collection,
+// RunCycle performs one full monitoring cycle stamped at now: resilient
+// collection (retries, per-target circuit breakers, dump validation),
 // table processing, delta logging, statistics, and summary-table refresh.
-// It returns per-target statistics; a target that fails to collect aborts
-// the cycle with an error identifying it.
+// It returns per-target statistics for the targets that produced a
+// snapshot. A failing target no longer aborts the cycle: it is skipped,
+// recorded in Health and LastResults, and its series get an explicit gap
+// marker. The cycle errs (with ErrAllTargetsFailed) only when every
+// target failed.
 func (m *Monitor) RunCycle(now time.Time) ([]CycleStats, error) {
-	var out []CycleStats
+	outcomes := make([]cycleOutcome, 0, len(m.targets))
 	for _, t := range m.targets {
-		dumps, err := collect.CollectAll(t, m.Commands, now)
-		if err != nil {
-			return out, fmt.Errorf("mantra: %w", err)
-		}
-		sn, err := tables.BuildSnapshot(dumps)
-		if err != nil {
-			return out, fmt.Errorf("mantra: %w", err)
-		}
-		m.log.Append(sn)
-		st := m.proc.Ingest(sn)
-		m.observeStability(sn)
-		m.latest[t.Name] = sn
-		m.refreshTables(t.Name, sn)
-		out = append(out, st)
+		outcomes = append(outcomes, m.collectTarget(t, now))
 	}
-	return out, nil
+	return m.processOutcomes(now, outcomes)
 }
 
 // observeStability folds a snapshot into its target's stability tracker.

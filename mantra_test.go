@@ -1,6 +1,8 @@
 package mantra_test
 
 import (
+	"encoding/json"
+	"errors"
 	"net/http/httptest"
 	"strings"
 	"testing"
@@ -123,8 +125,12 @@ func TestMonitorHTTPEndToEnd(t *testing.T) {
 	}
 }
 
-func TestMonitorFailedTargetAborts(t *testing.T) {
+func TestMonitorFailedTargetDegrades(t *testing.T) {
 	n, m := newMonitoredNetwork(t)
+	m.SetCollectPolicy(collect.Policy{
+		MaxAttempts: 2,
+		Sleep:       func(time.Duration) {},
+	})
 	m.AddTarget(mantra.Target{
 		Name:    "dead",
 		Dialer:  collect.TCPDialer{Addr: "127.0.0.1:1", Timeout: 100 * time.Millisecond},
@@ -133,14 +139,91 @@ func TestMonitorFailedTargetAborts(t *testing.T) {
 	})
 	n.Step()
 	stats, err := m.RunCycle(n.Now())
-	if err == nil {
-		t.Fatal("expected error from dead target")
+	if err != nil {
+		t.Fatalf("dead target aborted the cycle: %v", err)
 	}
 	if len(stats) != 2 {
 		t.Errorf("live targets collected = %d, want 2", len(stats))
 	}
+	results := m.LastResults()
+	if len(results) != 3 {
+		t.Fatalf("results = %d targets, want 3", len(results))
+	}
+	dead := results[2]
+	if dead.Target != "dead" || dead.Status != collect.StatusDegraded || dead.Err == nil {
+		t.Errorf("dead result = %+v", dead)
+	}
+	if dead.Attempts != 2 {
+		t.Errorf("dead attempts = %d, want 2", dead.Attempts)
+	}
+	health := m.Health()
+	if len(health) != 3 {
+		t.Fatalf("health = %d targets, want 3", len(health))
+	}
+	if h := health[2]; h.ConsecutiveFailures != 1 || h.LastError == "" {
+		t.Errorf("dead health = %+v", h)
+	}
+	if h := health[0]; h.ConsecutiveFailures != 0 || h.LastStatus != collect.StatusOK {
+		t.Errorf("fixw health = %+v", h)
+	}
+	// The dead target's series must carry an explicit gap marker.
+	if s := m.Series("dead", mantra.MetricSessions); s == nil || s.GapCount() != 1 || s.Len() != 0 {
+		t.Errorf("dead series gaps wrong: %+v", s)
+	}
+	if s := m.Series("fixw", mantra.MetricSessions); s.GapCount() != 0 || s.Len() != 1 {
+		t.Errorf("fixw series has spurious gaps: %+v", s)
+	}
+}
+
+func TestMonitorAllTargetsFailed(t *testing.T) {
+	m := mantra.New()
+	m.SetCollectPolicy(collect.Policy{
+		MaxAttempts: 1,
+		Sleep:       func(time.Duration) {},
+	})
+	m.AddTarget(mantra.Target{
+		Name:    "dead",
+		Dialer:  collect.TCPDialer{Addr: "127.0.0.1:1", Timeout: 100 * time.Millisecond},
+		Prompt:  "dead> ",
+		Timeout: 100 * time.Millisecond,
+	})
+	stats, err := m.RunCycle(time.Unix(0, 0).UTC())
+	if !errors.Is(err, mantra.ErrAllTargetsFailed) {
+		t.Fatalf("err = %v, want ErrAllTargetsFailed", err)
+	}
+	if len(stats) != 0 {
+		t.Errorf("stats = %d, want 0", len(stats))
+	}
 	if !strings.Contains(err.Error(), "mantra:") {
 		t.Errorf("error not wrapped: %v", err)
+	}
+}
+
+func TestMonitorHealthEndpoint(t *testing.T) {
+	n, m := newMonitoredNetwork(t)
+	n.Step()
+	if _, err := m.RunCycle(n.Now()); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(m.Handler())
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL + "/health")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("/health -> %d", resp.StatusCode)
+	}
+	var health []mantra.TargetHealth
+	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	if len(health) != 2 {
+		t.Fatalf("health = %d targets, want 2", len(health))
+	}
+	if h := health[0]; h.Target != "fixw" || h.Breaker != collect.BreakerClosed || h.TotalCycles != 1 {
+		t.Errorf("fixw health = %+v", h)
 	}
 }
 

@@ -1,0 +1,133 @@
+package mantra
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/core/collect"
+	"repro/internal/core/tables"
+)
+
+// ErrAllTargetsFailed reports a cycle in which no target produced a
+// snapshot — the only condition under which a cycle returns an error.
+// Individual target failures degrade the cycle instead of aborting it.
+var ErrAllTargetsFailed = errors.New("all targets failed to collect")
+
+// CollectResult is one target's outcome within a monitoring cycle.
+type CollectResult struct {
+	Target string
+	// Status is ok / retried / degraded / breaker-open.
+	Status collect.Status
+	// Attempts is how many collection attempts were made (0 when the
+	// breaker skipped the target).
+	Attempts int
+	// Err is the failure when the target did not produce a snapshot.
+	Err error
+	// Stats holds the cycle statistics on success, nil otherwise.
+	Stats *CycleStats
+}
+
+// TargetHealth is the per-target collection health view; see
+// collect.TargetHealth for the fields.
+type TargetHealth = collect.TargetHealth
+
+// SetCollectPolicy replaces the resilience policy — retries, backoff,
+// breaker thresholds, validation — governing all collection. It resets
+// the per-target breakers and health ledger, so call it before the first
+// cycle (or deliberately, to reset state).
+func (m *Monitor) SetCollectPolicy(p collect.Policy) {
+	m.collector = collect.NewCollector(p)
+}
+
+// Health returns every registered target's collection health, in
+// registration order, including targets not yet collected. This is the
+// view served over HTTP at /health.
+func (m *Monitor) Health() []TargetHealth {
+	out := make([]TargetHealth, 0, len(m.targets))
+	for _, t := range m.targets {
+		h, _ := m.collector.TargetHealth(t.Name)
+		out = append(out, h)
+	}
+	return out
+}
+
+// LastResults returns the per-target outcomes of the most recent cycle,
+// in registration order, or nil before the first cycle.
+func (m *Monitor) LastResults() []CollectResult {
+	return append([]CollectResult(nil), m.lastResults...)
+}
+
+// cycleOutcome carries one target's collection phase output into the
+// (order-preserving) processing phase.
+type cycleOutcome struct {
+	res collect.Result
+	sn  *tables.Snapshot
+}
+
+// collectTarget runs the resilient collection of one target and, on
+// success, builds its snapshot. Parse failures count against the target's
+// breaker: a router emitting unparseable dumps is as unhealthy as one
+// refusing logins. Safe for concurrent use across targets.
+func (m *Monitor) collectTarget(t Target, now time.Time) cycleOutcome {
+	res := m.collector.Collect(t, m.Commands, now)
+	if res.Err != nil {
+		return cycleOutcome{res: res}
+	}
+	sn, err := tables.BuildSnapshot(res.Dumps)
+	if err != nil {
+		err = fmt.Errorf("collect %s: snapshot rejected: %w", t.Name, err)
+		m.collector.RecordFailure(t.Name, now, err)
+		res.Status = collect.StatusDegraded
+		res.Err = err
+		return cycleOutcome{res: res}
+	}
+	return cycleOutcome{res: res, sn: sn}
+}
+
+// processOutcomes turns a cycle's collection outcomes into results:
+// successful snapshots are logged, ingested and published in registration
+// order; failed targets are skipped with an explicit gap marker on their
+// series. The cycle errs only when every target failed.
+func (m *Monitor) processOutcomes(now time.Time, outcomes []cycleOutcome) ([]CycleStats, error) {
+	var out []CycleStats
+	var snaps []*tables.Snapshot
+	results := make([]CollectResult, 0, len(outcomes))
+	failed := 0
+	for _, oc := range outcomes {
+		cr := CollectResult{
+			Target:   oc.res.Target,
+			Status:   oc.res.Status,
+			Attempts: oc.res.Attempts,
+			Err:      oc.res.Err,
+		}
+		if oc.sn == nil {
+			failed++
+			m.proc.MarkGap(oc.res.Target, now)
+			results = append(results, cr)
+			continue
+		}
+		m.log.Append(oc.sn)
+		st := m.proc.Ingest(oc.sn)
+		m.observeStability(oc.sn)
+		m.latest[oc.sn.Target] = oc.sn
+		m.refreshTables(oc.sn.Target, oc.sn)
+		cr.Stats = &st
+		out = append(out, st)
+		results = append(results, cr)
+		snaps = append(snaps, oc.sn)
+	}
+	if m.aggregate && len(snaps) > 0 {
+		agg := MergeSnapshots(AggregateTarget, now, snaps...)
+		m.log.Append(agg)
+		st := m.proc.Ingest(agg)
+		m.latest[AggregateTarget] = agg
+		m.refreshTables(AggregateTarget, agg)
+		out = append(out, st)
+	}
+	m.lastResults = results
+	if len(outcomes) > 0 && failed == len(outcomes) {
+		return out, fmt.Errorf("mantra: %w", ErrAllTargetsFailed)
+	}
+	return out, nil
+}
