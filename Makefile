@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build vet test race bench bench-collect chaos figures check
+.PHONY: build vet test race bench bench-collect bench-archive fuzz chaos figures check
 
 build:
 	$(GO) build ./...
@@ -25,6 +25,16 @@ bench:
 # The delta between the two is the retry layer's happy-path overhead.
 bench-collect:
 	$(GO) test -run '^$$' -bench 'BenchmarkAblationCLIScrape|BenchmarkResilientCollectHappyPath' -benchtime 3s -count 3 .
+
+# The archive benchmarks: WAL append throughput (buffered and fsync'd)
+# and cold-start recovery of a 200-cycle archive.
+bench-archive:
+	$(GO) test -run '^$$' -bench 'BenchmarkArchive' -benchtime 3s -count 3 .
+
+# Short fuzz passes over the dump validator and pre-processor.
+fuzz:
+	$(GO) test ./internal/core/collect -fuzz FuzzValidateDump -fuzztime 30s
+	$(GO) test ./internal/core/collect -fuzz FuzzPreprocess -fuzztime 30s
 
 # The 220-cycle fault-injection run and the breaker lifecycle, verbosely.
 chaos:

@@ -14,8 +14,13 @@
 // once every target is breaker-open with at least N consecutive failures,
 // so a fully dead deployment fails loudly instead of spinning.
 //
+// With -data-dir the archive is durable: every delta and gap marker goes
+// to a checksummed write-ahead log with periodic full-state checkpoints,
+// and a restart recovers the series, tables and health ledger to their
+// pre-crash values (at most the final partial record is lost).
+//
 // Endpoints: /  /series/<target>/<metric>  /graph/<target>/<metric>
-// /tables/<name>  /anomalies  /health
+// /tables/<name>  /anomalies  /health  /archive
 package main
 
 import (
@@ -54,6 +59,10 @@ func main() {
 	breakerCooldown := flag.Duration("breaker-cooldown", time.Minute, "how long an open breaker waits before a half-open probe")
 	maxConsecFail := flag.Int("max-consecutive-failures", 0, "exit non-zero once every target is breaker-open with at least this many consecutive failures (0 disables)")
 	showHealth := flag.Bool("health", true, "print per-target collection health each cycle")
+	dataDir := flag.String("data-dir", "", "durable archive directory; empty disables archival")
+	checkpointEvery := flag.Int("checkpoint-every", 12, "cycles between full-state checkpoints")
+	resume := flag.Bool("resume", true, "recover existing archive data on start (with -data-dir)")
+	archiveSync := flag.Bool("archive-sync", false, "fsync the archive after every record (durable to the last cycle, slower)")
 	flag.Parse()
 
 	if len(targets) == 0 {
@@ -83,6 +92,32 @@ func main() {
 			Prompt:   parts[0] + "> ",
 			Timeout:  10 * time.Second,
 		})
+	}
+
+	if *dataDir != "" {
+		report, err := m.EnableArchive(mantra.ArchiveConfig{
+			Dir:             *dataDir,
+			CheckpointEvery: *checkpointEvery,
+			SyncEveryAppend: *archiveSync,
+			Resume:          *resume,
+		})
+		if err != nil {
+			log.Fatalf("mantra: archive: %v", err)
+		}
+		if report.Resumed {
+			log.Printf("mantra: archive resumed from %s: %d targets, %d cycles + %d gaps replayed after checkpoint %s",
+				*dataDir, len(report.Targets), report.CyclesReplayed, report.GapsReplayed,
+				report.CheckpointAt.Format(time.RFC3339))
+			if report.Stats.TornTail {
+				log.Printf("mantra: archive tail repaired: %s (%d bytes discarded)",
+					report.Stats.TailError, report.Stats.TruncatedBytes)
+			}
+			if report.Stats.CorruptCheckpoints > 0 {
+				log.Printf("mantra: archive skipped %d corrupt checkpoint(s)", report.Stats.CorruptCheckpoints)
+			}
+		} else {
+			log.Printf("mantra: archiving to %s (checkpoint every %d cycles)", *dataDir, *checkpointEvery)
+		}
 	}
 
 	go func() {
@@ -126,12 +161,18 @@ func main() {
 		}
 		if *maxConsecFail > 0 && allBreakerOpen(health, *maxConsecFail) {
 			log.Printf("mantra: every target is breaker-open with >=%d consecutive failures; giving up", *maxConsecFail)
+			if err := m.CloseArchive(now); err != nil {
+				log.Printf("mantra: archive close: %v", err)
+			}
 			os.Exit(1)
 		}
 		for _, a := range m.Anomalies() {
 			log.Printf("mantra: ANOMALY %s at %s: %s", a.Kind, a.Target, a.Detail)
 		}
 		time.Sleep(*interval)
+	}
+	if err := m.CloseArchive(time.Now().UTC()); err != nil {
+		log.Fatalf("mantra: archive close: %v", err)
 	}
 }
 

@@ -182,20 +182,33 @@ func (s *Session) Run(cmd string) (string, error) {
 	if err != nil {
 		return "", err
 	}
-	trimmed := strings.TrimSuffix(out, s.prompt)
-	if trimmed == out {
-		// CRLF transports may append a stray carriage return to the prompt.
-		trimmed = strings.TrimSuffix(strings.TrimSuffix(out, "\r"), s.prompt)
+	return stripEcho(out, cmd, s.prompt), nil
+}
+
+// stripEcho cleans one captured command output: the trailing prompt (with
+// any stray carriage returns a CRLF transport appends around it) and the
+// leading echo of the command are removed, leaving only the dump body.
+// Shared by Session.Run and the expect-script capture path so both clean
+// identically.
+func stripEcho(out, cmd, prompt string) string {
+	if prompt != "" {
+		trimmed := strings.TrimSuffix(out, prompt)
+		if trimmed == out {
+			trimmed = strings.TrimSuffix(strings.TrimRight(out, "\r"), prompt)
+		}
+		out = trimmed
 	}
-	out = trimmed
-	// Strip a leading echo of the command for both LF and CRLF transports.
-	for _, echo := range []string{cmd + "\r\n", cmd + "\n", cmd + "\r"} {
-		if rest, ok := strings.CutPrefix(out, echo); ok {
-			out = rest
-			break
+	// Strip a leading echo of the command for LF, CRLF, and the interleaved
+	// LF-CR orderings some transports produce.
+	if cmd != "" {
+		for _, echo := range []string{cmd + "\r\n", cmd + "\n\r", cmd + "\n", cmd + "\r"} {
+			if rest, ok := strings.CutPrefix(out, echo); ok {
+				out = rest
+				break
+			}
 		}
 	}
-	return out, nil
+	return out
 }
 
 // Close logs out and closes the connection.

@@ -13,7 +13,7 @@ import (
 	"repro/internal/workload"
 )
 
-func testNetwork(t *testing.T) *netsim.Network {
+func testNetwork(t testing.TB) *netsim.Network {
 	t.Helper()
 	cfg := topo.DefaultInternetConfig()
 	cfg.NumDomains = 3

@@ -3,7 +3,6 @@ package collect
 import (
 	"fmt"
 	"io"
-	"strings"
 	"time"
 )
 
@@ -56,7 +55,10 @@ func RunScript(rw io.ReadWriter, script Script, timeout time.Duration) (map[stri
 				return captures, fmt.Errorf("collect: script step %d: %w", i, err)
 			}
 			if step.Capture != "" {
-				captures[step.Capture] = strings.TrimSuffix(out, step.Expect)
+				// LoginScript names each capture after the command that
+				// produced it, so the echo of that command is stripped the
+				// same way Session.Run does.
+				captures[step.Capture] = stripEcho(out, step.Capture, step.Expect)
 			}
 		}
 		if step.Send != "" {

@@ -41,6 +41,48 @@ func TestRunScriptAgainstRouter(t *testing.T) {
 	if strings.Contains(dump, "fixw> ") {
 		t.Error("prompt leaked into capture")
 	}
+	// Captures must be cleaned like Session.Run output: no command echo at
+	// the head, no stray carriage return before where the prompt was.
+	if strings.HasPrefix(strings.TrimLeft(dump, "\r\n"), "show ip dvmrp route") {
+		t.Errorf("command echo leaked into capture: %q", dump[:40])
+	}
+	if strings.HasSuffix(dump, "\r") {
+		t.Errorf("trailing carriage return left in capture: %q", dump)
+	}
+}
+
+// TestRunScriptCapturesMatchSessionRun pins the equivalence of the two
+// collection paths: the expect-script capture for a command must equal
+// what Session.Run returns for the same command.
+func TestRunScriptCapturesMatchSessionRun(t *testing.T) {
+	n := testNetwork(t)
+	const cmd = "show ip dvmrp route"
+
+	s, err := collect.Login(target(n, "fixw", "pw"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := s.Run(cmd)
+	s.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	client, server := net.Pipe()
+	done := make(chan struct{})
+	go func() {
+		_ = n.Router("fixw").HandleSession(server)
+		close(done)
+	}()
+	captures, err := collect.RunScript(client, collect.LoginScript("pw", "fixw> ", cmd), 5*time.Second)
+	client.Close()
+	<-done
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := captures[cmd]; got != want {
+		t.Errorf("script capture diverges from Session.Run:\nscript %q\nrun    %q", got, want)
+	}
 }
 
 func TestRunScriptTimeout(t *testing.T) {

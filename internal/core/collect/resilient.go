@@ -337,6 +337,48 @@ func (c *Collector) RecordFailure(name string, now time.Time, err error) {
 	c.record(name, now, StatusDegraded, detail)
 }
 
+// RecordSuccess feeds an out-of-band per-target success into the breaker
+// and health ledger — used by archive recovery when replaying WAL-tail
+// cycles that succeeded before the crash.
+func (c *Collector) RecordSuccess(name string, now time.Time) {
+	c.record(name, now, StatusOK, "")
+}
+
+// RecordSkipped notes a cycle skipped by an open breaker without counting
+// a new failure — the replay counterpart of the breaker-open fast path in
+// Collect, used by archive recovery.
+func (c *Collector) RecordSkipped(name string, now time.Time) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := c.state(name)
+	st.health.TotalCycles++
+	st.health.LastStatus = StatusBreakerOpen
+	st.health.Breaker = st.breaker.State()
+	st.health.ConsecutiveFailures = st.breaker.Consecutive()
+}
+
+// RestoreHealth seeds one target's health ledger and breaker from a
+// checkpointed TargetHealth — the restart-recovery path. The breaker's
+// failure streak and state are reconstructed; a breaker restored open
+// restarts its cooldown at now (the original open instant is not
+// persisted), so a recovered deployment waits one full cooldown before
+// probing a previously-failing target. That errs toward caution: the
+// target was failing when the monitor died.
+func (c *Collector) RestoreHealth(h TargetHealth, now time.Time) {
+	if h.Target == "" {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := c.state(h.Target)
+	st.health = h
+	st.breaker.consecutive = h.ConsecutiveFailures
+	st.breaker.state = h.Breaker
+	if h.Breaker == BreakerOpen {
+		st.breaker.openedAt = now
+	}
+}
+
 // record updates breaker and health for one finished cycle and returns the
 // breaker state after the transition.
 func (c *Collector) record(name string, now time.Time, status Status, lastErr string) BreakerState {

@@ -45,13 +45,17 @@ var headerCountRE = regexp.MustCompile(`- (\d+) (entries|neighbors|groups)(?:, (
 // their table layout.
 func ValidateDump(prompt, command, raw string) error {
 	header, known := tableHeaders[command]
-	if raw == "" {
+	// Whitespace-only responses (a bare CR, a prompt-only reply's leftover
+	// newline) are empty dumps, not mid-line cuts.
+	if strings.Trim(raw, " \t\r\n") == "" {
 		if known {
 			return fmt.Errorf("%w: empty %q dump", ErrTruncated, command)
 		}
 		return nil
 	}
-	if !strings.HasSuffix(raw, "\n") {
+	// Some transports interleave CRLF as LF-CR; trailing carriage returns
+	// after the final newline do not make the dump incomplete.
+	if !strings.HasSuffix(strings.TrimRight(raw, "\r"), "\n") {
 		return fmt.Errorf("%w: %q output cut mid-line", ErrTruncated, command)
 	}
 	if prompt != "" && strings.Contains(raw, prompt) {

@@ -64,6 +64,33 @@ func TestValidateDump(t *testing.T) {
 			want: collect.ErrTruncated,
 		},
 		{
+			name: "bare carriage return known command",
+			cmd:  cmd,
+			raw:  "\r",
+			want: collect.ErrTruncated,
+		},
+		{
+			name: "bare carriage return unknown command",
+			cmd:  "show version",
+			raw:  "\r",
+		},
+		{
+			name: "whitespace-only known command",
+			cmd:  cmd,
+			raw:  " \t\r\n \r",
+			want: collect.ErrTruncated,
+		},
+		{
+			name: "prompt-only response leftover unknown command",
+			cmd:  "show version",
+			raw:  "\r\n",
+		},
+		{
+			name: "valid interleaved lf-cr lines",
+			cmd:  cmd,
+			raw:  "DVMRP Routing Table - 1 entries\n\rOrigin Gateway Metric Uptime\n\r10.0.0.0/8 local 1 0:01:00\n\r",
+		},
+		{
 			name: "cut mid-line",
 			cmd:  cmd,
 			raw:  "DVMRP Routing Table - 2 entries\nOrigin Gateway Metric Uptime\n10.0.0.0/8 loc",

@@ -1,0 +1,351 @@
+// Binary payload codec for the write-ahead log. Records are encoded by
+// hand with encoding/binary primitives rather than gob: the format is
+// self-contained per record (a reader can start at any record boundary),
+// deterministic, and cheap enough that append throughput is bounded by
+// the disk, not the encoder. All integers are little-endian; variable
+// integers use the uvarint/varint encodings of encoding/binary.
+package logger
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/addr"
+	"repro/internal/core/tables"
+)
+
+// WAL record kinds.
+const (
+	// recDelta carries one cycle's delta record for one target.
+	recDelta byte = 1
+	// recGap marks one failed cycle for one target.
+	recGap byte = 2
+	// recMeta announces a target the first time it appears in the log.
+	recMeta byte = 3
+)
+
+// walRecord is one decoded WAL record.
+type walRecord struct {
+	Seq    uint64
+	Kind   byte
+	Target string
+
+	// Delta fields (recDelta).
+	Rec         CycleRecord
+	FullEntries uint64
+
+	// Gap fields (recGap).
+	At     time.Time
+	Reason string
+
+	// Meta fields (recMeta).
+	FirstSeen time.Time
+}
+
+// ErrBadRecord reports a structurally invalid record payload — the CRC
+// matched but the contents do not decode, which indicates an encoder bug
+// or deliberate tampering rather than a torn write.
+var ErrBadRecord = errors.New("logger: malformed wal record")
+
+// --- encoding -------------------------------------------------------------
+
+func appendUvarint(b []byte, v uint64) []byte {
+	return binary.AppendUvarint(b, v)
+}
+
+func appendVarint(b []byte, v int64) []byte {
+	return binary.AppendVarint(b, v)
+}
+
+func appendString(b []byte, s string) []byte {
+	b = appendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+func appendU32(b []byte, v uint32) []byte {
+	return binary.LittleEndian.AppendUint32(b, v)
+}
+
+func appendU64(b []byte, v uint64) []byte {
+	return binary.LittleEndian.AppendUint64(b, v)
+}
+
+// appendTime encodes an absolute instant: a zero flag byte for the zero
+// time, else unix seconds plus nanoseconds. Decoding restores UTC, which
+// is what every producer in the pipeline stamps.
+func appendTime(b []byte, t time.Time) []byte {
+	if t.IsZero() {
+		return append(b, 0)
+	}
+	b = append(b, 1)
+	b = appendVarint(b, t.Unix())
+	return appendU32(b, uint32(t.Nanosecond()))
+}
+
+func appendPair(b []byte, e tables.PairEntry) []byte {
+	b = appendU32(b, uint32(e.Source))
+	b = appendU32(b, uint32(e.Group))
+	b = appendString(b, e.Flags)
+	b = appendU64(b, math.Float64bits(e.RateKbps))
+	b = appendU64(b, e.Packets)
+	b = appendVarint(b, int64(e.Uptime))
+	return appendTime(b, e.Since)
+}
+
+func appendRoute(b []byte, e tables.RouteEntry) []byte {
+	b = appendU32(b, uint32(e.Prefix.Addr))
+	b = append(b, byte(e.Prefix.Len))
+	b = appendU32(b, uint32(e.Gateway))
+	local := byte(0)
+	if e.Local {
+		local = 1
+	}
+	b = append(b, local)
+	b = appendVarint(b, int64(e.Metric))
+	b = appendVarint(b, int64(e.Uptime))
+	return appendTime(b, e.Since)
+}
+
+// encodePayload renders a record's payload (everything inside the frame).
+func encodePayload(r walRecord) []byte {
+	b := make([]byte, 0, 64)
+	b = appendUvarint(b, r.Seq)
+	b = append(b, r.Kind)
+	b = appendString(b, r.Target)
+	switch r.Kind {
+	case recDelta:
+		b = appendTime(b, r.Rec.At)
+		b = appendUvarint(b, r.FullEntries)
+		b = appendUvarint(b, uint64(len(r.Rec.Pairs.Upserted)))
+		for _, e := range r.Rec.Pairs.Upserted {
+			b = appendPair(b, e)
+		}
+		b = appendUvarint(b, uint64(len(r.Rec.Pairs.Removed)))
+		for _, k := range r.Rec.Pairs.Removed {
+			b = appendU32(b, uint32(k.Source))
+			b = appendU32(b, uint32(k.Group))
+		}
+		b = appendUvarint(b, uint64(len(r.Rec.Routes.Upserted)))
+		for _, e := range r.Rec.Routes.Upserted {
+			b = appendRoute(b, e)
+		}
+		b = appendUvarint(b, uint64(len(r.Rec.Routes.Removed)))
+		for _, p := range r.Rec.Routes.Removed {
+			b = appendU32(b, uint32(p.Addr))
+			b = append(b, byte(p.Len))
+		}
+	case recGap:
+		b = appendTime(b, r.At)
+		b = appendString(b, r.Reason)
+	case recMeta:
+		b = appendTime(b, r.FirstSeen)
+	}
+	return b
+}
+
+// --- decoding -------------------------------------------------------------
+
+// byteReader walks an immutable payload, latching the first error.
+type byteReader struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (r *byteReader) fail() {
+	if r.err == nil {
+		r.err = ErrBadRecord
+	}
+}
+
+func (r *byteReader) uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.b[r.off:])
+	if n <= 0 {
+		r.fail()
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+func (r *byteReader) varint() int64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(r.b[r.off:])
+	if n <= 0 {
+		r.fail()
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+func (r *byteReader) byte() byte {
+	if r.err != nil {
+		return 0
+	}
+	if r.off >= len(r.b) {
+		r.fail()
+		return 0
+	}
+	c := r.b[r.off]
+	r.off++
+	return c
+}
+
+func (r *byteReader) u32() uint32 {
+	if r.err != nil {
+		return 0
+	}
+	if r.off+4 > len(r.b) {
+		r.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(r.b[r.off:])
+	r.off += 4
+	return v
+}
+
+func (r *byteReader) u64() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	if r.off+8 > len(r.b) {
+		r.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(r.b[r.off:])
+	r.off += 8
+	return v
+}
+
+func (r *byteReader) str() string {
+	n := r.uvarint()
+	if r.err != nil {
+		return ""
+	}
+	if n > uint64(len(r.b)-r.off) {
+		r.fail()
+		return ""
+	}
+	s := string(r.b[r.off : r.off+int(n)])
+	r.off += int(n)
+	return s
+}
+
+func (r *byteReader) time() time.Time {
+	if r.byte() == 0 || r.err != nil {
+		return time.Time{}
+	}
+	sec := r.varint()
+	nsec := r.u32()
+	if r.err != nil {
+		return time.Time{}
+	}
+	return time.Unix(sec, int64(nsec)).UTC()
+}
+
+// count validates a declared element count against the bytes remaining so
+// a corrupted length cannot trigger a huge allocation; min is the smallest
+// possible encoded size of one element.
+func (r *byteReader) count(min int) int {
+	n := r.uvarint()
+	if r.err != nil {
+		return 0
+	}
+	if min > 0 && n > uint64((len(r.b)-r.off)/min) {
+		r.fail()
+		return 0
+	}
+	return int(n)
+}
+
+func (r *byteReader) pair() tables.PairEntry {
+	var e tables.PairEntry
+	e.Source = addr.IP(r.u32())
+	e.Group = addr.IP(r.u32())
+	e.Flags = r.str()
+	e.RateKbps = math.Float64frombits(r.u64())
+	e.Packets = r.u64()
+	e.Uptime = time.Duration(r.varint())
+	e.Since = r.time()
+	return e
+}
+
+func (r *byteReader) prefix() addr.Prefix {
+	a := addr.IP(r.u32())
+	l := int(r.byte())
+	if l > 32 {
+		r.fail()
+		return addr.Prefix{}
+	}
+	return addr.Prefix{Addr: a, Len: l}
+}
+
+func (r *byteReader) route() tables.RouteEntry {
+	var e tables.RouteEntry
+	e.Prefix = r.prefix()
+	e.Gateway = addr.IP(r.u32())
+	e.Local = r.byte() == 1
+	e.Metric = int(r.varint())
+	e.Uptime = time.Duration(r.varint())
+	e.Since = r.time()
+	return e
+}
+
+// decodePayload parses one record payload.
+func decodePayload(b []byte) (walRecord, error) {
+	r := &byteReader{b: b}
+	var out walRecord
+	out.Seq = r.uvarint()
+	out.Kind = r.byte()
+	out.Target = r.str()
+	switch out.Kind {
+	case recDelta:
+		out.Rec.At = r.time()
+		out.FullEntries = r.uvarint()
+		if n := r.count(2); n > 0 {
+			out.Rec.Pairs.Upserted = make([]tables.PairEntry, 0, n)
+			for i := 0; i < n && r.err == nil; i++ {
+				out.Rec.Pairs.Upserted = append(out.Rec.Pairs.Upserted, r.pair())
+			}
+		}
+		if n := r.count(8); n > 0 {
+			out.Rec.Pairs.Removed = make([]pairKey, 0, n)
+			for i := 0; i < n && r.err == nil; i++ {
+				k := pairKey{Source: addr.IP(r.u32()), Group: addr.IP(r.u32())}
+				out.Rec.Pairs.Removed = append(out.Rec.Pairs.Removed, k)
+			}
+		}
+		if n := r.count(2); n > 0 {
+			out.Rec.Routes.Upserted = make([]tables.RouteEntry, 0, n)
+			for i := 0; i < n && r.err == nil; i++ {
+				out.Rec.Routes.Upserted = append(out.Rec.Routes.Upserted, r.route())
+			}
+		}
+		if n := r.count(5); n > 0 {
+			out.Rec.Routes.Removed = make([]addr.Prefix, 0, n)
+			for i := 0; i < n && r.err == nil; i++ {
+				out.Rec.Routes.Removed = append(out.Rec.Routes.Removed, r.prefix())
+			}
+		}
+	case recGap:
+		out.At = r.time()
+		out.Reason = r.str()
+	case recMeta:
+		out.FirstSeen = r.time()
+	default:
+		r.fail()
+	}
+	if r.err == nil && r.off != len(b) {
+		r.err = fmt.Errorf("%w: %d trailing bytes", ErrBadRecord, len(b)-r.off)
+	}
+	return out, r.err
+}

@@ -48,9 +48,18 @@ type CycleRecord struct {
 	Routes RouteDelta
 }
 
+// GapMark records one failed collection cycle: no snapshot arrived at At,
+// so the delta chain has an explicit hole there instead of a silent one.
+type GapMark struct {
+	At     time.Time
+	Reason string
+}
+
 // targetLog accumulates one collection point's history.
 type targetLog struct {
 	Records []CycleRecord
+	// gaps lists the failed cycles interleaved with Records.
+	gaps []GapMark
 	// last* is the materialized latest state, used to compute deltas.
 	lastPairs  map[pairKey]tables.PairEntry
 	lastRoutes map[addr.Prefix]tables.RouteEntry
@@ -81,17 +90,23 @@ func normRoute(e tables.RouteEntry) tables.RouteEntry {
 	return e
 }
 
-// Append logs one cycle snapshot, computing deltas against the previous
-// cycle of the same target.
-func (l *Logger) Append(sn *tables.Snapshot) {
-	tl := l.targets[sn.Target]
+func (l *Logger) target(name string) *targetLog {
+	tl := l.targets[name]
 	if tl == nil {
 		tl = &targetLog{
 			lastPairs:  make(map[pairKey]tables.PairEntry),
 			lastRoutes: make(map[addr.Prefix]tables.RouteEntry),
 		}
-		l.targets[sn.Target] = tl
+		l.targets[name] = tl
 	}
+	return tl
+}
+
+// Append logs one cycle snapshot, computing deltas against the previous
+// cycle of the same target. It returns the delta record it stored, so a
+// durable archive can persist exactly what the in-memory log holds.
+func (l *Logger) Append(sn *tables.Snapshot) CycleRecord {
+	tl := l.target(sn.Target)
 	rec := CycleRecord{At: sn.At}
 
 	seenP := make(map[pairKey]bool, len(sn.Pairs))
@@ -129,8 +144,82 @@ func (l *Logger) Append(sn *tables.Snapshot) {
 
 	tl.Records = append(tl.Records, rec)
 	tl.fullEntries += uint64(len(sn.Pairs) + len(sn.Routes))
-	tl.deltaEntries += uint64(len(rec.Pairs.Upserted) + len(rec.Pairs.Removed) +
+	tl.deltaEntries += deltaSize(rec)
+	return rec
+}
+
+func deltaSize(rec CycleRecord) uint64 {
+	return uint64(len(rec.Pairs.Upserted) + len(rec.Pairs.Removed) +
 		len(rec.Routes.Upserted) + len(rec.Routes.Removed))
+}
+
+// ApplyRecord appends a pre-computed delta record — the replay path of the
+// durable archive. The record must have been produced by Append against
+// the same history prefix; fullEntries is the full-snapshot entry count of
+// the cycle that produced it, restoring the storage-stats baseline.
+func (l *Logger) ApplyRecord(target string, rec CycleRecord, fullEntries uint64) {
+	tl := l.target(target)
+	for _, e := range rec.Pairs.Upserted {
+		tl.lastPairs[pairKey{Source: e.Source, Group: e.Group}] = e
+	}
+	for _, k := range rec.Pairs.Removed {
+		delete(tl.lastPairs, k)
+	}
+	for _, e := range rec.Routes.Upserted {
+		tl.lastRoutes[e.Prefix] = e
+	}
+	for _, p := range rec.Routes.Removed {
+		delete(tl.lastRoutes, p)
+	}
+	tl.Records = append(tl.Records, rec)
+	tl.fullEntries += fullEntries
+	tl.deltaEntries += deltaSize(rec)
+}
+
+// MarkGap records a failed collection cycle for target at time at.
+func (l *Logger) MarkGap(target string, at time.Time, reason string) {
+	tl := l.target(target)
+	tl.gaps = append(tl.gaps, GapMark{At: at, Reason: reason})
+}
+
+// Gaps returns the failed cycles recorded for target, in order.
+func (l *Logger) Gaps(target string) []GapMark {
+	tl := l.targets[target]
+	if tl == nil {
+		return nil
+	}
+	return append([]GapMark(nil), tl.gaps...)
+}
+
+// Materialized returns the full tables as of the latest logged cycle of
+// target — the state Append diffs against — or false before the first
+// cycle. Uptimes are recomputed from the stable Since instants, exactly as
+// ReconstructPairs/ReconstructRoutes do, so the result equals a
+// reconstruction of the final cycle without replaying the chain.
+func (l *Logger) Materialized(target string) (*tables.Snapshot, bool) {
+	tl := l.targets[target]
+	if tl == nil || len(tl.Records) == 0 {
+		return nil, false
+	}
+	at := tl.Records[len(tl.Records)-1].At
+	sn := &tables.Snapshot{Target: target, At: at}
+	sn.Pairs = make(tables.PairTable, 0, len(tl.lastPairs))
+	for _, e := range tl.lastPairs {
+		if !e.Since.IsZero() {
+			e.Uptime = at.Sub(e.Since)
+		}
+		sn.Pairs = append(sn.Pairs, e)
+	}
+	sn.Routes = make(tables.RouteTable, 0, len(tl.lastRoutes))
+	for _, e := range tl.lastRoutes {
+		if !e.Since.IsZero() {
+			e.Uptime = at.Sub(e.Since)
+		}
+		sn.Routes = append(sn.Routes, e)
+	}
+	sortPairs(sn.Pairs)
+	sortRoutes(sn.Routes)
+	return sn, true
 }
 
 // Targets returns the known collection points.
@@ -238,54 +327,66 @@ func (l *Logger) StorageStats(target string) (deltaEntries, fullEntries uint64, 
 	return tl.deltaEntries, tl.fullEntries, float64(tl.fullEntries) / float64(tl.deltaEntries)
 }
 
-// archive is the serialized form.
-type archive struct {
-	Targets map[string][]CycleRecord
+// TargetState is one target's serialized history.
+type TargetState struct {
+	Records []CycleRecord
+	Gaps    []GapMark
+	// FullEntries is the full-snapshot storage baseline counter.
+	FullEntries uint64
+}
+
+// State is the complete serialized form of a Logger — the payload of the
+// durable archive's checkpoints.
+type State struct {
+	Targets map[string]TargetState
+}
+
+// ExportState captures the logger's full state for checkpointing.
+func (l *Logger) ExportState() *State {
+	st := &State{Targets: make(map[string]TargetState, len(l.targets))}
+	for name, tl := range l.targets {
+		st.Targets[name] = TargetState{
+			Records:     tl.Records,
+			Gaps:        tl.gaps,
+			FullEntries: tl.fullEntries,
+		}
+	}
+	return st
+}
+
+// FromState rebuilds a logger positioned to continue appending: the
+// materialized per-target tables and storage counters are replayed from
+// the recorded delta chain.
+func FromState(st *State) *Logger {
+	l := New()
+	if st == nil {
+		return l
+	}
+	for name, ts := range st.Targets {
+		tl := l.target(name)
+		tl.gaps = ts.Gaps
+		for _, rec := range ts.Records {
+			l.ApplyRecord(name, rec, 0)
+		}
+		// ApplyRecord counted no full entries; restore the recorded baseline.
+		tl.fullEntries = ts.FullEntries
+	}
+	return l
 }
 
 // Save writes the complete log to w (gob-encoded).
 func (l *Logger) Save(w io.Writer) error {
-	a := archive{Targets: make(map[string][]CycleRecord, len(l.targets))}
-	for name, tl := range l.targets {
-		a.Targets[name] = tl.Records
-	}
-	return gob.NewEncoder(w).Encode(a)
+	return gob.NewEncoder(w).Encode(l.ExportState())
 }
 
 // Load reads a log written by Save and returns a logger positioned to
 // continue appending.
 func Load(r io.Reader) (*Logger, error) {
-	var a archive
-	if err := gob.NewDecoder(r).Decode(&a); err != nil {
+	var st State
+	if err := gob.NewDecoder(r).Decode(&st); err != nil {
 		return nil, fmt.Errorf("logger: load: %w", err)
 	}
-	l := New()
-	for name, recs := range a.Targets {
-		tl := &targetLog{
-			lastPairs:  make(map[pairKey]tables.PairEntry),
-			lastRoutes: make(map[addr.Prefix]tables.RouteEntry),
-			Records:    recs,
-		}
-		// Rebuild the latest materialized state and storage counters.
-		for _, rec := range recs {
-			for _, e := range rec.Pairs.Upserted {
-				tl.lastPairs[pairKey{Source: e.Source, Group: e.Group}] = e
-			}
-			for _, k := range rec.Pairs.Removed {
-				delete(tl.lastPairs, k)
-			}
-			for _, e := range rec.Routes.Upserted {
-				tl.lastRoutes[e.Prefix] = e
-			}
-			for _, p := range rec.Routes.Removed {
-				delete(tl.lastRoutes, p)
-			}
-			tl.deltaEntries += uint64(len(rec.Pairs.Upserted) + len(rec.Pairs.Removed) +
-				len(rec.Routes.Upserted) + len(rec.Routes.Removed))
-		}
-		l.targets[name] = tl
-	}
-	return l, nil
+	return FromState(&st), nil
 }
 
 func sortPairs(p tables.PairTable) {

@@ -13,10 +13,11 @@ import (
 // Server exposes Mantra's results over HTTP: the web-based presentation
 // layer (tables and graph data) of the paper's Output Interface.
 type Server struct {
-	mux    *http.ServeMux
-	proc   *process.Processor
-	tables map[string]*Table
-	health func() any
+	mux     *http.ServeMux
+	proc    *process.Processor
+	tables  map[string]*Table
+	health  func() any
+	archive func() any
 }
 
 // NewServer returns a server over a processor's live series. Summary
@@ -33,12 +34,17 @@ func NewServer(p *process.Processor) *Server {
 	s.mux.HandleFunc("/tables/", s.handleTable)
 	s.mux.HandleFunc("/anomalies", s.handleAnomalies)
 	s.mux.HandleFunc("/health", s.handleHealth)
+	s.mux.HandleFunc("/archive", s.handleArchive)
 	return s
 }
 
 // SetHealth installs the health snapshot source served at /health — the
 // monitor wires its per-target collection health view here.
 func (s *Server) SetHealth(fn func() any) { s.health = fn }
+
+// SetArchive installs the archive stats source served at /archive — the
+// monitor wires its durable-archive counters and recovery report here.
+func (s *Server) SetArchive(fn func() any) { s.archive = fn }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
@@ -108,6 +114,15 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, s.health())
+}
+
+// handleArchive serves the durable-archive stats view as JSON.
+func (s *Server) handleArchive(w http.ResponseWriter, r *http.Request) {
+	if s.archive == nil {
+		http.NotFound(w, r)
+		return
+	}
+	writeJSON(w, s.archive())
 }
 
 // handleGraph serves /graph/<target>/<metric> as an ASCII chart.

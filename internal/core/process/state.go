@@ -1,0 +1,164 @@
+// Checkpoint state for the processor and route-stability trackers.
+//
+// The durable archive (internal/core/logger) checkpoints full monitor
+// state so restart recovery is bounded by the WAL tail length rather
+// than the whole collection history. The processor's series and the
+// stability trackers' per-prefix histories are pure functions of the
+// ingested snapshots, so exporting and re-importing them is exactly
+// equivalent to re-ingesting every archived cycle — just cheaper.
+package process
+
+import (
+	"time"
+
+	"repro/internal/addr"
+)
+
+// State is the exportable form of a Processor. All fields are plain data
+// so the state gob-encodes; Series pointers are deep-copied on export and
+// import, never shared with a live processor.
+type State struct {
+	SenderThresholdKbps float64
+	SpikeFactor         float64
+	SpikeMinJump        int
+	Window              int
+
+	Series    map[string]map[Metric]*Series
+	LastRoute map[string]map[addr.Prefix]bool
+	Anomalies []Anomaly
+	InSpike   map[string]bool
+}
+
+func copySeries(s *Series) *Series {
+	return &Series{
+		Times:  append([]time.Time(nil), s.Times...),
+		Values: append([]float64(nil), s.Values...),
+		Gaps:   append([]time.Time(nil), s.Gaps...),
+	}
+}
+
+// ExportState deep-copies the processor's accumulated state.
+func (p *Processor) ExportState() *State {
+	st := &State{
+		SenderThresholdKbps: p.SenderThresholdKbps,
+		SpikeFactor:         p.SpikeFactor,
+		SpikeMinJump:        p.SpikeMinJump,
+		Window:              p.Window,
+		Series:              make(map[string]map[Metric]*Series, len(p.series)),
+		LastRoute:           make(map[string]map[addr.Prefix]bool, len(p.lastRoute)),
+		Anomalies:           append([]Anomaly(nil), p.anomalies...),
+		InSpike:             make(map[string]bool, len(p.inSpike)),
+	}
+	for target, ts := range p.series {
+		cp := make(map[Metric]*Series, len(ts))
+		for m, s := range ts {
+			cp[m] = copySeries(s)
+		}
+		st.Series[target] = cp
+	}
+	for target, routes := range p.lastRoute {
+		cp := make(map[addr.Prefix]bool, len(routes))
+		for pr, v := range routes {
+			cp[pr] = v
+		}
+		st.LastRoute[target] = cp
+	}
+	for target, v := range p.inSpike {
+		st.InSpike[target] = v
+	}
+	return st
+}
+
+// ImportState replaces the processor's accumulated state with a deep copy
+// of st. It mutates the receiver in place — consumers holding the
+// *Processor (the HTTP server does) observe the restored state without
+// re-wiring.
+func (p *Processor) ImportState(st *State) {
+	if st == nil {
+		return
+	}
+	p.SenderThresholdKbps = st.SenderThresholdKbps
+	p.SpikeFactor = st.SpikeFactor
+	p.SpikeMinJump = st.SpikeMinJump
+	p.Window = st.Window
+	p.series = make(map[string]map[Metric]*Series, len(st.Series))
+	for target, ts := range st.Series {
+		cp := make(map[Metric]*Series, len(ts))
+		for m, s := range ts {
+			cp[m] = copySeries(s)
+		}
+		p.series[target] = cp
+	}
+	p.lastRoute = make(map[string]map[addr.Prefix]bool, len(st.LastRoute))
+	for target, routes := range st.LastRoute {
+		cp := make(map[addr.Prefix]bool, len(routes))
+		for pr, v := range routes {
+			cp[pr] = v
+		}
+		p.lastRoute[target] = cp
+	}
+	p.anomalies = append([]Anomaly(nil), st.Anomalies...)
+	p.inSpike = make(map[string]bool, len(st.InSpike))
+	for target, v := range st.InSpike {
+		p.inSpike[target] = v
+	}
+}
+
+// PrefixState is the exportable per-prefix history of a RouteStability
+// tracker.
+type PrefixState struct {
+	Prefix       addr.Prefix
+	Present      int
+	Flaps        int
+	CurrentSince time.Time
+	Lifetimes    []time.Duration
+	Up           bool
+}
+
+// StabilityState is the exportable form of a RouteStability tracker.
+type StabilityState struct {
+	Cycles   int
+	Last     []addr.Prefix
+	Prefixes []PrefixState
+}
+
+// ExportState copies the tracker's accumulated state.
+func (rs *RouteStability) ExportState() *StabilityState {
+	st := &StabilityState{Cycles: rs.cycles}
+	for p := range rs.last {
+		st.Last = append(st.Last, p)
+	}
+	for p, h := range rs.byPrefix {
+		st.Prefixes = append(st.Prefixes, PrefixState{
+			Prefix:       p,
+			Present:      h.present,
+			Flaps:        h.flaps,
+			CurrentSince: h.currentSince,
+			Lifetimes:    append([]time.Duration(nil), h.lifetimes...),
+			Up:           h.up,
+		})
+	}
+	return st
+}
+
+// StabilityFromState rebuilds a tracker from exported state.
+func StabilityFromState(st *StabilityState) *RouteStability {
+	rs := NewRouteStability()
+	if st == nil {
+		return rs
+	}
+	rs.cycles = st.Cycles
+	for _, p := range st.Last {
+		rs.last[p] = true
+	}
+	for _, ps := range st.Prefixes {
+		rs.byPrefix[ps.Prefix] = &prefixHistory{
+			present:      ps.Present,
+			flaps:        ps.Flaps,
+			currentSince: ps.CurrentSince,
+			lifetimes:    append([]time.Duration(nil), ps.Lifetimes...),
+			up:           ps.Up,
+		}
+	}
+	return rs
+}

@@ -90,6 +90,8 @@ type Monitor struct {
 	// aggregate enables the combined multi-router view; see
 	// EnableAggregation.
 	aggregate bool
+	// archive is the durable write-ahead archive, nil until EnableArchive.
+	archive *archiveState
 }
 
 // New returns an idle monitor with the paper's default configuration

@@ -104,10 +104,17 @@ func (m *Monitor) processOutcomes(now time.Time, outcomes []cycleOutcome) ([]Cyc
 		if oc.sn == nil {
 			failed++
 			m.proc.MarkGap(oc.res.Target, now)
+			reason := ""
+			if oc.res.Err != nil {
+				reason = oc.res.Err.Error()
+			}
+			m.log.MarkGap(oc.res.Target, now, reason)
+			m.archiveAppendGap(oc.res.Target, now, reason)
 			results = append(results, cr)
 			continue
 		}
-		m.log.Append(oc.sn)
+		rec := m.log.Append(oc.sn)
+		m.archiveAppendDelta(oc.sn.Target, rec, uint64(len(oc.sn.Pairs)+len(oc.sn.Routes)))
 		st := m.proc.Ingest(oc.sn)
 		m.observeStability(oc.sn)
 		m.latest[oc.sn.Target] = oc.sn
@@ -119,12 +126,14 @@ func (m *Monitor) processOutcomes(now time.Time, outcomes []cycleOutcome) ([]Cyc
 	}
 	if m.aggregate && len(snaps) > 0 {
 		agg := MergeSnapshots(AggregateTarget, now, snaps...)
-		m.log.Append(agg)
+		rec := m.log.Append(agg)
+		m.archiveAppendDelta(AggregateTarget, rec, uint64(len(agg.Pairs)+len(agg.Routes)))
 		st := m.proc.Ingest(agg)
 		m.latest[AggregateTarget] = agg
 		m.refreshTables(AggregateTarget, agg)
 		out = append(out, st)
 	}
+	m.archiveAfterCycle(now)
 	m.lastResults = results
 	if len(outcomes) > 0 && failed == len(outcomes) {
 		return out, fmt.Errorf("mantra: %w", ErrAllTargetsFailed)
