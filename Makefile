@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build vet test race bench bench-collect bench-archive fuzz chaos figures check
+.PHONY: build vet test race bench bench-collect bench-archive bench-engine bench-smoke fuzz chaos figures check
 
 build:
 	$(GO) build ./...
@@ -30,6 +30,16 @@ bench-collect:
 # and cold-start recovery of a 200-cycle archive.
 bench-archive:
 	$(GO) test -run '^$$' -bench 'BenchmarkArchive' -benchtime 3s -count 3 .
+
+# The cycle-engine schedule comparison: 64 skewed targets, pipelined vs
+# barrier vs serial at the same worker-pool size. Pipelined must win.
+bench-engine:
+	$(GO) test -run '^$$' -bench 'BenchmarkCycleEngine' -benchtime 10x -count 3 .
+
+# One iteration of every benchmark in every package — the CI smoke pass
+# that keeps benchmarks compiling and running without timing anything.
+bench-smoke:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
 
 # Short fuzz passes over the dump validator and pre-processor.
 fuzz:

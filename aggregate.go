@@ -2,10 +2,10 @@ package mantra
 
 import (
 	"sort"
-	"sync"
 	"time"
 
 	"repro/internal/addr"
+	"repro/internal/core/engine"
 	"repro/internal/core/tables"
 )
 
@@ -24,24 +24,18 @@ func (m *Monitor) EnableAggregation() {
 	m.aggregate = true
 }
 
-// RunCycleConcurrent is RunCycle with parallel collection: every target
-// is dialed and dumped on its own goroutine, then the snapshots are
-// processed in registration order so results stay deterministic. Failing
-// targets degrade the cycle exactly as in RunCycle — skipped, recorded,
-// gap-marked — they never abort it. With aggregation enabled, the merged
-// view over the targets that succeeded is processed last.
+// RunCycleConcurrent is RunCycle with pipelined parallel collection:
+// targets are dialed and dumped on a bounded worker pool (Concurrency
+// workers, default min(8, targets) — no longer a goroutine per target),
+// and a sequence-numbered reorder buffer hands finished targets to
+// processing in registration order, so results stay deterministic and
+// identical to the serial path while a slow router no longer stalls the
+// processing of the healthy ones. Failing targets degrade the cycle
+// exactly as in RunCycle — skipped, recorded, gap-marked — they never
+// abort it. With aggregation enabled, the merged view over the targets
+// that succeeded is processed last.
 func (m *Monitor) RunCycleConcurrent(now time.Time) ([]CycleStats, error) {
-	outcomes := make([]cycleOutcome, len(m.targets))
-	var wg sync.WaitGroup
-	for i, t := range m.targets {
-		wg.Add(1)
-		go func(i int, t Target) {
-			defer wg.Done()
-			outcomes[i] = m.collectTarget(t, now)
-		}(i, t)
-	}
-	wg.Wait()
-	return m.processOutcomes(now, outcomes)
+	return m.runEngine(now, engine.Options{Concurrency: m.Concurrency()})
 }
 
 // MergeSnapshots combines several routers' cycle snapshots into one
@@ -51,6 +45,11 @@ func (m *Monitor) RunCycleConcurrent(now time.Time) ([]CycleStats, error) {
 //     rate wins (different routers see the same stream at different
 //     points of its tree), counters take the maximum, uptime the longest.
 //   - Route table: deduplicated on prefix with the best (lowest) metric.
+//
+// The merge is order-independent: ties are broken by a total order over
+// the entry fields rather than by arrival, so any permutation of snaps
+// produces an identical aggregate — which is what lets the pipelined
+// cycle engine merge snapshots without caring how collection finished.
 //
 // This is the "aggregate views from multiple collection points" the
 // paper's conclusion calls for once sparse mode made any single vantage
@@ -71,21 +70,11 @@ func MergeSnapshots(name string, at time.Time, snaps ...*tables.Snapshot) *table
 				pairs[k] = e
 				continue
 			}
-			if e.RateKbps > cur.RateKbps {
-				cur.RateKbps = e.RateKbps
-			}
-			if e.Packets > cur.Packets {
-				cur.Packets = e.Packets
-			}
-			if e.Uptime > cur.Uptime {
-				cur.Uptime = e.Uptime
-				cur.Since = e.Since
-			}
-			pairs[k] = cur
+			pairs[k] = mergePair(cur, e)
 		}
 		for _, e := range sn.Routes {
 			cur, ok := routes[e.Prefix]
-			if !ok || e.Metric < cur.Metric {
+			if !ok || routePreferred(e, cur) {
 				routes[e.Prefix] = e
 			}
 		}
@@ -106,4 +95,54 @@ func MergeSnapshots(name string, at time.Time, snaps ...*tables.Snapshot) *table
 		return out.Routes[i].Prefix.Compare(out.Routes[j].Prefix) < 0
 	})
 	return out
+}
+
+// mergePair combines two observations of the same (source, group) pair.
+// Rates and counters take the field-wise maximum; uptime, its anchored
+// Since, and the flag string travel together from the dominant entry —
+// the longer-lived one, ties broken by earlier Since then smaller flag
+// string — so the merge commutes.
+func mergePair(a, b tables.PairEntry) tables.PairEntry {
+	dom, other := a, b
+	if pairDominates(b, a) {
+		dom, other = b, a
+	}
+	if other.RateKbps > dom.RateKbps {
+		dom.RateKbps = other.RateKbps
+	}
+	if other.Packets > dom.Packets {
+		dom.Packets = other.Packets
+	}
+	return dom
+}
+
+// pairDominates reports whether a wins the uptime/flags tie-break over b.
+func pairDominates(a, b tables.PairEntry) bool {
+	if a.Uptime != b.Uptime {
+		return a.Uptime > b.Uptime
+	}
+	if !a.Since.Equal(b.Since) {
+		return a.Since.Before(b.Since)
+	}
+	return a.Flags < b.Flags
+}
+
+// routePreferred reports whether route a beats b for the same prefix:
+// best (lowest) metric, then longest uptime, then a stable total order
+// over the remaining fields so the choice never depends on which
+// vantage's table arrived first.
+func routePreferred(a, b tables.RouteEntry) bool {
+	if a.Metric != b.Metric {
+		return a.Metric < b.Metric
+	}
+	if a.Uptime != b.Uptime {
+		return a.Uptime > b.Uptime
+	}
+	if !a.Since.Equal(b.Since) {
+		return a.Since.Before(b.Since)
+	}
+	if a.Local != b.Local {
+		return a.Local
+	}
+	return a.Gateway < b.Gateway
 }

@@ -1,6 +1,8 @@
 package mantra_test
 
 import (
+	"math/rand"
+	"reflect"
 	"testing"
 	"time"
 
@@ -45,6 +47,58 @@ func TestMergeSnapshotsDedup(t *testing.T) {
 	}
 	if agg.Routes[0].Metric != 1 {
 		t.Errorf("merged route metric = %d, want best (1)", agg.Routes[0].Metric)
+	}
+}
+
+// TestMergeSnapshotsOrderIndependent: any permutation of the input
+// snapshots must merge to the identical aggregate — the property that
+// lets the cycle engine merge without caring how collection finished.
+// The inputs deliberately include every tie the merge breaks: equal
+// uptimes with different Since, equal metrics, field-wise max races.
+func TestMergeSnapshotsOrderIndependent(t *testing.T) {
+	src := addr.MustParse("1.1.1.1")
+	grp := addr.MustParse("224.1.1.1")
+	mk := func(target string, rate float64, pkts uint64, up time.Duration, since time.Time, flags string, metric int) *tables.Snapshot {
+		return &tables.Snapshot{Target: target, At: sim.Epoch, Pairs: tables.PairTable{
+			{Source: src, Group: grp, RateKbps: rate, Packets: pkts, Uptime: up, Since: since, Flags: flags},
+		}, Routes: tables.RouteTable{
+			{Prefix: addr.MustParsePrefix("10.0.0.0/8"), Metric: metric, Uptime: up, Since: since},
+		}}
+	}
+	snaps := []*tables.Snapshot{
+		mk("a", 64, 100, time.Hour, sim.Epoch.Add(-time.Hour), "DP", 3),
+		mk("b", 50, 200, 2*time.Hour, sim.Epoch.Add(-2*time.Hour), "D", 1),
+		// Same uptime as b, later Since, higher rate: rate must still win
+		// field-wise while b's (Since, Flags) identity survives.
+		mk("c", 99, 150, 2*time.Hour, sim.Epoch.Add(-time.Hour), "DT", 1),
+		mk("d", 10, 400, 30*time.Minute, sim.Epoch.Add(-30*time.Minute), "P", 2),
+		nil,
+	}
+	ref := mantra.MergeSnapshots("aggregate", sim.Epoch, snaps...)
+	perm := []int{0, 1, 2, 3, 4}
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 40; trial++ {
+		rng.Shuffle(len(perm), func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+		shuffled := make([]*tables.Snapshot, len(snaps))
+		for i, p := range perm {
+			shuffled[i] = snaps[p]
+		}
+		got := mantra.MergeSnapshots("aggregate", sim.Epoch, shuffled...)
+		if !reflect.DeepEqual(ref, got) {
+			t.Fatalf("merge depends on input order (perm %v):\nref: %+v\ngot: %+v", perm, ref, got)
+		}
+	}
+	// Sanity on the reference itself: one pair, rate/packets are maxima,
+	// uptime belongs to the dominant (longest-lived, earliest-Since) entry.
+	if len(ref.Pairs) != 1 {
+		t.Fatalf("pairs = %d", len(ref.Pairs))
+	}
+	p := ref.Pairs[0]
+	if p.RateKbps != 99 || p.Packets != 400 || p.Uptime != 2*time.Hour || p.Flags != "D" {
+		t.Errorf("merged pair = %+v", p)
+	}
+	if len(ref.Routes) != 1 || ref.Routes[0].Metric != 1 || ref.Routes[0].Uptime != 2*time.Hour {
+		t.Errorf("merged route = %+v", ref.Routes[0])
 	}
 }
 

@@ -152,10 +152,11 @@ func (m *Monitor) recoverArchive(store *logger.Store, report *RecoveryReport) er
 			return fmt.Errorf("mantra: checkpoint monitor state: %w", err)
 		}
 		m.proc.ImportState(extra.Proc)
-		m.stability = make(map[string]*process.RouteStability, len(extra.Stability))
+		trackers := make(map[string]*process.RouteStability, len(extra.Stability))
 		for target, ss := range extra.Stability {
-			m.stability[target] = process.StabilityFromState(ss)
+			trackers[target] = process.StabilityFromState(ss)
 		}
+		m.engine.ImportStability(trackers)
 		for _, h := range extra.Health {
 			m.collector.RestoreHealth(h, recoveredAt)
 		}
@@ -181,11 +182,11 @@ func (m *Monitor) recoverArchive(store *logger.Store, report *RecoveryReport) er
 		}
 		report.CyclesReplayed++
 		m.proc.Ingest(ev.Snapshot)
-		m.latest[ev.Target] = ev.Snapshot
+		m.engine.SetLatest(ev.Target, ev.Snapshot)
 		if ev.Target != AggregateTarget {
 			// The aggregate view is synthetic: the live path gives it no
 			// stability tracker or health entry, so neither does replay.
-			m.observeStability(ev.Snapshot)
+			m.engine.ObserveStability(ev.Snapshot)
 			m.collector.RecordSuccess(ev.Target, ev.At)
 		}
 	}
@@ -194,12 +195,12 @@ func (m *Monitor) recoverArchive(store *logger.Store, report *RecoveryReport) er
 	// latest snapshots are materialized from the recovered delta log.
 	for _, target := range m.log.Targets() {
 		report.Targets = append(report.Targets, target)
-		if m.latest[target] == nil {
+		if m.engine.Latest(target) == nil {
 			if sn, ok := m.log.Materialized(target); ok {
-				m.latest[target] = sn
+				m.engine.SetLatest(target, sn)
 			}
 		}
-		if sn := m.latest[target]; sn != nil {
+		if sn := m.engine.Latest(target); sn != nil {
 			m.refreshTables(target, sn)
 		}
 	}
@@ -248,12 +249,13 @@ func (m *Monitor) Checkpoint(now time.Time) error {
 	if m.archive == nil {
 		return nil
 	}
+	trackers := m.engine.StabilityTrackers()
 	extra := archiveExtra{
 		Proc:      m.proc.ExportState(),
-		Stability: make(map[string]*process.StabilityState, len(m.stability)),
+		Stability: make(map[string]*process.StabilityState, len(trackers)),
 		Health:    m.collector.Health(),
 	}
-	for target, rs := range m.stability {
+	for target, rs := range trackers {
 		extra.Stability[target] = rs.ExportState()
 	}
 	var buf bytes.Buffer

@@ -7,6 +7,8 @@
 package mantra_test
 
 import (
+	"fmt"
+	"io"
 	"strings"
 	"sync"
 	"testing"
@@ -308,6 +310,89 @@ func thresholdName(thr float64) string {
 		return "16kbps"
 	}
 	return "4kbps"
+}
+
+// --- Cycle engine ---------------------------------------------------------
+
+// slowDialer injects a fixed per-session latency before dialing — the
+// skewed-target profile for the engine benchmark.
+type slowDialer struct {
+	d     collect.Dialer
+	delay time.Duration
+}
+
+func (d slowDialer) Dial() (io.ReadWriteCloser, error) {
+	time.Sleep(d.delay)
+	return d.d.Dial()
+}
+
+// engineBenchMonitor builds a 64-target monitor over one simulated
+// router with a skewed latency profile: every session pays a network
+// round-trip (8 ms), and every eighth target drags 30 ms — the
+// stragglers every real deployment has. Collection is therefore
+// latency-dominated: the worker pool spends much of the cycle waiting
+// on the wire with CPU to spare. That spare capacity is what separates
+// the schedules — the barrier leaves it idle until the last dump is in,
+// the pipelined schedule fills it with the ordered stages of the
+// targets already collected.
+func engineBenchMonitor(b *testing.B) *mantra.Monitor {
+	b.Helper()
+	r := getUsageRunner(b)
+	rt := r.Net.Router("fixw")
+	m := mantra.New()
+	m.SetConcurrency(8)
+	for i := 0; i < 64; i++ {
+		delay := 8 * time.Millisecond
+		if i%8 == 7 {
+			delay = 30 * time.Millisecond
+		}
+		m.AddTarget(mantra.Target{
+			Name:     fmt.Sprintf("t%02d", i),
+			Dialer:   slowDialer{d: collect.PipeDialer{Router: rt}, delay: delay},
+			Password: rt.Password,
+			Prompt:   "fixw> ",
+		})
+	}
+	return m
+}
+
+// BenchmarkCycleEngine measures one monitoring cycle over 64 targets
+// with the skewed-latency profile, pipelined versus barrier at the same
+// worker-pool size. The artifacts are identical by construction
+// (TestPipelinedCycleMatchesSerial); the wall clock is the difference,
+// and pipelined must come out ahead.
+func BenchmarkCycleEngine(b *testing.B) {
+	run := func(b *testing.B, cycle func(m *mantra.Monitor, now time.Time) ([]mantra.CycleStats, error)) {
+		m := engineBenchMonitor(b)
+		now := sim.Epoch
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			now = now.Add(30 * time.Minute)
+			if _, err := cycle(m, now); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		rep := m.LastCycleReport()
+		b.ReportMetric(float64(rep.WallNs)/1e6, "wall_ms/cycle")
+		b.ReportMetric(float64(rep.StageTotal("collect").Milliseconds()), "collect_ms/cycle")
+		b.ReportMetric(float64(rep.MaxQueueDepth), "queue_peak")
+	}
+	b.Run("barrier", func(b *testing.B) {
+		run(b, func(m *mantra.Monitor, now time.Time) ([]mantra.CycleStats, error) {
+			return m.RunCycleBarrier(now)
+		})
+	})
+	b.Run("pipelined", func(b *testing.B) {
+		run(b, func(m *mantra.Monitor, now time.Time) ([]mantra.CycleStats, error) {
+			return m.RunCycleConcurrent(now)
+		})
+	})
+	b.Run("serial", func(b *testing.B) {
+		run(b, func(m *mantra.Monitor, now time.Time) ([]mantra.CycleStats, error) {
+			return m.RunCycle(now)
+		})
+	})
 }
 
 // --- Micro-benchmarks on the substrates ----------------------------------

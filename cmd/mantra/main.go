@@ -19,8 +19,13 @@
 // and a restart recovers the series, tables and health ledger to their
 // pre-crash values (at most the final partial record is lost).
 //
+// With -concurrent, collection runs through the pipelined cycle engine
+// on a bounded worker pool (-concurrency N, default min(8, targets));
+// -stats prints the engine's per-stage timings each cycle, and the same
+// instrumentation is served at /stats.
+//
 // Endpoints: /  /series/<target>/<metric>  /graph/<target>/<metric>
-// /tables/<name>  /anomalies  /health  /archive
+// /tables/<name>  /anomalies  /health  /archive  /stats
 package main
 
 import (
@@ -51,7 +56,9 @@ func main() {
 	interval := flag.Duration("interval", 5*time.Second, "polling interval (wall clock)")
 	httpAddr := flag.String("http", "127.0.0.1:8080", "HTTP address serving results")
 	cycles := flag.Int("cycles", 0, "stop after N cycles (0 = run forever)")
-	concurrent := flag.Bool("concurrent", false, "collect all targets in parallel")
+	concurrent := flag.Bool("concurrent", false, "collect targets on a bounded worker pool")
+	concurrency := flag.Int("concurrency", 0, "collection worker pool size with -concurrent (0 = min(8, targets))")
+	showStats := flag.Bool("stats", false, "print per-cycle engine stage timings")
 	aggregate := flag.Bool("aggregate", false, "publish a combined multi-router view (implies -concurrent)")
 	retries := flag.Int("retries", 3, "collection attempts per target per cycle")
 	retryBase := flag.Duration("retry-base", 100*time.Millisecond, "backoff before the first retry (doubles per retry)")
@@ -79,6 +86,9 @@ func main() {
 	if *aggregate {
 		m.EnableAggregation()
 		*concurrent = true
+	}
+	if *concurrency > 0 {
+		m.SetConcurrency(*concurrency)
 	}
 	for _, spec := range targets {
 		parts := strings.SplitN(spec, "=", 2)
@@ -143,6 +153,18 @@ func main() {
 			fmt.Printf("%s %-10s sessions=%-5d participants=%-5d active=%-4d senders=%-4d bw=%.0fkbps routes=%d churn=%d\n",
 				now.Format("15:04:05"), st.Target, st.Sessions, st.Participants,
 				st.ActiveSessions, st.Senders, st.BandwidthKbps, st.Routes, st.RouteChurn)
+		}
+		if *showStats {
+			if rep := m.LastCycleReport(); rep != nil {
+				fmt.Printf("%s engine cycle=%d workers=%d targets=%d failed=%d wall=%s queue_peak=%d collect=%s normalize=%s log=%s ingest=%s publish=%s\n",
+					now.Format("15:04:05"), rep.Cycle, rep.Concurrency, rep.Targets, rep.Failed,
+					rep.Wall().Round(time.Microsecond), rep.MaxQueueDepth,
+					rep.StageTotal("collect").Round(time.Microsecond),
+					rep.StageTotal("normalize").Round(time.Microsecond),
+					rep.StageTotal("log").Round(time.Microsecond),
+					rep.StageTotal("ingest").Round(time.Microsecond),
+					rep.StageTotal("publish").Round(time.Microsecond))
+			}
 		}
 		health := m.Health()
 		if *showHealth {

@@ -357,6 +357,30 @@ func (c *Collector) RecordSkipped(name string, now time.Time) {
 	st.health.ConsecutiveFailures = st.breaker.Consecutive()
 }
 
+// CarryState imports every target's health ledger and breaker position
+// from old, so a policy swap mid-run keeps the accumulated failure
+// history instead of silently amnesia-ing it. The new policy's
+// thresholds and cooldowns apply from the next breaker transition;
+// current streaks, totals and an open breaker's opening instant carry
+// over unchanged (an open breaker keeps cooling down on its original
+// schedule rather than restarting).
+func (c *Collector) CarryState(old *Collector) {
+	if old == nil || old == c {
+		return
+	}
+	old.mu.Lock()
+	defer old.mu.Unlock()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for name, ost := range old.targets {
+		st := c.state(name)
+		st.health = ost.health
+		st.breaker.state = ost.breaker.state
+		st.breaker.consecutive = ost.breaker.consecutive
+		st.breaker.openedAt = ost.breaker.openedAt
+	}
+}
+
 // RestoreHealth seeds one target's health ledger and breaker from a
 // checkpointed TargetHealth — the restart-recovery path. The breaker's
 // failure streak and state are reconstructed; a breaker restored open

@@ -125,6 +125,16 @@ func (l *Logger) Append(sn *tables.Snapshot) CycleRecord {
 			delete(tl.lastPairs, k)
 		}
 	}
+	// The removal sets come off map iteration; sort them so the record —
+	// and anything derived from it, like archive WAL frames — is
+	// byte-deterministic for a given history.
+	sort.Slice(rec.Pairs.Removed, func(i, j int) bool {
+		a, b := rec.Pairs.Removed[i], rec.Pairs.Removed[j]
+		if a.Group != b.Group {
+			return a.Group < b.Group
+		}
+		return a.Source < b.Source
+	})
 
 	seenR := make(map[addr.Prefix]bool, len(sn.Routes))
 	for _, e := range sn.Routes {
@@ -141,6 +151,9 @@ func (l *Logger) Append(sn *tables.Snapshot) CycleRecord {
 			delete(tl.lastRoutes, p)
 		}
 	}
+	sort.Slice(rec.Routes.Removed, func(i, j int) bool {
+		return rec.Routes.Removed[i].Compare(rec.Routes.Removed[j]) < 0
+	})
 
 	tl.Records = append(tl.Records, rec)
 	tl.fullEntries += uint64(len(sn.Pairs) + len(sn.Routes))

@@ -5,19 +5,24 @@ import (
 	"net/http"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/core/process"
 )
 
 // Server exposes Mantra's results over HTTP: the web-based presentation
-// layer (tables and graph data) of the paper's Output Interface.
+// layer (tables and graph data) of the paper's Output Interface. It is
+// safe to register tables and sources while the server is serving.
 type Server struct {
-	mux     *http.ServeMux
-	proc    *process.Processor
+	mux  *http.ServeMux
+	proc *process.Processor
+
+	mu      sync.RWMutex
 	tables  map[string]*Table
 	health  func() any
 	archive func() any
+	stats   func() any
 }
 
 // NewServer returns a server over a processor's live series. Summary
@@ -35,16 +40,33 @@ func NewServer(p *process.Processor) *Server {
 	s.mux.HandleFunc("/anomalies", s.handleAnomalies)
 	s.mux.HandleFunc("/health", s.handleHealth)
 	s.mux.HandleFunc("/archive", s.handleArchive)
+	s.mux.HandleFunc("/stats", s.handleStats)
 	return s
 }
 
 // SetHealth installs the health snapshot source served at /health — the
 // monitor wires its per-target collection health view here.
-func (s *Server) SetHealth(fn func() any) { s.health = fn }
+func (s *Server) SetHealth(fn func() any) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.health = fn
+}
 
 // SetArchive installs the archive stats source served at /archive — the
 // monitor wires its durable-archive counters and recovery report here.
-func (s *Server) SetArchive(fn func() any) { s.archive = fn }
+func (s *Server) SetArchive(fn func() any) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.archive = fn
+}
+
+// SetStats installs the cycle-engine instrumentation source served at
+// /stats — per-stage, per-target timings and queue-depth counters.
+func (s *Server) SetStats(fn func() any) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.stats = fn
+}
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
@@ -53,6 +75,8 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 
 // RegisterTable publishes (or replaces) a summary table under its name.
 func (s *Server) RegisterTable(t *Table) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	s.tables[t.Name] = t
 }
 
@@ -71,9 +95,11 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 	for _, m := range process.AllMetrics {
 		idx.Metrics = append(idx.Metrics, string(m))
 	}
+	s.mu.RLock()
 	for name := range s.tables {
 		idx.Tables = append(idx.Tables, name)
 	}
+	s.mu.RUnlock()
 	sort.Strings(idx.Tables)
 	writeJSON(w, idx)
 }
@@ -109,20 +135,39 @@ func (s *Server) handleSeries(w http.ResponseWriter, r *http.Request) {
 
 // handleHealth serves the per-target collection health view as JSON.
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
-	if s.health == nil {
+	s.mu.RLock()
+	fn := s.health
+	s.mu.RUnlock()
+	if fn == nil {
 		http.NotFound(w, r)
 		return
 	}
-	writeJSON(w, s.health())
+	writeJSON(w, fn())
 }
 
 // handleArchive serves the durable-archive stats view as JSON.
 func (s *Server) handleArchive(w http.ResponseWriter, r *http.Request) {
-	if s.archive == nil {
+	s.mu.RLock()
+	fn := s.archive
+	s.mu.RUnlock()
+	if fn == nil {
 		http.NotFound(w, r)
 		return
 	}
-	writeJSON(w, s.archive())
+	writeJSON(w, fn())
+}
+
+// handleStats serves the cycle engine's pipeline instrumentation —
+// per-stage timings, queue depth, per-target counters — as JSON.
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	fn := s.stats
+	s.mu.RUnlock()
+	if fn == nil {
+		http.NotFound(w, r)
+		return
+	}
+	writeJSON(w, fn())
 }
 
 // handleGraph serves /graph/<target>/<metric> as an ASCII chart.
@@ -147,7 +192,9 @@ func (s *Server) handleGraph(w http.ResponseWriter, r *http.Request) {
 // ?q=substr query operations.
 func (s *Server) handleTable(w http.ResponseWriter, r *http.Request) {
 	name := strings.TrimPrefix(r.URL.Path, "/tables/")
+	s.mu.RLock()
 	t, ok := s.tables[name]
+	s.mu.RUnlock()
 	if !ok {
 		http.NotFound(w, r)
 		return

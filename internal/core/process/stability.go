@@ -146,8 +146,16 @@ func (rs *RouteStability) Summary() StabilitySummary {
 	if s.Prefixes == 0 {
 		return s
 	}
+	// Sum in sorted prefix order: map iteration order varies run to run,
+	// and the floating-point accumulation must not.
+	keys := make([]addr.Prefix, 0, len(rs.byPrefix))
+	for p := range rs.byPrefix {
+		keys = append(keys, p)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i].Compare(keys[j]) < 0 })
 	availSum := 0.0
-	for _, h := range rs.byPrefix {
+	for _, p := range keys {
+		h := rs.byPrefix[p]
 		if h.flaps == 0 {
 			s.StablePrefixes++
 		}

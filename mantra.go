@@ -32,6 +32,7 @@ import (
 	"time"
 
 	"repro/internal/core/collect"
+	"repro/internal/core/engine"
 	"repro/internal/core/logger"
 	"repro/internal/core/output"
 	"repro/internal/core/process"
@@ -81,12 +82,14 @@ type Monitor struct {
 	// collector is the resilient collection path: retries, per-target
 	// circuit breakers, dump validation, health ledger.
 	collector *collect.Collector
+	// engine schedules each cycle as the staged pipeline and owns the
+	// consolidated per-target state (latest snapshot, stability
+	// tracker, per-stage instrumentation).
+	engine *engine.Engine
 	// lastResults holds the per-target outcomes of the latest cycle.
 	lastResults []CollectResult
-	// latest holds the most recent snapshot per target.
-	latest map[string]*tables.Snapshot
-	// stability tracks per-prefix route stability per target.
-	stability map[string]*process.RouteStability
+	// concurrency bounds the collection worker pool; see SetConcurrency.
+	concurrency int
 	// aggregate enables the combined multi-router view; see
 	// EnableAggregation.
 	aggregate bool
@@ -104,10 +107,10 @@ func New() *Monitor {
 		proc:      p,
 		server:    output.NewServer(p),
 		collector: collect.NewCollector(collect.DefaultPolicy()),
-		latest:    make(map[string]*tables.Snapshot),
-		stability: make(map[string]*process.RouteStability),
 	}
+	m.engine = engine.New(m.engineStages(), nil)
 	m.server.SetHealth(func() any { return m.Health() })
+	m.server.SetStats(func() any { return m.EngineStats() })
 	return m
 }
 
@@ -132,30 +135,17 @@ func (m *Monitor) Targets() []string {
 // snapshot. A failing target no longer aborts the cycle: it is skipped,
 // recorded in Health and LastResults, and its series get an explicit gap
 // marker. The cycle errs (with ErrAllTargetsFailed) only when every
-// target failed.
+// target failed. RunCycle drives the stage engine with a single worker,
+// i.e. the serial schedule; see RunCycleConcurrent for the pipelined one.
 func (m *Monitor) RunCycle(now time.Time) ([]CycleStats, error) {
-	outcomes := make([]cycleOutcome, 0, len(m.targets))
-	for _, t := range m.targets {
-		outcomes = append(outcomes, m.collectTarget(t, now))
-	}
-	return m.processOutcomes(now, outcomes)
-}
-
-// observeStability folds a snapshot into its target's stability tracker.
-func (m *Monitor) observeStability(sn *tables.Snapshot) {
-	rs := m.stability[sn.Target]
-	if rs == nil {
-		rs = process.NewRouteStability()
-		m.stability[sn.Target] = rs
-	}
-	rs.Observe(sn.Routes, sn.At)
+	return m.runEngine(now, engine.Options{Concurrency: 1})
 }
 
 // RouteStability returns the per-prefix stability tracker of a target,
 // or nil before the first cycle — route lifetimes, availability and flap
 // counts (the route-monitoring outputs of §II-B).
 func (m *Monitor) RouteStability(target string) *process.RouteStability {
-	return m.stability[target]
+	return m.engine.Stability(target)
 }
 
 // refreshTables rebuilds the published summary tables for a target.
@@ -199,7 +189,7 @@ func (m *Monitor) Series(target string, metric Metric) *process.Series {
 
 // Latest returns the most recent normalized snapshot for a target, or nil.
 func (m *Monitor) Latest(target string) *tables.Snapshot {
-	return m.latest[target]
+	return m.engine.Latest(target)
 }
 
 // Anomalies returns the anomalies detected so far.

@@ -2,11 +2,8 @@ package mantra
 
 import (
 	"errors"
-	"fmt"
-	"time"
 
 	"repro/internal/core/collect"
-	"repro/internal/core/tables"
 )
 
 // ErrAllTargetsFailed reports a cycle in which no target produced a
@@ -33,11 +30,23 @@ type CollectResult struct {
 type TargetHealth = collect.TargetHealth
 
 // SetCollectPolicy replaces the resilience policy — retries, backoff,
-// breaker thresholds, validation — governing all collection. It resets
-// the per-target breakers and health ledger, so call it before the first
-// cycle (or deliberately, to reset state).
+// breaker thresholds, validation — governing all collection. The
+// per-target health ledger and breaker positions carry over into the
+// new policy (new thresholds and cooldowns apply from the next
+// transition), so a mid-run policy change no longer silently discards
+// accumulated failure history. Use ResetCollectState for a deliberate
+// wipe.
 func (m *Monitor) SetCollectPolicy(p collect.Policy) {
-	m.collector = collect.NewCollector(p)
+	nc := collect.NewCollector(p)
+	nc.CarryState(m.collector)
+	m.collector = nc
+}
+
+// ResetCollectState wipes the per-target breakers and health ledger
+// while keeping the current policy — the old SetCollectPolicy behavior,
+// now opt-in.
+func (m *Monitor) ResetCollectState() {
+	m.collector = collect.NewCollector(m.collector.Policy())
 }
 
 // Health returns every registered target's collection health, in
@@ -56,87 +65,4 @@ func (m *Monitor) Health() []TargetHealth {
 // in registration order, or nil before the first cycle.
 func (m *Monitor) LastResults() []CollectResult {
 	return append([]CollectResult(nil), m.lastResults...)
-}
-
-// cycleOutcome carries one target's collection phase output into the
-// (order-preserving) processing phase.
-type cycleOutcome struct {
-	res collect.Result
-	sn  *tables.Snapshot
-}
-
-// collectTarget runs the resilient collection of one target and, on
-// success, builds its snapshot. Parse failures count against the target's
-// breaker: a router emitting unparseable dumps is as unhealthy as one
-// refusing logins. Safe for concurrent use across targets.
-func (m *Monitor) collectTarget(t Target, now time.Time) cycleOutcome {
-	res := m.collector.Collect(t, m.Commands, now)
-	if res.Err != nil {
-		return cycleOutcome{res: res}
-	}
-	sn, err := tables.BuildSnapshot(res.Dumps)
-	if err != nil {
-		err = fmt.Errorf("collect %s: snapshot rejected: %w", t.Name, err)
-		m.collector.RecordFailure(t.Name, now, err)
-		res.Status = collect.StatusDegraded
-		res.Err = err
-		return cycleOutcome{res: res}
-	}
-	return cycleOutcome{res: res, sn: sn}
-}
-
-// processOutcomes turns a cycle's collection outcomes into results:
-// successful snapshots are logged, ingested and published in registration
-// order; failed targets are skipped with an explicit gap marker on their
-// series. The cycle errs only when every target failed.
-func (m *Monitor) processOutcomes(now time.Time, outcomes []cycleOutcome) ([]CycleStats, error) {
-	var out []CycleStats
-	var snaps []*tables.Snapshot
-	results := make([]CollectResult, 0, len(outcomes))
-	failed := 0
-	for _, oc := range outcomes {
-		cr := CollectResult{
-			Target:   oc.res.Target,
-			Status:   oc.res.Status,
-			Attempts: oc.res.Attempts,
-			Err:      oc.res.Err,
-		}
-		if oc.sn == nil {
-			failed++
-			m.proc.MarkGap(oc.res.Target, now)
-			reason := ""
-			if oc.res.Err != nil {
-				reason = oc.res.Err.Error()
-			}
-			m.log.MarkGap(oc.res.Target, now, reason)
-			m.archiveAppendGap(oc.res.Target, now, reason)
-			results = append(results, cr)
-			continue
-		}
-		rec := m.log.Append(oc.sn)
-		m.archiveAppendDelta(oc.sn.Target, rec, uint64(len(oc.sn.Pairs)+len(oc.sn.Routes)))
-		st := m.proc.Ingest(oc.sn)
-		m.observeStability(oc.sn)
-		m.latest[oc.sn.Target] = oc.sn
-		m.refreshTables(oc.sn.Target, oc.sn)
-		cr.Stats = &st
-		out = append(out, st)
-		results = append(results, cr)
-		snaps = append(snaps, oc.sn)
-	}
-	if m.aggregate && len(snaps) > 0 {
-		agg := MergeSnapshots(AggregateTarget, now, snaps...)
-		rec := m.log.Append(agg)
-		m.archiveAppendDelta(AggregateTarget, rec, uint64(len(agg.Pairs)+len(agg.Routes)))
-		st := m.proc.Ingest(agg)
-		m.latest[AggregateTarget] = agg
-		m.refreshTables(AggregateTarget, agg)
-		out = append(out, st)
-	}
-	m.archiveAfterCycle(now)
-	m.lastResults = results
-	if len(outcomes) > 0 && failed == len(outcomes) {
-		return out, fmt.Errorf("mantra: %w", ErrAllTargetsFailed)
-	}
-	return out, nil
 }
