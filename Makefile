@@ -1,9 +1,10 @@
-# Developer entry points. `make check` is the pre-commit gate: vet plus
-# the full suite under the race detector.
+# Developer entry points. `make check` is the pre-commit gate: the full
+# lint stack (gofmt + vet + mantralint) plus the suite under the race
+# detector — the same gate CI runs.
 
 GO ?= go
 
-.PHONY: build vet test race bench bench-collect bench-archive bench-engine bench-smoke fuzz chaos figures check
+.PHONY: build vet fmt-check mantralint lint test race bench bench-collect bench-archive bench-engine bench-smoke fuzz chaos figures check
 
 build:
 	$(GO) build ./...
@@ -11,8 +12,23 @@ build:
 vet:
 	$(GO) vet ./...
 
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
+
+# The project-specific analyzers: determinism (mapiter, floatsum),
+# clock injection (wallclock, globalrand) and crash safety (walerr).
+# See DESIGN.md §8 for the invariants and the suppression syntax.
+mantralint:
+	$(GO) run ./cmd/mantralint ./...
+
+# The one pre-commit lint target: formatting, vet, and the invariant
+# analyzers.
+lint: fmt-check vet mantralint
+
+# -shuffle randomizes test order every run, dynamically flushing
+# inter-test state dependence (the runtime complement to mapiter).
 test:
-	$(GO) test ./...
+	$(GO) test -shuffle=on ./...
 
 race:
 	$(GO) test -race ./...
@@ -53,4 +69,5 @@ chaos:
 figures:
 	$(GO) run ./cmd/figures -scale quick -out out
 
-check: vet race
+# vet + lint + race: lint subsumes vet, so this is the full CI gate.
+check: lint race

@@ -112,11 +112,11 @@ func (m *Monitor) EnableArchive(cfg ArchiveConfig) (*RecoveryReport, error) {
 	report := &RecoveryReport{}
 	if store.HasData() {
 		if !cfg.Resume {
-			store.Close()
+			store.Close() //mantralint:allow walerr abandoning the store on a path already returning an error; nothing was written
 			return nil, fmt.Errorf("%w: %s", ErrArchiveExists, cfg.Dir)
 		}
 		if err := m.recoverArchive(store, report); err != nil {
-			store.Close()
+			store.Close() //mantralint:allow walerr abandoning the store on a path already returning an error; nothing was written
 			return nil, err
 		}
 	}

@@ -138,7 +138,7 @@ func main() {
 	}()
 
 	for i := 0; *cycles == 0 || i < *cycles; i++ {
-		now := time.Now().UTC()
+		now := time.Now().UTC() //mantralint:allow wallclock composition root: live monitoring stamps cycles with real time and injects it downward
 		var stats []mantra.CycleStats
 		var err error
 		if *concurrent {
@@ -193,7 +193,7 @@ func main() {
 		}
 		time.Sleep(*interval)
 	}
-	if err := m.CloseArchive(time.Now().UTC()); err != nil {
+	if err := m.CloseArchive(time.Now().UTC()); err != nil { //mantralint:allow wallclock composition root: final checkpoint stamped with real time
 		log.Fatalf("mantra: archive close: %v", err)
 	}
 }

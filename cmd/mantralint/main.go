@@ -1,0 +1,81 @@
+// Command mantralint runs the project's determinism, clock-injection and
+// crash-safety analyzers over every package in the module and exits
+// non-zero on any finding.
+//
+//	mantralint ./...              # whole module (the ./... is cosmetic)
+//	mantralint -checks mapiter,walerr
+//	mantralint -list
+//
+// Findings print as file:line:col: [check] message, with paths relative
+// to the module root. A finding is silenced on its exact line by
+//
+//	//mantralint:allow <check> <reason>
+//
+// See DESIGN.md §8 for the invariants each check encodes and when a
+// suppression is legitimate.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	checks := flag.String("checks", "", "comma-separated subset of checks to run (default: all)")
+	dir := flag.String("dir", ".", "directory inside the module to lint")
+	list := flag.Bool("list", false, "list registered checks and exit")
+	debug := flag.Bool("debug", false, "print type-check diagnostics (analysis is best-effort under them)")
+	flag.Parse()
+
+	if *list {
+		for _, a := range lint.Analyzers() {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	analyzers := lint.Analyzers()
+	if *checks != "" {
+		var err error
+		analyzers, err = lint.ByName(strings.Split(*checks, ","))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mantralint:", err)
+			os.Exit(2)
+		}
+	}
+
+	mod, err := lint.NewModule(*dir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mantralint:", err)
+		os.Exit(2)
+	}
+	pkgs, err := mod.LoadAll()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mantralint:", err)
+		os.Exit(2)
+	}
+	if *debug {
+		for _, p := range pkgs {
+			for _, te := range p.TypeErrors {
+				fmt.Fprintf(os.Stderr, "mantralint: typecheck %s: %v\n", p.RelPath, te)
+			}
+		}
+	}
+
+	findings := lint.RunAnalyzers(pkgs, analyzers)
+	for _, f := range findings {
+		if rel, err := filepath.Rel(mod.Root, f.Pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+			f.Pos.Filename = rel
+		}
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "mantralint: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+}

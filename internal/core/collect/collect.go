@@ -85,6 +85,10 @@ type Target struct {
 	Prompt string
 	// Timeout bounds each expect step; zero means 10 s.
 	Timeout time.Duration
+	// Clock supplies the time base for expect deadlines; nil means the
+	// wall clock. Tests and simulations inject a virtual clock so
+	// timeout behaviour is reproducible.
+	Clock func() time.Time
 }
 
 // Session is an authenticated CLI session.
@@ -92,6 +96,7 @@ type Session struct {
 	conn    io.ReadWriteCloser
 	prompt  string
 	timeout time.Duration
+	now     func() time.Time
 	buf     []byte
 }
 
@@ -109,7 +114,7 @@ type deadliner interface {
 // fresh login.
 func (s *Session) readUntil(pattern string) (string, error) {
 	var sb strings.Builder
-	deadline := time.Now().Add(s.timeout)
+	deadline := s.now().Add(s.timeout)
 	if d, ok := s.conn.(deadliner); ok {
 		_ = d.SetReadDeadline(deadline)
 		defer d.SetReadDeadline(time.Time{})
@@ -122,7 +127,7 @@ func (s *Session) readUntil(pattern string) (string, error) {
 		if strings.Contains(sb.String(), pattern) {
 			return sb.String(), nil
 		}
-		if time.Now().After(deadline) {
+		if s.now().After(deadline) {
 			return sb.String(), fmt.Errorf("%w: %q", ErrTimeout, pattern)
 		}
 		n, err := s.conn.Read(tmp)
@@ -131,7 +136,7 @@ func (s *Session) readUntil(pattern string) (string, error) {
 			if strings.Contains(sb.String(), pattern) {
 				return sb.String(), nil
 			}
-			if errors.Is(err, os.ErrDeadlineExceeded) || !time.Now().Before(deadline) {
+			if errors.Is(err, os.ErrDeadlineExceeded) || !s.now().Before(deadline) {
 				return sb.String(), fmt.Errorf("%w: %q (%v)", ErrTimeout, pattern, err)
 			}
 			return sb.String(), err
@@ -154,7 +159,11 @@ func Login(t Target) (*Session, error) {
 	if timeout <= 0 {
 		timeout = 10 * time.Second
 	}
-	s := &Session{conn: conn, prompt: t.Prompt, timeout: timeout}
+	now := t.Clock
+	if now == nil {
+		now = time.Now //mantralint:allow wallclock live-target default; injected via Target.Clock everywhere else
+	}
+	s := &Session{conn: conn, prompt: t.Prompt, timeout: timeout, now: now}
 	if t.Password != "" {
 		if _, err := s.readUntil("Password: "); err != nil {
 			conn.Close()

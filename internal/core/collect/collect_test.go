@@ -2,6 +2,7 @@ package collect_test
 
 import (
 	"errors"
+	"io"
 	"net"
 	"strings"
 	"testing"
@@ -175,5 +176,47 @@ func TestPreprocess(t *testing.T) {
 	}
 	if collect.Preprocess("") != nil {
 		t.Error("empty input should give nil")
+	}
+}
+
+// silentDialer hands out one end of a pipe whose far side never speaks, so
+// only the expect deadline can end the login attempt.
+type silentDialer struct{}
+
+func (silentDialer) Dial() (io.ReadWriteCloser, error) {
+	client, _ := net.Pipe()
+	return client, nil
+}
+
+func TestLoginTimeoutUsesInjectedClock(t *testing.T) {
+	// Regression for the mantralint wallclock findings in readUntil: the
+	// expect deadline is anchored on Target.Clock, not time.Now. With a
+	// one-hour timeout and a fake clock that jumps two hours, login must
+	// fail immediately — if the wall clock were still consulted this test
+	// would hang for an hour.
+	base := time.Unix(1_000_000, 0)
+	calls := 0
+	tgt := collect.Target{
+		Name:    "silent",
+		Dialer:  silentDialer{},
+		Prompt:  "silent> ",
+		Timeout: time.Hour,
+		Clock: func() time.Time {
+			calls++
+			if calls == 1 {
+				return base
+			}
+			return base.Add(2 * time.Hour)
+		},
+	}
+	_, err := collect.Login(tgt)
+	if !errors.Is(err, collect.ErrLogin) {
+		t.Fatalf("Login error = %v, want ErrLogin", err)
+	}
+	if !strings.Contains(err.Error(), "timed out") {
+		t.Fatalf("Login error = %v, want timeout", err)
+	}
+	if calls < 2 {
+		t.Fatalf("injected clock consulted %d times, want >= 2", calls)
 	}
 }

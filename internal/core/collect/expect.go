@@ -41,12 +41,19 @@ func LoginScript(password, prompt string, commands ...string) Script {
 }
 
 // RunScript drives rw through the script and returns the captured
-// sections. The timeout applies per expect step.
+// sections. The timeout applies per expect step, measured on the wall
+// clock; use RunScriptClock to inject a time base.
 func RunScript(rw io.ReadWriter, script Script, timeout time.Duration) (map[string]string, error) {
+	return RunScriptClock(rw, script, timeout, time.Now) //mantralint:allow wallclock live expect-script seam; RunScriptClock is the injected path
+}
+
+// RunScriptClock is RunScript with an injected clock for the per-step
+// expect deadlines.
+func RunScriptClock(rw io.ReadWriter, script Script, timeout time.Duration, now func() time.Time) (map[string]string, error) {
 	if timeout <= 0 {
 		timeout = 10 * time.Second
 	}
-	s := &Session{conn: sessionStream(rw), timeout: timeout}
+	s := &Session{conn: sessionStream(rw), timeout: timeout, now: now}
 	captures := make(map[string]string)
 	for i, step := range script {
 		if step.Expect != "" {

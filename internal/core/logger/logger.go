@@ -235,12 +235,15 @@ func (l *Logger) Materialized(target string) (*tables.Snapshot, bool) {
 	return sn, true
 }
 
-// Targets returns the known collection points.
+// Targets returns the known collection points, sorted by name so callers
+// that serialize per-target state (the checkpoint writer does) see a
+// stable order.
 func (l *Logger) Targets() []string {
 	out := make([]string, 0, len(l.targets))
 	for t := range l.targets {
 		out = append(out, t)
 	}
+	sort.Strings(out)
 	return out
 }
 

@@ -3,6 +3,7 @@ package logger
 import (
 	"bytes"
 	"reflect"
+	"sort"
 	"testing"
 	"time"
 
@@ -181,11 +182,34 @@ func TestLoadGarbage(t *testing.T) {
 func TestTargetsListed(t *testing.T) {
 	l := New()
 	l.Append(snap(sim.Epoch, nil, nil))
-	sn2 := &tables.Snapshot{Target: "ucsb", At: sim.Epoch}
-	l.Append(sn2)
-	if got := l.Targets(); len(got) != 2 {
+	l.Append(&tables.Snapshot{Target: "ucsb", At: sim.Epoch})
+	l.Append(&tables.Snapshot{Target: "aads", At: sim.Epoch})
+	if got := l.Targets(); len(got) != 3 {
 		t.Errorf("targets = %v", got)
 	}
+	// Targets feeds per-target checkpoint serialization, so the order must
+	// be stable (sorted), not map order.
+	got := l.Targets()
+	if !sort.StringsAreSorted(got) {
+		t.Errorf("targets not sorted: %v", got)
+	}
+	for i := 0; i < 20; i++ {
+		if again := l.Targets(); !slicesEqual(again, got) {
+			t.Fatalf("Targets order unstable: %v vs %v", again, got)
+		}
+	}
+}
+
+func slicesEqual(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 func TestRouteDeltaEfficiencyOnStableTable(t *testing.T) {

@@ -9,6 +9,7 @@
 package process
 
 import (
+	"sort"
 	"time"
 
 	"repro/internal/addr"
@@ -122,12 +123,15 @@ type StabilityState struct {
 	Prefixes []PrefixState
 }
 
-// ExportState copies the tracker's accumulated state.
+// ExportState copies the tracker's accumulated state. Both slices are
+// sorted by prefix: the export gob-encodes straight into checkpoints, so
+// map-iteration order here would make checkpoint bytes differ run to run.
 func (rs *RouteStability) ExportState() *StabilityState {
 	st := &StabilityState{Cycles: rs.cycles}
 	for p := range rs.last {
 		st.Last = append(st.Last, p)
 	}
+	sort.Slice(st.Last, func(i, j int) bool { return st.Last[i].Compare(st.Last[j]) < 0 })
 	for p, h := range rs.byPrefix {
 		st.Prefixes = append(st.Prefixes, PrefixState{
 			Prefix:       p,
@@ -138,6 +142,7 @@ func (rs *RouteStability) ExportState() *StabilityState {
 			Up:           h.up,
 		})
 	}
+	sort.Slice(st.Prefixes, func(i, j int) bool { return st.Prefixes[i].Prefix.Compare(st.Prefixes[j].Prefix) < 0 })
 	return st
 }
 

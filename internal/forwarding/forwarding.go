@@ -238,10 +238,22 @@ func (t *Table) Groups() []addr.IP {
 
 // TotalRateKbps sums the bandwidth estimate across all entries — the
 // router's multicast throughput, the quantity behind Figure 5 (left).
+// The sum runs over sorted keys: float addition is not associative, so
+// map-iteration order would leak into the reported figure's low bits.
 func (t *Table) TotalRateKbps() float64 {
+	keys := make([]Key, 0, len(t.entries))
+	for k := range t.entries {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].Source != keys[j].Source {
+			return keys[i].Source < keys[j].Source
+		}
+		return keys[i].Group < keys[j].Group
+	})
 	sum := 0.0
-	for _, e := range t.entries {
-		sum += e.RateKbps
+	for _, k := range keys {
+		sum += t.entries[k].RateKbps
 	}
 	return sum
 }

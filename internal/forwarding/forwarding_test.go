@@ -164,3 +164,33 @@ func TestRouterAccessor(t *testing.T) {
 		t.Error("Router() wrong")
 	}
 }
+
+func TestTotalRateKbpsOrderIndependent(t *testing.T) {
+	// Regression for the mantralint floatsum finding: the total used to be
+	// accumulated in map-iteration order, so its low bits varied run to
+	// run. Rates with wildly different magnitudes make any order change
+	// visible; 200 repeated reads must be bit-identical.
+	tb := NewTable(1, 0)
+	now := sim.Epoch
+	rates := []float64{1e16, 1.0, -1e16, 0.25, 3.5e-3, 7e9, -7e9, 0.125}
+	for i, r := range rates {
+		k := Key{Source: addr.IP(uint32(i + 1)), Group: g1}
+		e := tb.Upsert(k, 0, nil, FlagDense, now)
+		e.RateKbps = r
+	}
+	first := math.Float64bits(tb.TotalRateKbps())
+	for i := 0; i < 200; i++ {
+		if got := math.Float64bits(tb.TotalRateKbps()); got != first {
+			t.Fatalf("read %d: sum bits %x != %x; map order leaked into the total", i, got, first)
+		}
+	}
+	// The sum must be the sorted-key order, not whatever cancellation
+	// another order would produce.
+	want := 0.0
+	for i := range rates {
+		want += tb.entries[Key{Source: addr.IP(uint32(i + 1)), Group: g1}].RateKbps
+	}
+	if tb.TotalRateKbps() != want {
+		t.Fatalf("TotalRateKbps = %v, want sorted-order sum %v", tb.TotalRateKbps(), want)
+	}
+}

@@ -1,0 +1,51 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// globalRandAnalyzer flags the global math/rand functions (rand.Intn,
+// rand.Float64, rand.Shuffle, ...) in module code. Global rand state is
+// process-wide and unseedable per experiment: simulations and fault
+// models must draw from the seeded internal/sim RNG (or an explicit
+// rand.New(rand.NewSource(seed))) so every run is reproducible from its
+// seed. Constructors (rand.New, rand.NewSource, rand.NewZipf) are the
+// sanctioned path and pass.
+var globalRandAnalyzer = &Analyzer{
+	Name: "globalrand",
+	Doc:  "global math/rand functions instead of the seeded internal/sim RNG",
+	Run:  runGlobalRand,
+}
+
+// globalRandFuncs is the banned global-state surface of math/rand (and
+// math/rand/v2, which seeds its top-level functions randomly).
+var globalRandFuncs = map[string]bool{
+	"Int": true, "Intn": true, "Int31": true, "Int31n": true,
+	"Int63": true, "Int63n": true, "Int32": true, "Int32N": true,
+	"Int64": true, "Int64N": true, "IntN": true, "N": true,
+	"Uint32": true, "Uint64": true, "Uint": true, "UintN": true,
+	"Uint32N": true, "Uint64N": true,
+	"Float32": true, "Float64": true,
+	"ExpFloat64": true, "NormFloat64": true,
+	"Perm": true, "Shuffle": true, "Seed": true, "Read": true,
+}
+
+func runGlobalRand(p *Package) []Finding {
+	var out []Finding
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			pkgPath, name, ok := pkgFuncRef(p, sel)
+			if !ok || (pkgPath != "math/rand" && pkgPath != "math/rand/v2") || !globalRandFuncs[name] {
+				return true
+			}
+			out = append(out, p.finding("globalrand", sel.Pos(),
+				"global rand.%s is unseedable per run; use the seeded sim.RNG or rand.New(rand.NewSource(seed))", name))
+			return true
+		})
+	}
+	return out
+}

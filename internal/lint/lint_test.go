@@ -1,0 +1,236 @@
+package lint
+
+import (
+	"fmt"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// The fixture module is loaded once: stdlib source type-checking dominates
+// the cost and every fixture shares it through the module's file set.
+var (
+	modOnce sync.Once
+	mod     *Module
+	modErr  error
+)
+
+func fixtureModule(t *testing.T) *Module {
+	t.Helper()
+	modOnce.Do(func() { mod, modErr = NewModule(".") })
+	if modErr != nil {
+		t.Fatal(modErr)
+	}
+	return mod
+}
+
+// loadFixture type-checks testdata/<fixture> as if it were the module
+// package at rel, so package-scoped analyzers see the path they key on.
+func loadFixture(t *testing.T, fixture, rel string) *Package {
+	t.Helper()
+	p, err := fixtureModule(t).LoadDirAs(filepath.Join("testdata", fixture), rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.TypeErrors) > 0 {
+		t.Fatalf("fixture %s does not type-check: %v", fixture, p.TypeErrors)
+	}
+	return p
+}
+
+// want is one expected finding: a regexp that must match some finding
+// rendered as "[check] message" on the annotated line.
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+}
+
+var wantChunkRe = regexp.MustCompile("`([^`]*)`|\"([^\"]*)\"")
+
+// collectWants parses `// want "re"` / `// want ` + "`re`" annotations
+// (several per comment allowed) from the fixture's comments.
+func collectWants(t *testing.T, p *Package) []want {
+	t.Helper()
+	var out []want
+	for _, file := range p.Files {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				_, rest, ok := strings.Cut(c.Text, "// want ")
+				if !ok {
+					continue
+				}
+				pos := p.Fset.Position(c.Pos())
+				chunks := wantChunkRe.FindAllStringSubmatch(rest, -1)
+				if len(chunks) == 0 {
+					t.Fatalf("%s:%d: want annotation with no quoted pattern", pos.Filename, pos.Line)
+				}
+				for _, ch := range chunks {
+					expr := ch[1]
+					if expr == "" {
+						expr = ch[2]
+					}
+					re, err := regexp.Compile(expr)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want pattern %q: %v", pos.Filename, pos.Line, expr, err)
+					}
+					out = append(out, want{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// checkFixture runs every analyzer over the fixture and matches findings
+// against its want annotations: every finding must be wanted, every want
+// must be found.
+func checkFixture(t *testing.T, fixture, rel string) {
+	t.Helper()
+	p := loadFixture(t, fixture, rel)
+	findings := RunAnalyzers([]*Package{p}, Analyzers())
+	wants := collectWants(t, p)
+
+	matched := make([]bool, len(wants))
+	for _, f := range findings {
+		rendered := fmt.Sprintf("[%s] %s", f.Check, f.Message)
+		hit := false
+		for i, w := range wants {
+			if w.file == f.Pos.Filename && w.line == f.Pos.Line && w.re.MatchString(rendered) {
+				matched[i] = true
+				hit = true
+			}
+		}
+		if !hit {
+			t.Errorf("unexpected finding: %s", f)
+		}
+	}
+	for i, w := range wants {
+		if !matched[i] {
+			t.Errorf("%s:%d: wanted finding matching %q not reported", w.file, w.line, w.re)
+		}
+	}
+}
+
+func TestMapIterFixture(t *testing.T)   { checkFixture(t, "mapiter", "internal/core/logger") }
+func TestWallClockFixture(t *testing.T) { checkFixture(t, "wallclock", "internal/core/engine") }
+func TestGlobalRandFixture(t *testing.T) {
+	checkFixture(t, "globalrand", "internal/netsim")
+}
+func TestWalErrFixture(t *testing.T)   { checkFixture(t, "walerr", "internal/core/logger") }
+func TestFloatSumFixture(t *testing.T) { checkFixture(t, "floatsum", "internal/netsim") }
+
+// TestMapIterScoping loads the violating shape as a package outside the
+// determinism-critical set; mapiter must stay silent there.
+func TestMapIterScoping(t *testing.T) {
+	p := loadFixture(t, "mapiterscope", "internal/netsim")
+	if fs := RunAnalyzers([]*Package{p}, Analyzers()); len(fs) != 0 {
+		t.Fatalf("non-critical package produced findings: %v", fs)
+	}
+}
+
+// TestMapIterScopeApplies is the control for TestMapIterScoping: the same
+// fixture loaded as a determinism-critical path must be flagged.
+func TestMapIterScopeApplies(t *testing.T) {
+	p := loadFixture(t, "mapiterscope", "internal/core/tables")
+	fs := RunAnalyzers([]*Package{p}, Analyzers())
+	if len(fs) != 1 || fs[0].Check != "mapiter" {
+		t.Fatalf("findings = %v, want exactly one mapiter", fs)
+	}
+}
+
+// TestSuppressionPrecision proves an allow silences exactly the named
+// check on exactly its line — the want annotations in the fixture mark
+// what must survive.
+func TestSuppressionPrecision(t *testing.T) {
+	checkFixture(t, "suppressprecision", "internal/netsim")
+}
+
+// TestPR3RegressionShapes keeps the two bug shapes PR 3 fixed permanently
+// detectable: the delta-log removal-set append and the stability float
+// accumulation.
+func TestPR3RegressionShapes(t *testing.T) {
+	checkFixture(t, "pr3regress", "internal/core/logger")
+	p := loadFixture(t, "pr3regress", "internal/core/logger")
+	byCheck := make(map[string]int)
+	for _, f := range RunAnalyzers([]*Package{p}, Analyzers()) {
+		byCheck[f.Check]++
+	}
+	if byCheck["mapiter"] == 0 || byCheck["floatsum"] == 0 {
+		t.Fatalf("PR 3 bug shapes no longer detected: %v", byCheck)
+	}
+}
+
+// TestAllowDefects asserts the three defective-allow cases directly (a
+// want annotation appended to an allow comment would become its reason,
+// so this fixture cannot self-annotate).
+func TestAllowDefects(t *testing.T) {
+	p := loadFixture(t, "allowdefects", "internal/netsim")
+	findings := RunAnalyzers([]*Package{p}, Analyzers())
+	var allowMsgs []string
+	wallclock := 0
+	for _, f := range findings {
+		switch f.Check {
+		case "allow":
+			allowMsgs = append(allowMsgs, f.Message)
+		case "wallclock":
+			wallclock++
+		default:
+			t.Errorf("unexpected finding: %s", f)
+		}
+	}
+	if len(allowMsgs) != 3 {
+		t.Fatalf("allow defects = %v, want 3", allowMsgs)
+	}
+	for i, wantSub := range []string{
+		`unknown check "mapitre"`,
+		`for "wallclock" has no reason`,
+		"names no check",
+	} {
+		if !strings.Contains(allowMsgs[i], wantSub) {
+			t.Errorf("allow defect %d = %q, want substring %q", i, allowMsgs[i], wantSub)
+		}
+	}
+	// None of the defective allows suppressed anything: all three
+	// wall-clock reads still report.
+	if wallclock != 3 {
+		t.Errorf("wallclock findings = %d, want 3 (defective allows must not suppress)", wallclock)
+	}
+}
+
+func TestByName(t *testing.T) {
+	as, err := ByName([]string{"mapiter", "walerr"})
+	if err != nil || len(as) != 2 || as[0].Name != "mapiter" || as[1].Name != "walerr" {
+		t.Fatalf("ByName = %v, %v", as, err)
+	}
+	if _, err := ByName([]string{"nosuch"}); err == nil {
+		t.Fatal("unknown check name accepted")
+	}
+	names := CheckNames()
+	if len(names) != 5 {
+		t.Fatalf("CheckNames = %v, want 5 checks", names)
+	}
+}
+
+// TestModuleSelfClean is the enforced version of the self-clean pass:
+// every package in the repository must lint clean, so `make lint` exiting
+// zero is guaranteed by `go test` too.
+func TestModuleSelfClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module")
+	}
+	pkgs, err := fixtureModule(t).LoadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pkgs {
+		if len(p.TypeErrors) > 0 {
+			t.Errorf("package %q has type errors: %v", p.RelPath, p.TypeErrors[0])
+		}
+	}
+	for _, f := range RunAnalyzers(pkgs, Analyzers()) {
+		t.Errorf("finding on clean tree: %s", f)
+	}
+}

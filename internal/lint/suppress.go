@@ -1,0 +1,78 @@
+package lint
+
+import (
+	"strings"
+)
+
+// allowPrefix introduces a suppression comment:
+//
+//	//mantralint:allow <check> <reason>
+//
+// An allow comment silences findings of exactly the named check on its
+// own line; a standalone allow comment placed on its own line silences
+// the line below it. Nothing wider: suppressions are per-line and
+// per-check by design, so a justified exception can never blanket-hide a
+// fresh violation nearby.
+const allowPrefix = "//mantralint:allow"
+
+// allowKey identifies one suppression: file, line, check.
+type allowKey struct {
+	file  string
+	line  int
+	check string
+}
+
+type allowSet map[allowKey]bool
+
+// suppresses reports whether f is covered by an allow comment on its line
+// or the line directly above.
+func (s allowSet) suppresses(f Finding) bool {
+	return s[allowKey{f.Pos.Filename, f.Pos.Line, f.Check}] ||
+		s[allowKey{f.Pos.Filename, f.Pos.Line - 1, f.Check}]
+}
+
+// collectAllows scans a package's comments for allow directives. Each
+// well-formed directive registers a suppression; a directive naming an
+// unknown check or missing its reason is itself reported — the validity
+// set is every registered check, independent of which checks run, so a
+// suppression for a deselected check does not suddenly become a defect.
+func collectAllows(p *Package, validChecks map[string]bool) (allowSet, []Finding) {
+	allows := make(allowSet)
+	var defects []Finding
+	for _, file := range p.Files {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, allowPrefix) {
+					continue
+				}
+				rest := strings.TrimPrefix(c.Text, allowPrefix)
+				if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+					// e.g. //mantralint:allowed — not ours.
+					continue
+				}
+				fields := strings.Fields(rest)
+				pos := p.Fset.Position(c.Pos())
+				if len(fields) == 0 {
+					defects = append(defects, Finding{Pos: pos, Check: "allow",
+						Message: "allow comment names no check (want //mantralint:allow <check> <reason>)"})
+					continue
+				}
+				check := fields[0]
+				if !validChecks[check] {
+					defects = append(defects, Finding{Pos: pos, Check: "allow",
+						Message: "allow comment names unknown check " + quote(check)})
+					continue
+				}
+				if len(fields) < 2 {
+					defects = append(defects, Finding{Pos: pos, Check: "allow",
+						Message: "allow comment for " + quote(check) + " has no reason; justify the suppression"})
+					continue
+				}
+				allows[allowKey{pos.Filename, pos.Line, check}] = true
+			}
+		}
+	}
+	return allows, defects
+}
+
+func quote(s string) string { return `"` + s + `"` }

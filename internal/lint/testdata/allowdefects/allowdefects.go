@@ -1,0 +1,24 @@
+// Fixture for defects in the suppression comments themselves: an allow
+// naming an unknown check, one with no reason, and one naming no check
+// are each findings — suppressions must never rot silently. A defective
+// allow also fails to suppress, so the wallclock finding on each line
+// still reports alongside the defect.
+//
+// Expectations live in TestAllowDefects rather than // want comments:
+// trailing text on an allow comment would be parsed as its reason, so the
+// missing-reason case cannot carry an annotation on its own line.
+package netsim
+
+import "time"
+
+func unknownCheck() time.Time {
+	return time.Now() //mantralint:allow mapitre typo in the check name
+}
+
+func missingReason() time.Time {
+	return time.Now() //mantralint:allow wallclock
+}
+
+func namesNothing() time.Time {
+	return time.Now() //mantralint:allow
+}

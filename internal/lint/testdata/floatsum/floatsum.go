@@ -1,0 +1,65 @@
+// Fixture for the floatsum analyzer, which is module-wide; loaded "as"
+// internal/netsim to show it fires outside the determinism-critical set.
+package netsim
+
+func sumCompound(m map[string]float64) float64 {
+	sum := 0.0
+	for _, v := range m {
+		sum += v // want `floating-point accumulation into sum in map-iteration order`
+	}
+	return sum
+}
+
+func sumSpelledOut(m map[string]float64) float64 {
+	total := 0.0
+	for _, v := range m {
+		total = total + v // want `floating-point accumulation into total in map-iteration order`
+	}
+	return total
+}
+
+type stats struct{ mean float64 }
+
+func sumIntoField(m map[string]float64, st *stats) {
+	for _, v := range m {
+		st.mean += v // want `floating-point accumulation into st.mean in map-iteration order`
+	}
+}
+
+// intCount commutes exactly; no finding.
+func intCount(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+// perIteration accumulates into a loop-local; order cannot leak.
+func perIteration(m map[string][]float64, sink func(float64)) {
+	for _, vs := range m {
+		local := 0.0
+		for _, v := range vs {
+			local += v
+		}
+		sink(local)
+	}
+}
+
+// overwrite is not an accumulation; no finding.
+func overwrite(m map[string]float64) float64 {
+	last := 0.0
+	for _, v := range m {
+		last = v
+	}
+	return last
+}
+
+// suppressed is a justified exception.
+func suppressed(m map[string]float64) float64 {
+	sum := 0.0
+	for _, v := range m {
+		sum += v //mantralint:allow floatsum fixture: consumer tolerates ulp jitter
+	}
+	return sum
+}

@@ -1,0 +1,27 @@
+// Fixture for the globalrand analyzer; loaded "as" internal/netsim.
+package netsim
+
+import "math/rand"
+
+func pickGlobal(n int) int {
+	return rand.Intn(n) // want `global rand.Intn is unseedable per run`
+}
+
+func jitterGlobal() float64 {
+	return rand.Float64() // want `global rand.Float64 is unseedable per run`
+}
+
+func shuffleGlobal(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want `global rand.Shuffle is unseedable per run`
+}
+
+// seeded uses an explicit source — the sanctioned path, no finding.
+func seeded(seed int64, n int) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(n)
+}
+
+// suppressed is a justified exception.
+func suppressed() float64 {
+	return rand.Float64() //mantralint:allow globalrand fixture: output is diagnostic only
+}

@@ -1,0 +1,95 @@
+// Fixture for the mapiter analyzer; loaded "as" internal/core/logger so
+// the determinism-critical scoping applies.
+package logger
+
+import (
+	"bytes"
+	"fmt"
+	"hash/crc32"
+	"sort"
+)
+
+// appendNoSort is the canonical violation: the slice outlives the loop
+// and is never sorted.
+func appendNoSort(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // want "append to out in map-iteration order with no later sort"
+	}
+	return out
+}
+
+// collectThenSort is the sanctioned idiom and must pass.
+func collectThenSort(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// perIterationLocal appends to a slice declared inside the loop body;
+// nothing order-sensitive escapes.
+func perIterationLocal(m map[string][]int, sink func([]int)) {
+	for _, vs := range m {
+		var local []int
+		for _, v := range vs {
+			local = append(local, v*2)
+		}
+		sink(local)
+	}
+}
+
+// buildMap rebuilds another map — order-insensitive, must pass.
+func buildMap(m map[string]int) map[string]int {
+	out := make(map[string]int, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// countInts integer-counts — order-insensitive, must pass.
+func countInts(m map[string]int) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}
+
+// serializeUnsorted writes bytes in iteration order into a buffer that
+// outlives the loop.
+func serializeUnsorted(m map[string]int, buf *bytes.Buffer) {
+	for k, v := range m {
+		fmt.Fprintf(buf, "%s=%d\n", k, v) // want "fmt.Fprintf inside a map range serializes in iteration order"
+	}
+}
+
+// hashUnsorted folds map entries into a checksum in iteration order.
+func hashUnsorted(m map[string]string) uint32 {
+	h := crc32.NewIEEE()
+	for k := range m {
+		h.Write([]byte(k)) // want `h.Write inside a map range serializes in iteration order` `Write returns an error that is silently dropped`
+	}
+	return h.Sum32()
+}
+
+// localSink writes into a per-iteration buffer; order cannot leak.
+func localSink(m map[string]int) {
+	for k, v := range m {
+		var b bytes.Buffer
+		fmt.Fprintf(&b, "%s=%d", k, v)
+		_ = b.String()
+	}
+}
+
+// suppressed carries a justified allow and must not be reported.
+func suppressed(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) //mantralint:allow mapiter fixture: consumer re-sorts downstream
+	}
+	return out
+}

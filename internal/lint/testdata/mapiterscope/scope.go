@@ -1,0 +1,13 @@
+// The same violating shape as the mapiter fixture, but this package is
+// loaded "as" internal/netsim — not a determinism-critical path — so the
+// mapiter analyzer must stay silent. (floatsum is module-wide and still
+// applies, so the fixture avoids float accumulation.)
+package netsim
+
+func appendNoSort(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

@@ -1,0 +1,35 @@
+// Fixture mirroring the two latent nondeterminism bugs PR 3 fixed, in the
+// exact shapes they had. Loaded "as" internal/core/logger: if either shape
+// ever stops producing a finding, mantralint has lost the ability to catch
+// the bug class this suite exists for.
+package logger
+
+// The delta-log removal-set bug: removed keys were collected from a map
+// into the serialized Removed slice in iteration order, so two runs of the
+// same schedule produced different WAL bytes.
+type delta struct {
+	Removed []string
+}
+
+func removalSet(prev map[string]int, cur map[string]int) delta {
+	var d delta
+	for k := range prev {
+		if _, ok := cur[k]; !ok {
+			d.Removed = append(d.Removed, k) // want `append to d.Removed in map-iteration order with no later sort`
+		}
+	}
+	return d
+}
+
+// The stability-summary bug: MeanAvailability was accumulated over the
+// per-prefix map in iteration order, so the float's low bits differed
+// between serial and pipelined schedules.
+type prefixHistory struct{ present, cycles int }
+
+func meanAvailability(byPrefix map[string]*prefixHistory) float64 {
+	sum := 0.0
+	for _, h := range byPrefix {
+		sum += float64(h.present) / float64(h.cycles) // want `floating-point accumulation into sum in map-iteration order`
+	}
+	return sum / float64(len(byPrefix))
+}

@@ -1,0 +1,33 @@
+// Fixture proving an allow comment silences exactly the named check on
+// exactly its own line — never a different check, never a nearby line.
+package netsim
+
+import (
+	"math/rand"
+	"time"
+)
+
+// wrongCheck: the allow names globalrand, so the wallclock finding on the
+// same line must still be reported.
+func wrongCheck() time.Time {
+	return time.Now() //mantralint:allow globalrand names the wrong check // want `time.Now reads the wall clock`
+}
+
+// sameLineBoth: two different checks fire on one line; the allow silences
+// only wallclock, so globalrand still reports.
+func sameLineBoth() int64 {
+	return time.Now().UnixNano() + int64(rand.Intn(7)) //mantralint:allow wallclock only the clock read is justified // want `global rand.Intn is unseedable per run`
+}
+
+// lineAbove: a standalone allow on its own line covers the line below it.
+func lineAbove() time.Time {
+	//mantralint:allow wallclock standalone comment covers the next line
+	return time.Now()
+}
+
+// tooFarAway: an allow two lines up covers nothing.
+func tooFarAway() time.Time {
+	//mantralint:allow wallclock this comment is two lines above the read
+
+	return time.Now() // want `time.Now reads the wall clock`
+}

@@ -1,0 +1,35 @@
+// Fixture for the wallclock analyzer. The check is module-wide: any rel
+// path works; this one loads "as" internal/core/engine.
+package engine
+
+import "time"
+
+func stampNow() time.Time {
+	return time.Now() // want `time.Now reads the wall clock`
+}
+
+func elapsed(start time.Time) time.Duration {
+	return time.Since(start) // want `time.Since reads the wall clock`
+}
+
+func remaining(deadline time.Time) time.Duration {
+	return time.Until(deadline) // want `time.Until reads the wall clock`
+}
+
+// bareReference acquires the wall clock without calling it; still flagged.
+var nowFunc = time.Now // want `time.Now reads the wall clock`
+
+// injected consumes a clock parameter — the sanctioned shape, no finding.
+func injected(now func() time.Time) time.Time {
+	return now()
+}
+
+// parseOnly uses time for types and parsing, not the clock; must pass.
+func parseOnly(s string) (time.Time, error) {
+	return time.Parse(time.RFC3339, s)
+}
+
+// suppressedSeam is a documented composition root.
+func suppressedSeam() time.Time {
+	return time.Now() //mantralint:allow wallclock fixture: documented live seam
+}

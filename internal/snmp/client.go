@@ -11,8 +11,17 @@ import (
 type Transport func(req []byte) ([]byte, error)
 
 // UDPTransport returns a Transport over UDP with the given per-request
-// timeout.
+// timeout. It is the live composition seam: deadlines come from the wall
+// clock. Tests and simulations use UDPTransportClock with an injected
+// clock instead.
 func UDPTransport(addr string, timeout time.Duration) Transport {
+	return UDPTransportClock(addr, timeout, time.Now) //mantralint:allow wallclock live UDP transport seam; every other caller injects a clock
+}
+
+// UDPTransportClock is UDPTransport with an injected clock: now anchors
+// each request's I/O deadline, so deadline arithmetic is testable without
+// real sockets timing out.
+func UDPTransportClock(addr string, timeout time.Duration, now func() time.Time) Transport {
 	if timeout <= 0 {
 		timeout = 3 * time.Second
 	}
@@ -22,7 +31,7 @@ func UDPTransport(addr string, timeout time.Duration) Transport {
 			return nil, err
 		}
 		defer conn.Close()
-		if err := conn.SetDeadline(time.Now().Add(timeout)); err != nil {
+		if err := conn.SetDeadline(now().Add(timeout)); err != nil {
 			return nil, err
 		}
 		if _, err := conn.Write(req); err != nil {

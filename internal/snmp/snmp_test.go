@@ -5,6 +5,7 @@ import (
 	"reflect"
 	"testing"
 	"testing/quick"
+	"time"
 )
 
 func TestOIDParseAndString(t *testing.T) {
@@ -196,5 +197,53 @@ func TestValueString(t *testing.T) {
 		if got := v.String(); got != want {
 			t.Errorf("String = %q, want %q", got, want)
 		}
+	}
+}
+
+func TestUDPTransportClockInjectedDeadline(t *testing.T) {
+	// Regression for the mantralint wallclock finding in UDPTransport: the
+	// per-request I/O deadline is anchored on the injected clock. A clock
+	// returning the present makes the round trip succeed; a clock stuck in
+	// the deep past puts the deadline behind the wall clock and the same
+	// request must fail immediately instead of waiting out a real timeout.
+	a := NewAgent("public")
+	a.SetView(testView())
+	pc, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Skipf("loopback UDP unavailable: %v", err)
+	}
+	defer pc.Close()
+	go func() {
+		buf := make([]byte, 64*1024)
+		for {
+			n, from, err := pc.ReadFrom(buf)
+			if err != nil {
+				return
+			}
+			if resp := a.Handle(buf[:n]); resp != nil {
+				_, _ = pc.WriteTo(resp, from)
+			}
+		}
+	}()
+
+	calls := 0
+	live := func() time.Time { calls++; return time.Now() }
+	c := NewClient("public", UDPTransportClock(pc.LocalAddr().String(), 5*time.Second, live))
+	v, err := c.Get(MustOID("1.3.6.1.2.1.1.5.0"))
+	if err != nil || string(v.Str) != "r1" {
+		t.Fatalf("Get over UDP = %v, %v", v, err)
+	}
+	if calls == 0 {
+		t.Fatal("injected clock never consulted")
+	}
+
+	past := func() time.Time { return time.Unix(0, 0) }
+	stale := NewClient("public", UDPTransportClock(pc.LocalAddr().String(), 5*time.Second, past))
+	start := time.Now()
+	if _, err := stale.Get(MustOID("1.3.6.1.2.1.1.5.0")); err == nil {
+		t.Fatal("Get succeeded with a deadline in the past")
+	}
+	if time.Since(start) > 2*time.Second {
+		t.Fatal("past-clock request waited on the wall clock; deadline not taken from the injected clock")
 	}
 }
