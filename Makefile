@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build vet fmt-check mantralint lint test race bench bench-collect bench-archive bench-engine bench-smoke fuzz chaos figures check
+.PHONY: build vet fmt-check mantralint lint lint-json lint-sarif test race bench bench-collect bench-archive bench-engine bench-smoke bench-json fuzz chaos figures check
 
 build:
 	$(GO) build ./...
@@ -16,14 +16,26 @@ fmt-check:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
 
 # The project-specific analyzers: determinism (mapiter, floatsum),
-# clock injection (wallclock, globalrand) and crash safety (walerr).
-# See DESIGN.md §8 for the invariants and the suppression syntax.
+# clock injection (wallclock, globalrand), crash safety (walerr,
+# waltaint) and cross-function concurrency (lockheld, sharedmut,
+# goleak). See DESIGN.md §8–§9 for the invariants and the suppression
+# syntax.
 mantralint:
 	$(GO) run ./cmd/mantralint ./...
 
 # The one pre-commit lint target: formatting, vet, and the invariant
 # analyzers.
 lint: fmt-check vet mantralint
+
+# Machine-readable lint: findings as a JSON array on stdout, for diffing
+# runs or feeding dashboards.
+lint-json:
+	$(GO) run ./cmd/mantralint -json ./...
+
+# SARIF 2.1.0 log for GitHub code-scanning upload (CI runs this; the
+# file is valid — rules and all — even when the run is clean).
+lint-sarif:
+	$(GO) run ./cmd/mantralint -sarif mantralint.sarif ./...
 
 # -shuffle randomizes test order every run, dynamically flushing
 # inter-test state dependence (the runtime complement to mapiter).
@@ -56,6 +68,12 @@ bench-engine:
 # that keeps benchmarks compiling and running without timing anything.
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+
+# The smoke pass plus the full-module lint benchmark, captured as
+# timestamp-free JSON so runs can be diffed byte-for-byte.
+bench-json:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./... | $(GO) run ./cmd/benchjson -out BENCH_lint.json
+	@echo "wrote BENCH_lint.json"
 
 # Short fuzz passes over the dump validator and pre-processor.
 fuzz:

@@ -1,0 +1,51 @@
+package main
+
+import (
+	"bufio"
+	"strings"
+	"testing"
+)
+
+const sampleBench = `goos: linux
+goarch: amd64
+pkg: repro/internal/lint
+cpu: Some CPU @ 2.40GHz
+BenchmarkMantralintModule-8   	       2	 512345678 ns/op
+PASS
+ok  	repro/internal/lint	4.521s
+pkg: repro
+BenchmarkArchive/append-fsync-8         	      10	  20123456 ns/op	 1024 B/op	      12 allocs/op
+BenchmarkCycleEngine/pipelined-8        	       3	 331234567 ns/op
+--- BENCH: BenchmarkOddLine
+BenchmarkNotAResultLine
+ok  	repro	9.881s
+`
+
+func TestParse(t *testing.T) {
+	results, err := parse(bufio.NewScanner(strings.NewReader(sampleBench)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("parsed %d results, want 3: %+v", len(results), results)
+	}
+
+	r := results[0]
+	if r.Package != "repro/internal/lint" || r.Name != "BenchmarkMantralintModule" ||
+		r.Procs != 8 || r.Iterations != 2 {
+		t.Errorf("first result = %+v", r)
+	}
+	if r.Metrics["ns/op"] != 512345678 {
+		t.Errorf("ns/op = %v", r.Metrics["ns/op"])
+	}
+
+	// The -8 suffix comes off the last dash; the sub-benchmark's own
+	// dashes stay in the name, and the pkg line resets per package.
+	r = results[1]
+	if r.Package != "repro" || r.Name != "BenchmarkArchive/append-fsync" || r.Procs != 8 {
+		t.Errorf("second result = %+v", r)
+	}
+	if r.Metrics["B/op"] != 1024 || r.Metrics["allocs/op"] != 12 {
+		t.Errorf("second metrics = %v", r.Metrics)
+	}
+}

@@ -4,14 +4,19 @@
 //
 //	mantralint ./...              # whole module (the ./... is cosmetic)
 //	mantralint -checks mapiter,walerr
+//	mantralint -json
+//	mantralint -sarif mantralint.sarif ./...
 //	mantralint -list
 //
 // Findings print as file:line:col: [check] message, with paths relative
-// to the module root. A finding is silenced on its exact line by
+// to the module root. -json replaces that with a JSON array on stdout;
+// -sarif additionally writes a SARIF 2.1.0 log (GitHub code scanning's
+// ingest format) to the named file regardless of the stdout format.
+// A finding is silenced on its exact line by
 //
 //	//mantralint:allow <check> <reason>
 //
-// See DESIGN.md §8 for the invariants each check encodes and when a
+// See DESIGN.md §8–§9 for the invariants each check encodes and when a
 // suppression is legitimate.
 package main
 
@@ -30,6 +35,8 @@ func main() {
 	dir := flag.String("dir", ".", "directory inside the module to lint")
 	list := flag.Bool("list", false, "list registered checks and exit")
 	debug := flag.Bool("debug", false, "print type-check diagnostics (analysis is best-effort under them)")
+	jsonOut := flag.Bool("json", false, "print findings as a JSON array instead of text")
+	sarifPath := flag.String("sarif", "", "also write findings as SARIF 2.1.0 to this file")
 	flag.Parse()
 
 	if *list {
@@ -68,11 +75,37 @@ func main() {
 	}
 
 	findings := lint.RunAnalyzers(pkgs, analyzers)
-	for _, f := range findings {
-		if rel, err := filepath.Rel(mod.Root, f.Pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
-			f.Pos.Filename = rel
+	for i := range findings {
+		if rel, err := filepath.Rel(mod.Root, findings[i].Pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+			findings[i].Pos.Filename = rel
 		}
-		fmt.Println(f)
+	}
+
+	if *sarifPath != "" {
+		f, err := os.Create(*sarifPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mantralint:", err)
+			os.Exit(2)
+		}
+		werr := lint.WriteSARIF(f, findings)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			fmt.Fprintln(os.Stderr, "mantralint: sarif:", werr)
+			os.Exit(2)
+		}
+	}
+
+	if *jsonOut {
+		if err := lint.WriteJSON(os.Stdout, findings); err != nil {
+			fmt.Fprintln(os.Stderr, "mantralint: json:", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Println(f)
+		}
 	}
 	if len(findings) > 0 {
 		fmt.Fprintf(os.Stderr, "mantralint: %d finding(s)\n", len(findings))

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -412,5 +413,41 @@ func TestZeroTargets(t *testing.T) {
 	}
 	if report.Targets != 0 || report.Cycle != 1 {
 		t.Errorf("report = %+v", report)
+	}
+}
+
+// TestShutdownLeavesNoGoroutines: every goroutine the engine spawns for
+// a cycle — the bounded worker pool and the feeder that closes the
+// channels behind it — must have exited by the time Run returns. A
+// leaked worker would accumulate across cycles and, in the paper's
+// months-long monitoring regime, across hundreds of thousands of them;
+// the static counterpart of this check is mantralint's goleak analyzer.
+func TestShutdownLeavesNoGoroutines(t *testing.T) {
+	e := New(Stages{
+		Collect: func(it *Item, now time.Time) {
+			time.Sleep(50 * time.Microsecond)
+			okCollect(it, now)
+		},
+		Normalize: okNormalize,
+		Log:       noop, Ingest: noop, Publish: noop,
+	}, nil)
+
+	before := runtime.NumGoroutine()
+	for cycle := 0; cycle < 5; cycle++ {
+		e.Run(sim.Epoch, fakeTargets(24), Options{Concurrency: 8})
+	}
+	// A finished goroutine is unscheduled asynchronously, so the count
+	// may trail Run's return by a moment; poll briefly before failing.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if after := runtime.NumGoroutine(); after <= before {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			t.Fatalf("goroutines: before=%d after=%d; stacks:\n%s",
+				before, runtime.NumGoroutine(), buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(5 * time.Millisecond)
 	}
 }

@@ -30,7 +30,7 @@ var globalRandFuncs = map[string]bool{
 	"Perm": true, "Shuffle": true, "Seed": true, "Read": true,
 }
 
-func runGlobalRand(p *Package) []Finding {
+func runGlobalRand(_ *Analysis, p *Package) []Finding {
 	var out []Finding
 	for _, file := range p.Files {
 		ast.Inspect(file, func(n ast.Node) bool {

@@ -1,0 +1,56 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// goLeakAnalyzer flags goroutines started with no stop path reachable
+// from shutdown, module-wide. A goroutine is judged by the body it runs:
+// a function literal's own body, or — through the call graph — the
+// declaration of a named function, so `go s.run()` is judged by what
+// run ultimately does, even across packages.
+//
+// The leak shape is an exit-less `for {}`: no break, no return, no
+// channel receive or send, no select, no range over a channel anywhere
+// inside. Every sanctioned long-running goroutine in this module is
+// driven by one of those — pool workers range over a jobs channel and
+// end when it closes, servers return when Accept fails on a closed
+// listener, tickers select on a done channel. A poll loop that only
+// sleeps and checks a flag has no such path; it outlives Monitor
+// shutdown and accumulates across restarts in long-lived processes —
+// the paper's six-month runs are exactly that regime.
+var goLeakAnalyzer = &Analyzer{
+	Name: "goleak",
+	Doc:  "goroutine started with no stop path (no channel op, select, return or break in its loop) reachable from shutdown",
+	Run:  runGoLeak,
+}
+
+func runGoLeak(a *Analysis, p *Package) []Finding {
+	var out []Finding
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			if lit, isLit := ast.Unparen(g.Call.Fun).(*ast.FuncLit); isLit {
+				if pos, loops := foreverLoop(p, lit.Body); loops {
+					out = append(out, p.finding("goleak", pos,
+						"goroutine loops forever with no stop path (no channel op, select, return or break); wire a done channel, context or close-able work channel"))
+				}
+				return true
+			}
+			callee := staticCallee(p, g.Call)
+			if callee == nil {
+				return true
+			}
+			if _, loops := a.Graph.LoopsForever(callee); loops {
+				out = append(out, p.finding("goleak", g.Pos(),
+					"goroutine runs %s, which loops forever with no stop path (no channel op, select, return or break); wire a done channel, context or close-able work channel",
+					shortFuncName(callee)))
+			}
+			return true
+		})
+	}
+	return out
+}

@@ -1,10 +1,20 @@
 // Package lint is mantralint: a project-specific static-analysis suite
-// enforcing the determinism, clock-injection and crash-safety invariants
-// this repository has already been burned by. The schedule-equivalence
-// guarantee (serial == pipelined == barrier WAL bytes) rests on
-// byte-deterministic table state, and two latent map-iteration-order bugs
-// had to be fixed to get there; these analyzers make that class of defect
-// a build failure instead of a lucky test catch.
+// enforcing the determinism, clock-injection, crash-safety and — since
+// the pipelined cycle engine — concurrency invariants this repository
+// has already been burned by. The schedule-equivalence guarantee
+// (serial == pipelined == barrier WAL bytes) rests on byte-deterministic
+// table state and on nothing mutating a snapshot after it crosses the
+// engine's stage boundary; these analyzers make both classes of defect a
+// build failure instead of a lucky test catch.
+//
+// The per-file syntactic checks (mapiter, floatsum, wallclock,
+// globalrand, walerr) inspect one package at a time. The concurrency
+// checks (lockheld, sharedmut, goleak, waltaint) are type-aware and
+// cross-function: RunAnalyzers first builds an Analysis — a static call
+// graph over every loaded package plus derived facts (which functions
+// block, which loop without a stop path) — and the analyzers consult it,
+// so a mutex held across a call chain ending in a channel send is found
+// even when the send is three frames down in another package.
 //
 // The suite is stdlib-only (go/parser, go/ast, go/types): the module has
 // zero dependencies and must stay buildable offline. Findings are
@@ -13,8 +23,9 @@
 //
 //	//mantralint:allow <check> <reason>
 //
-// The reason is mandatory, and an allow comment naming an unknown check
-// is itself a finding — suppressions must never rot silently.
+// The reason is mandatory; an allow comment naming an unknown check, or
+// one whose line no longer triggers the named check (allowstale), is
+// itself a finding — suppressions must never rot silently.
 package lint
 
 import (
@@ -22,7 +33,9 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"runtime"
 	"sort"
+	"sync"
 )
 
 // Finding is one reported invariant violation.
@@ -61,15 +74,33 @@ type Package struct {
 	TypeErrors []error
 }
 
+// Analysis is the module-wide context one RunAnalyzers call shares
+// across every analyzer: the packages under analysis plus the
+// cross-function artifacts (call graph, fact store) derived from them.
+// Analyzers that only need single-package syntax ignore it.
+type Analysis struct {
+	Pkgs  []*Package
+	Graph *CallGraph
+}
+
+// NewAnalysis builds the shared context: the static call graph over pkgs
+// and its derived facts. Fixture tests build one over a single package;
+// the driver builds one over the whole module, which is what makes the
+// concurrency checks cross-package.
+func NewAnalysis(pkgs []*Package) *Analysis {
+	return &Analysis{Pkgs: pkgs, Graph: buildCallGraph(pkgs)}
+}
+
 // An Analyzer checks one invariant over one package.
 type Analyzer struct {
 	// Name is the check name used in findings and allow comments.
 	Name string
 	// Doc is a one-line description for -list output.
 	Doc string
-	// Run reports the analyzer's raw findings; suppression comments are
-	// applied by the caller.
-	Run func(p *Package) []Finding
+	// Run reports the analyzer's raw findings for one package, consulting
+	// the shared Analysis for cross-function facts; suppression comments
+	// are applied by the caller.
+	Run func(a *Analysis, p *Package) []Finding
 }
 
 // Analyzers returns the full registry in stable (name) order.
@@ -77,11 +108,22 @@ func Analyzers() []*Analyzer {
 	return []*Analyzer{
 		floatSumAnalyzer,
 		globalRandAnalyzer,
+		goLeakAnalyzer,
+		lockHeldAnalyzer,
 		mapIterAnalyzer,
+		sharedMutAnalyzer,
 		walErrAnalyzer,
 		wallClockAnalyzer,
+		walTaintAnalyzer,
 	}
 }
+
+// ImplicitChecks are finding kinds produced by the framework itself
+// rather than a registered analyzer: defects in allow comments ("allow")
+// and allows whose line no longer triggers the named check
+// ("allowstale"). They are valid in allow comments but cannot be
+// selected with -checks.
+func ImplicitChecks() []string { return []string{"allow", "allowstale"} }
 
 // ByName resolves check names to analyzers, erroring on unknown names.
 func ByName(names []string) ([]*Analyzer, error) {
@@ -110,28 +152,60 @@ func CheckNames() []string {
 	return out
 }
 
-// RunAnalyzers runs the given analyzers over the packages, applies the
-// suppression comments, and returns the surviving findings sorted by
-// position. Defective allow comments (unknown check, missing reason) are
-// reported alongside.
+// RunAnalyzers builds the shared Analysis over the packages, runs the
+// given analyzers (packages in parallel — every analyzer input is
+// read-only once the Analysis is built), applies the suppression
+// comments, and returns the surviving findings sorted by position.
+// Defective allow comments (unknown check, missing reason) are reported
+// alongside, as are stale ones: an allow for a check that ran but
+// suppressed nothing on its line is an "allowstale" finding, so a
+// suppression can never outlive the violation it justified.
 func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) []Finding {
 	valid := make(map[string]bool)
 	for _, a := range Analyzers() {
 		valid[a.Name] = true
 	}
-	var out []Finding
-	for _, p := range pkgs {
-		allows, defects := collectAllows(p, valid)
-		var raw []Finding
-		for _, a := range analyzers {
-			raw = append(raw, a.Run(p)...)
-		}
-		for _, f := range raw {
-			if !allows.suppresses(f) {
-				out = append(out, f)
+	for _, name := range ImplicitChecks() {
+		valid[name] = true
+	}
+	ran := make(map[string]bool)
+	for _, a := range analyzers {
+		ran[a.Name] = true
+	}
+	a := NewAnalysis(pkgs)
+
+	// Fan the packages out over the CPUs. Results land in a per-package
+	// slot, so the concurrency cannot perturb finding order; the final
+	// sort keys on position alone either way.
+	perPkg := make([][]Finding, len(pkgs))
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	var wg sync.WaitGroup
+	for i, p := range pkgs {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int, p *Package) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			allows, defects := collectAllows(p, valid)
+			var raw []Finding
+			for _, an := range analyzers {
+				raw = append(raw, an.Run(a, p)...)
 			}
-		}
-		out = append(out, defects...)
+			out := defects
+			for _, f := range raw {
+				if !allows.suppresses(f) {
+					out = append(out, f)
+				}
+			}
+			out = append(out, allows.stale(ran)...)
+			perPkg[i] = out
+		}(i, p)
+	}
+	wg.Wait()
+
+	var out []Finding
+	for _, fs := range perPkg {
+		out = append(out, fs...)
 	}
 	sortFindings(out)
 	return out

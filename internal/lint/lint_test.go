@@ -121,6 +121,30 @@ func TestGlobalRandFixture(t *testing.T) {
 }
 func TestWalErrFixture(t *testing.T)   { checkFixture(t, "walerr", "internal/core/logger") }
 func TestFloatSumFixture(t *testing.T) { checkFixture(t, "floatsum", "internal/netsim") }
+func TestLockHeldFixture(t *testing.T) { checkFixture(t, "lockheld", "internal/core/engine") }
+func TestSharedMutFixture(t *testing.T) {
+	checkFixture(t, "sharedmut", "internal/core/engine")
+}
+func TestGoLeakFixture(t *testing.T)   { checkFixture(t, "goleak", "internal/netsim") }
+func TestWalTaintFixture(t *testing.T) { checkFixture(t, "waltaint", "internal/core/logger") }
+
+// TestAllowStaleFixture: an allow whose line no longer violates the
+// named check is itself reported, and the report is itself allowable.
+func TestAllowStaleFixture(t *testing.T) {
+	checkFixture(t, "allowstale", "internal/netsim")
+}
+
+// TestLockScopeSilent loads the lock-boundary fixtures as a package
+// outside the engine/WAL boundary set; lockheld, sharedmut and waltaint
+// must all stay silent there.
+func TestLockScopeSilent(t *testing.T) {
+	for _, fixture := range []string{"lockheld", "sharedmut", "waltaint"} {
+		p := loadFixture(t, fixture, "internal/netsim")
+		if fs := RunAnalyzers([]*Package{p}, Analyzers()); len(fs) != 0 {
+			t.Errorf("%s outside its boundary packages produced findings: %v", fixture, fs)
+		}
+	}
+}
 
 // TestMapIterScoping loads the violating shape as a package outside the
 // determinism-critical set; mapiter must stay silent there.
@@ -200,6 +224,23 @@ func TestAllowDefects(t *testing.T) {
 	}
 }
 
+// TestEngineRegressShapes keeps the pipelined engine's two concurrency
+// bug shapes permanently detectable against a miniature engine:
+// mutation-after-publish (sharedmut) and lock-across-send (lockheld).
+// The fixture is loaded as internal/core/engine, so re-introducing
+// either shape in the real engine fails `make lint` identically.
+func TestEngineRegressShapes(t *testing.T) {
+	checkFixture(t, "engineregress", "internal/core/engine")
+	p := loadFixture(t, "engineregress", "internal/core/engine")
+	byCheck := make(map[string]int)
+	for _, f := range RunAnalyzers([]*Package{p}, Analyzers()) {
+		byCheck[f.Check]++
+	}
+	if byCheck["sharedmut"] < 2 || byCheck["lockheld"] < 1 {
+		t.Fatalf("engine bug shapes no longer detected: %v", byCheck)
+	}
+}
+
 func TestByName(t *testing.T) {
 	as, err := ByName([]string{"mapiter", "walerr"})
 	if err != nil || len(as) != 2 || as[0].Name != "mapiter" || as[1].Name != "walerr" {
@@ -209,8 +250,12 @@ func TestByName(t *testing.T) {
 		t.Fatal("unknown check name accepted")
 	}
 	names := CheckNames()
-	if len(names) != 5 {
-		t.Fatalf("CheckNames = %v, want 5 checks", names)
+	wantNames := []string{
+		"floatsum", "globalrand", "goleak", "lockheld", "mapiter",
+		"sharedmut", "walerr", "wallclock", "waltaint",
+	}
+	if strings.Join(names, ",") != strings.Join(wantNames, ",") {
+		t.Fatalf("CheckNames = %v, want %v", names, wantNames)
 	}
 }
 

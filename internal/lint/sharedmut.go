@@ -1,0 +1,210 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// sharedMutAnalyzer flags the exact bug shape that would silently break
+// the engine's byte-identical-WAL guarantee: a value handed across the
+// stage boundary — sent on a channel, captured by a spawned goroutine,
+// or inserted into a shared map (the reorder buffer) — and then mutated
+// by the producer after the handoff. Once an item is published the
+// consumer owns it; a late write races the ordered stages and the
+// winner decides what reaches the WAL.
+//
+// Escape events tracked, per function, in the engine-boundary packages:
+//
+//   - `ch <- x`: x (pointer, map, slice or interface — value sends copy)
+//     escapes at the send;
+//   - `go func(){ ... x ... }()`: every free variable of the literal
+//     escapes at the go statement (rebinding the variable races too, so
+//     plain re-assignment also counts for this escape kind);
+//   - `m[k] = x` in a function that also launches goroutines or touches
+//     channels: the reorder-buffer shape.
+//
+// A finding is any later assignment through the escaped variable
+// (x.f = v, x[i] = v, *x = v, x.f++). The analysis is per-function and
+// alias-blind by design: it will not chase the value through a second
+// name, which keeps it quiet on single-owner code while still catching
+// every handoff-then-mutate written the way real code writes it.
+var sharedMutAnalyzer = &Analyzer{
+	Name: "sharedmut",
+	Doc:  "value mutated after escaping across a concurrency boundary (channel send, goroutine capture, shared-map insert)",
+	Run:  runSharedMut,
+}
+
+func runSharedMut(a *Analysis, p *Package) []Finding {
+	if !lockScopePkgs[p.RelPath] {
+		return nil
+	}
+	var out []Finding
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			fd, ok := n.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				return true
+			}
+			out = append(out, checkEscapes(p, fd)...)
+			return true
+		})
+	}
+	return out
+}
+
+// escape is one handoff of a local value to another owner.
+type escape struct {
+	obj  types.Object
+	pos  token.Pos // end of the handoff; later writes are findings
+	how  string
+	line int
+	// rebind marks escapes (goroutine capture) where even a plain
+	// re-assignment of the variable races the other side.
+	rebind bool
+}
+
+// sharable reports whether t's values are shared (not copied) when
+// handed off: pointers, maps, slices, channels and interfaces.
+func sharable(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Map, *types.Slice, *types.Chan, *types.Interface:
+		return true
+	}
+	return false
+}
+
+// localObj resolves e's root identifier to an object declared inside the
+// function (parameter or local) whose handoff shares the value.
+func localObj(p *Package, fd *ast.FuncDecl, e ast.Expr) types.Object {
+	id := rootIdent(e)
+	if id == nil {
+		return nil
+	}
+	obj := p.Info.ObjectOf(id)
+	if obj == nil || obj.Pos() < fd.Pos() || obj.Pos() >= fd.End() {
+		return nil
+	}
+	if _, isVar := obj.(*types.Var); !isVar {
+		return nil
+	}
+	return obj
+}
+
+func checkEscapes(p *Package, fd *ast.FuncDecl) []Finding {
+	// Map inserts only count as handoffs in functions that visibly juggle
+	// concurrency; a plain single-owner builder loop stays exempt.
+	concurrent := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.GoStmt, *ast.SendStmt, *ast.SelectStmt:
+			concurrent = true
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW {
+				concurrent = true
+			}
+		case *ast.RangeStmt:
+			if t := p.Info.TypeOf(x.X); t != nil {
+				if _, isChan := t.Underlying().(*types.Chan); isChan {
+					concurrent = true
+				}
+			}
+		}
+		return !concurrent
+	})
+
+	var escapes []escape
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.SendStmt:
+			if obj := localObj(p, fd, x.Value); obj != nil && sharable(obj.Type()) {
+				escapes = append(escapes, escape{obj: obj, pos: x.End(),
+					how: "sent on channel " + types.ExprString(x.Chan), line: p.Fset.Position(x.Arrow).Line})
+			}
+		case *ast.GoStmt:
+			lit, ok := ast.Unparen(x.Call.Fun).(*ast.FuncLit)
+			if !ok {
+				return true
+			}
+			line := p.Fset.Position(x.Go).Line
+			seen := make(map[types.Object]bool)
+			ast.Inspect(lit.Body, func(m ast.Node) bool {
+				id, ok := m.(*ast.Ident)
+				if !ok {
+					return true
+				}
+				obj := p.Info.ObjectOf(id)
+				if obj == nil || seen[obj] {
+					return true
+				}
+				// Free variable: declared in the enclosing function but
+				// outside the literal.
+				if _, isVar := obj.(*types.Var); !isVar {
+					return true
+				}
+				if obj.Pos() >= fd.Pos() && obj.Pos() < fd.End() &&
+					!(obj.Pos() >= lit.Pos() && obj.Pos() < lit.End()) {
+					seen[obj] = true
+					escapes = append(escapes, escape{obj: obj, pos: x.End(),
+						how: "captured by the goroutine started", line: line, rebind: true})
+				}
+				return true
+			})
+			return false
+		case *ast.AssignStmt:
+			if !concurrent || x.Tok != token.ASSIGN {
+				return true
+			}
+			for i, lhs := range x.Lhs {
+				idx, ok := ast.Unparen(lhs).(*ast.IndexExpr)
+				if !ok || !isMapType(p.Info.TypeOf(idx.X)) || i >= len(x.Rhs) {
+					continue
+				}
+				if obj := localObj(p, fd, x.Rhs[i]); obj != nil && sharable(obj.Type()) {
+					escapes = append(escapes, escape{obj: obj, pos: x.End(),
+						how: "inserted into " + types.ExprString(idx.X), line: p.Fset.Position(x.Pos()).Line})
+				}
+			}
+		}
+		return true
+	})
+	if len(escapes) == 0 {
+		return nil
+	}
+
+	var out []Finding
+	report := func(lhs ast.Expr, pos token.Pos) {
+		obj := localObj(p, fd, lhs)
+		if obj == nil {
+			return
+		}
+		_, plainRebind := ast.Unparen(lhs).(*ast.Ident)
+		for _, esc := range escapes {
+			if esc.obj != obj || pos <= esc.pos {
+				continue
+			}
+			if plainRebind && !esc.rebind {
+				continue // handoff copied the pointer; rebinding the name is safe
+			}
+			out = append(out, p.finding("sharedmut", pos,
+				"%s is written after being %s at line %d; the consumer owns it past the handoff (breaks schedule equivalence)",
+				types.ExprString(lhs), esc.how, esc.line))
+			return
+		}
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range x.Lhs {
+				report(lhs, x.Pos())
+			}
+		case *ast.IncDecStmt:
+			report(x.X, x.Pos())
+		}
+		return true
+	})
+	return out
+}

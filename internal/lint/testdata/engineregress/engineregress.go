@@ -1,0 +1,48 @@
+// Seeded regression fixture: the two concurrency bug shapes most likely
+// to rot the pipelined engine's schedule-equivalence guarantee, written
+// against a miniature engine and loaded "as" internal/core/engine.
+// TestEngineRegressShapes pins both: if either analyzer loses the
+// ability to catch its shape, the suite fails — and since the real
+// engine is in the same scoped package, re-introducing either bug there
+// fails `make lint` identically.
+package engine
+
+import "sync"
+
+type regItem struct {
+	seq      int
+	snapshot []byte
+}
+
+type regEngine struct {
+	mu        sync.Mutex
+	collected chan *regItem
+	pending   map[int]*regItem
+}
+
+// publishThenPatch is mutation-after-publish: the worker hands the item
+// to the ordered stages, then patches it. Whether the WAL sees the patch
+// depends on scheduling — the exact defect the byte-identical-WAL test
+// exists to rule out.
+func (e *regEngine) publishThenPatch(it *regItem) {
+	e.collected <- it
+	it.snapshot = nil // want `it\.snapshot is written after being sent on channel e\.collected`
+}
+
+// reorderInsertThenPatch mutates an item already parked in the reorder
+// buffer, where the sequencer may be reading it.
+func (e *regEngine) reorderInsertThenPatch(next int) {
+	for it := range e.collected {
+		e.pending[it.seq] = it
+		it.seq = next // want `it\.seq is written after being inserted into e\.pending`
+	}
+}
+
+// lockAcrossSend holds the engine lock across the stage-boundary send:
+// head-of-line blocking for every state reader, deadlock if the
+// consumer needs the same lock.
+func (e *regEngine) lockAcrossSend(it *regItem) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.collected <- it // want `e\.mu held across channel send`
+}

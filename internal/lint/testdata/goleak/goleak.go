@@ -1,0 +1,75 @@
+// Fixture for the goleak analyzer (module-wide); loaded "as"
+// internal/netsim.
+package netsim
+
+import "time"
+
+type poller struct {
+	done chan struct{}
+	stop bool
+}
+
+// leaky: polls a flag forever; nothing can ever stop it.
+func (p *poller) leaky() {
+	go func() {
+		for { // want `goroutine loops forever with no stop path`
+			if p.stop {
+				continue
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}()
+}
+
+// stoppable: selects on a done channel — clean.
+func (p *poller) stoppable() {
+	go func() {
+		for {
+			select {
+			case <-p.done:
+				return
+			default:
+			}
+		}
+	}()
+}
+
+// run loops forever; the fact travels the call graph to every spawner.
+func (p *poller) run() {
+	for {
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// spawnNamed: `go p.run()` is judged by run's body.
+func (p *poller) spawnNamed() {
+	go p.run() // want `goroutine runs \(\*poller\)\.run, which loops forever`
+}
+
+// bounded: a straight-line goroutine terminates on its own — clean.
+func (p *poller) bounded() {
+	go func() {
+		p.stop = true
+	}()
+}
+
+// worker: ranges over a jobs channel; closing it ends the goroutine —
+// clean.
+func worker(jobs chan int) {
+	go func() {
+		for range jobs {
+		}
+	}()
+}
+
+// server: the accept-loop shape; the error return is the stop path —
+// clean.
+func server(accept func() (int, error)) {
+	go func() {
+		for {
+			if _, err := accept(); err != nil {
+				return
+			}
+		}
+	}()
+}

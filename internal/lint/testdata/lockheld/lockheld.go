@@ -1,0 +1,85 @@
+// Fixture for the lockheld analyzer; loaded "as" internal/core/engine
+// (an engine-boundary package).
+package engine
+
+import (
+	"os"
+	"sync"
+	"time"
+)
+
+type store struct {
+	mu sync.Mutex
+	rw sync.RWMutex
+	f  *os.File
+	ch chan int
+}
+
+// directSend: lock held across a channel send.
+func (s *store) directSend(v int) {
+	s.mu.Lock()
+	s.ch <- v // want `s\.mu held across channel send`
+	s.mu.Unlock()
+}
+
+// deferredUnlock: a deferred unlock holds the section to function end.
+func (s *store) deferredUnlock() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	time.Sleep(time.Millisecond) // want `s\.mu held across time\.Sleep`
+}
+
+// releasedFirst: the blocking op happens after the unlock — clean.
+func (s *store) releasedFirst(v int) {
+	s.mu.Lock()
+	s.mu.Unlock()
+	s.ch <- v
+}
+
+// syncUnderLock: fsync inside the critical section.
+func (s *store) syncUnderLock() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.f.Sync() // want `s\.mu held across \(\*os\.File\)\.Sync`
+}
+
+// flush blocks (fsync); the fact is computed on the call graph.
+func (s *store) flush() error { return s.f.Sync() }
+
+// transitive: lock held across a call chain ending in fsync.
+func (s *store) transitive() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.flush() // want `s\.mu held across call to \(\*store\)\.flush, which blocks`
+}
+
+// readLock: a read lock held across a receive counts too.
+func (s *store) readLock() {
+	s.rw.RLock()
+	<-s.ch // want `s\.rw held across channel receive`
+	s.rw.RUnlock()
+}
+
+// spawned: the send runs on a new goroutine, not in the section — clean.
+func (s *store) spawned(v int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	go func() { s.ch <- v }()
+}
+
+// distinctLocks: s.mu's section ends before s.rw's begins; the blocking
+// op sits only in s.rw's section.
+func (s *store) distinctLocks() {
+	s.mu.Lock()
+	s.mu.Unlock()
+	s.rw.Lock()
+	time.Sleep(time.Millisecond) // want `s\.rw held across time\.Sleep`
+	s.rw.Unlock()
+}
+
+// nonBlockingSection: plain state mutation under the lock — clean.
+func (s *store) nonBlockingSection(v int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_ = v
+}

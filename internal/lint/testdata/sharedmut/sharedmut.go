@@ -1,0 +1,72 @@
+// Fixture for the sharedmut analyzer; loaded "as" internal/core/engine
+// (an engine-boundary package).
+package engine
+
+type item struct {
+	seq  int
+	data []byte
+}
+
+type eng struct {
+	out     chan *item
+	pending map[int]*item
+}
+
+// sendThenMutate: the producer writes after the handoff — the consumer
+// may observe either state.
+func (e *eng) sendThenMutate(it *item) {
+	e.out <- it
+	it.data = nil // want `it\.data is written after being sent on channel e\.out`
+}
+
+// mutateThenSend: the write precedes the handoff — clean.
+func (e *eng) mutateThenSend(it *item) {
+	it.data = nil
+	e.out <- it
+}
+
+// bufferInsert: the reorder-buffer shape — parked in a shared map, then
+// patched.
+func (e *eng) bufferInsert(next int) {
+	for it := range e.out {
+		e.pending[it.seq] = it
+		it.seq = next // want `it\.seq is written after being inserted into e\.pending`
+	}
+}
+
+// builderInsert: a single-owner builder loop (no concurrency in the
+// function) may fill structs after insertion — clean.
+func builderInsert(names []string) map[string]*item {
+	out := make(map[string]*item)
+	for i, n := range names {
+		it := &item{}
+		out[n] = it
+		it.seq = i
+	}
+	return out
+}
+
+// captureThenWrite: rebinding a variable captured by a goroutine races
+// the goroutine's reads.
+func captureThenWrite(ch chan int) {
+	n := 0
+	go func() { ch <- n }()
+	n = 1 // want `n is written after being captured by the goroutine started at line 5\d`
+}
+
+// rebindAfterSend: the receiver got its own copy of the pointer;
+// rebinding the local name is safe — clean.
+func (e *eng) rebindAfterSend(it *item) {
+	e.out <- it
+	it = &item{}
+	_ = it
+}
+
+// valueSend: ints are copied into the channel; later writes are local —
+// clean.
+func valueSend(ch chan int) {
+	v := 1
+	ch <- v
+	v = 2
+	_ = v
+}

@@ -10,7 +10,7 @@ import (
 // wrongCheck: the allow names globalrand, so the wallclock finding on the
 // same line must still be reported.
 func wrongCheck() time.Time {
-	return time.Now() //mantralint:allow globalrand names the wrong check // want `time.Now reads the wall clock`
+	return time.Now() //mantralint:allow globalrand names the wrong check // want `time.Now reads the wall clock` `allow for "globalrand" suppresses nothing on its line`
 }
 
 // sameLineBoth: two different checks fire on one line; the allow silences
@@ -27,7 +27,7 @@ func lineAbove() time.Time {
 
 // tooFarAway: an allow two lines up covers nothing.
 func tooFarAway() time.Time {
-	//mantralint:allow wallclock this comment is two lines above the read
+	//mantralint:allow wallclock this comment is two lines above the read // want `allow for "wallclock" suppresses nothing on its line`
 
 	return time.Now() // want `time.Now reads the wall clock`
 }

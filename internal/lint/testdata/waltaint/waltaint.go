@@ -1,0 +1,41 @@
+// Fixture for the waltaint analyzer; loaded "as" internal/core/logger
+// (the WAL/checkpoint package).
+package logger
+
+import (
+	"hash/crc32"
+	"os"
+)
+
+type walseg struct{ f *os.File }
+
+// frameWrite is the sanctioned frame-writer shape: the checksum and the
+// bytes travel through the same function — clean.
+func (s *walseg) frameWrite(payload []byte) error {
+	sum := crc32.ChecksumIEEE(payload)
+	frame := append(payload, byte(sum))
+	_, err := s.f.Write(frame)
+	return err
+}
+
+// rawWrite: unframed bytes; the scan will read them as corruption.
+func (s *walseg) rawWrite(b []byte) error {
+	_, err := s.f.Write(b) // want `direct \(\*os\.File\)\.Write bypasses the checksummed frame writer`
+	return err
+}
+
+// stringWrite: WriteString can never be the frame writer, even next to
+// a checksum.
+func (s *walseg) stringWrite(note string) error {
+	sum := crc32.ChecksumIEEE([]byte(note))
+	if sum == 0 {
+		return nil
+	}
+	_, err := s.f.WriteString(note) // want `\(\*os\.File\)\.WriteString bypasses the checksummed frame writer`
+	return err
+}
+
+// writeFileDirect: whole-file writes bypass framing by construction.
+func writeFileDirect(path string, b []byte) error {
+	return os.WriteFile(path, b, 0o644) // want `os\.WriteFile bypasses the checksummed frame writer`
+}

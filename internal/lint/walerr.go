@@ -45,7 +45,7 @@ func nameHasWriteVerb(name string) bool {
 	return false
 }
 
-func runWalErr(p *Package) []Finding {
+func runWalErr(_ *Analysis, p *Package) []Finding {
 	if !walErrPkgs[p.RelPath] {
 		return nil
 	}
