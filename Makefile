@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build vet fmt-check mantralint lint lint-json lint-sarif test race bench bench-collect bench-archive bench-engine bench-smoke bench-json fuzz chaos figures check
+.PHONY: build vet fmt-check mantralint lint lint-json lint-sarif test race bench bench-collect bench-archive bench-engine bench-detect bench-smoke bench-json fuzz chaos figures check
 
 build:
 	$(GO) build ./...
@@ -80,9 +80,19 @@ fuzz:
 	$(GO) test ./internal/core/collect -fuzz FuzzValidateDump -fuzztime 30s
 	$(GO) test ./internal/core/collect -fuzz FuzzPreprocess -fuzztime 30s
 
-# The 220-cycle fault-injection run and the breaker lifecycle, verbosely.
+# The chaos suite under the race detector with shuffled test order: the
+# 220-cycle fault-injection run, the breaker lifecycle, and the scripted
+# incident library's detection-latency proofs (every scenario under
+# clean and degraded collection, plus the serial-vs-pipelined anomaly
+# byte-identity check).
 chaos:
-	$(GO) test -run 'TestChaos' -v .
+	$(GO) test -race -shuffle=on -run 'TestChaos' -v .
+
+# The incident detection-latency benchmark, captured as timestamp-free
+# JSON: cycles-to-detect per library scenario.
+bench-detect:
+	$(GO) test -run '^$$' -bench 'BenchmarkDetectLatency' -benchtime 1x . | $(GO) run ./cmd/benchjson -out BENCH_detect.json
+	@echo "wrote BENCH_detect.json"
 
 figures:
 	$(GO) run ./cmd/figures -scale quick -out out

@@ -181,7 +181,7 @@ func (m *Monitor) recoverArchive(store *logger.Store, report *RecoveryReport) er
 			continue
 		}
 		report.CyclesReplayed++
-		m.proc.Ingest(ev.Snapshot)
+		m.proc.IngestCounts(ev.Snapshot, ev.SACache, ev.MBGPRoutes)
 		m.engine.SetLatest(ev.Target, ev.Snapshot)
 		if ev.Target != AggregateTarget {
 			// The aggregate view is synthetic: the live path gives it no

@@ -407,3 +407,122 @@ func TestArchiveAggregateAcrossCrash(t *testing.T) {
 		t.Error("aggregate target leaked into health ledger")
 	}
 }
+
+// TestArchiveAnomalyRecovery proves detector state survives a crash: a
+// resolved episode, an episode still open at the crash (with its frozen
+// detection baseline), and the rollup counters are all rebuilt by
+// recovery — even with a torn tail — and the recovered monitor then
+// finishes the open episode exactly as an uncrashed one would.
+func TestArchiveAnomalyRecovery(t *testing.T) {
+	dir := t.TempDir()
+	n, m1 := incidentMonitor(t, nil, "")
+	if _, err := m1.EnableArchive(mantra.ArchiveConfig{Dir: dir, CheckpointEvery: 3}); err != nil {
+		t.Fatal(err)
+	}
+	targets := []string{"fixw", "ucsb-r1", "dom00-gw"}
+	cycle := func(m *mantra.Monitor) {
+		t.Helper()
+		n.Step()
+		if _, err := m.RunCycle(n.Now()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	countKind := func(m *mantra.Monitor, target, kind string) (total, open int) {
+		for _, a := range m.Anomalies() {
+			if a.Target == target && a.Kind == kind {
+				total++
+				if !a.Resolved {
+					open++
+				}
+			}
+		}
+		return total, open
+	}
+	for i := 0; i < 8; i++ {
+		cycle(m1)
+	}
+	// Incident 1 opens and fully resolves before the crash.
+	sc1, err := netsim.LibraryScenario("route-leak", 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.ScheduleScenario(sc1); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		cycle(m1)
+	}
+	if total, open := countKind(m1, "fixw", "route-leak"); total != 1 || open != 0 {
+		t.Fatalf("precondition: route-leak at fixw = %d total / %d open, want 1/0", total, open)
+	}
+	// Incident 2 is mid-flight at the crash.
+	sc2, err := netsim.LibraryScenario("unicast-injection", 1, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.ScheduleScenario(sc2); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		cycle(m1)
+	}
+	if total, open := countKind(m1, "ucsb-r1", "route-injection"); total != 1 || open != 1 {
+		t.Fatalf("precondition: route-injection at ucsb-r1 = %d total / %d open, want 1/1", total, open)
+	}
+
+	// Crash mid-incident, plus a torn tail: garbage after the last whole
+	// WAL record, the signature of dying mid-append.
+	segs, err := filepath.Glob(filepath.Join(dir, "wal-*.seg"))
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("segments: %v (%v)", segs, err)
+	}
+	f, err := os.OpenFile(segs[len(segs)-1], os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0x77, 0x00, 0xBE, 0xEF}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	m2 := mantra.New()
+	rewire(m2, n, targets...)
+	report, err := m2.EnableArchive(mantra.ArchiveConfig{Dir: dir, CheckpointEvery: 3, Resume: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !report.Resumed || !report.Stats.TornTail || report.Stats.TruncatedBytes != 4 {
+		t.Fatalf("recovery report = %+v / %+v", report, report.Stats)
+	}
+	compareMonitorState(t, m1, m2, targets)
+	if !reflect.DeepEqual(m1.AnomalyRollup(), m2.AnomalyRollup()) {
+		t.Errorf("rollup diverges: %+v vs %+v", m1.AnomalyRollup(), m2.AnomalyRollup())
+	}
+
+	// The frozen baseline came back with the open episode: three more
+	// incident cycles must neither falsely resolve it nor open a second
+	// episode against an incident-poisoned baseline.
+	for i := 0; i < 3; i++ {
+		cycle(m2)
+	}
+	if total, open := countKind(m2, "ucsb-r1", "route-injection"); total != 1 || open != 1 {
+		t.Fatalf("mid-incident after recovery: %d total / %d open, want 1/1", total, open)
+	}
+	// The incident ends; the recovered monitor resolves the pre-crash
+	// episode like an uncrashed one would.
+	for i := 0; i < 4; i++ {
+		cycle(m2)
+	}
+	total, open := countKind(m2, "ucsb-r1", "route-injection")
+	if total != 1 || open != 0 {
+		t.Fatalf("after incident end: %d total / %d open, want 1/0", total, open)
+	}
+	for _, a := range m2.Anomalies() {
+		if a.Target == "ucsb-r1" && a.Kind == "route-injection" && a.ResolvedAt.IsZero() {
+			t.Error("resolved episode lacks ResolvedAt")
+		}
+	}
+	if err := m2.CloseArchive(n.Now()); err != nil {
+		t.Fatal(err)
+	}
+}

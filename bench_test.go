@@ -610,3 +610,20 @@ func BenchmarkArchiveColdRecovery(b *testing.B) {
 		s.Close()
 	}
 }
+
+// BenchmarkDetectLatency measures every library incident end to end —
+// schedule, detect, resolve — and reports the detection latency in
+// monitoring cycles under clean collection. The same contract the chaos
+// proofs assert (TestChaosIncidentDetection) becomes a tracked number:
+// cycles/detect per scenario, captured in BENCH_detect.json.
+func BenchmarkDetectLatency(b *testing.B) {
+	for _, name := range netsim.LibraryScenarios() {
+		b.Run(name, func(b *testing.B) {
+			var latency int
+			for i := 0; i < b.N; i++ {
+				latency = runIncidentScenario(b, name, nil)
+			}
+			b.ReportMetric(float64(latency), "cycles/detect")
+		})
+	}
+}

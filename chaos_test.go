@@ -10,6 +10,8 @@ package mantra_test
 // so the run is deterministic.
 
 import (
+	"bytes"
+	"encoding/json"
 	"testing"
 	"time"
 
@@ -201,5 +203,271 @@ func TestChaosBreakerLifecycle(t *testing.T) {
 	}
 	if r := cycle(); r.Status != collect.StatusOK {
 		t.Errorf("post-recovery cycle = %+v", r)
+	}
+}
+
+// ---- Scripted-incident chaos proofs ----
+//
+// The scenario library in internal/netsim scripts protocol-level
+// incidents (RP loss, SA storms, MBGP leaks, unicast-route injection,
+// prune storms) against the virtual clock; each scenario carries its
+// detection contract (kind, watch targets, latency bounds). The proofs
+// below run every library scenario under clean AND fault-degraded
+// collection and assert the detector framework honors those contracts:
+// bounded detection latency (plus one cycle of slack per collection
+// gap), no false resolution while the incident is active, and bounded
+// resolution latency after it ends.
+
+// incidentMonitor builds the 3-target monitored network the library
+// scenarios assume: dom00 transitioned to native sparse mode, scripted
+// faults only (no random background failures), and the primary watch
+// target optionally wrapped in the session-fault layer.
+func incidentMonitor(t testing.TB, profile *router.FaultProfile, primary string) (*netsim.Network, *mantra.Monitor) {
+	cfg := topo.DefaultInternetConfig()
+	cfg.NumDomains = 4
+	inet := topo.BuildInternet(cfg)
+	wl := workload.New(workload.DefaultConfig(), inet.Topo)
+	ncfg := netsim.DefaultConfig()
+	ncfg.FlapPerDomainPerCycle = 0
+	ncfg.RestartPerCycle = 0
+	n := netsim.New(inet, wl, ncfg)
+	targets := []string{"fixw", "ucsb-r1", "dom00-gw"}
+	if err := n.Track(targets...); err != nil {
+		t.Fatal(err)
+	}
+	n.Step()
+	n.Step()
+	n.TransitionDomain("dom00")
+	m := mantra.New()
+	m.SetCollectPolicy(collect.Policy{
+		MaxAttempts: 3,
+		// The latency proofs reason in gaps, not breaker skips: keep the
+		// breaker out of the arithmetic.
+		BreakerThreshold: 1 << 20,
+		BreakerCooldown:  90 * time.Minute,
+		Sleep:            func(time.Duration) {},
+	})
+	for _, name := range targets {
+		n.Router(name).Password = "pw"
+		tgt := mantra.Target{
+			Name:     name,
+			Dialer:   collect.PipeDialer{Router: n.Router(name)},
+			Password: "pw",
+			Prompt:   name + "> ",
+			Timeout:  5 * time.Second,
+		}
+		if profile != nil && name == primary {
+			tgt.Dialer = collect.PipeDialer{Router: n.FaultyRouter(name, *profile)}
+			tgt.Timeout = 100 * time.Millisecond
+		}
+		m.AddTarget(tgt)
+	}
+	return n, m
+}
+
+// degradedProfile is the session-fault mix applied to the primary watch
+// target in the degraded arm of the incident proofs: enough trouble
+// that collection gaps actually occur over a scenario, mild enough that
+// retries absorb most of it.
+func degradedProfile() *router.FaultProfile {
+	return &router.FaultProfile{
+		RefuseConn: 0.05,
+		Hang:       0.04,
+		Truncate:   0.05,
+		Garble:     0.04,
+		Drop:       0.04,
+	}
+}
+
+// runIncidentScenario drives one library scenario under a fault profile
+// (nil = clean collection) and asserts its detection contract. It
+// returns the observed detection latency in cycles from the incident
+// becoming visible.
+func runIncidentScenario(t testing.TB, name string, profile *router.FaultProfile) int {
+	const (
+		warmup   = 10
+		duration = 6
+	)
+	sc, err := netsim.LibraryScenario(name, 1, duration)
+	if err != nil {
+		t.Fatal(err)
+	}
+	primary := sc.Watch[0]
+	n, m := incidentMonitor(t, profile, primary)
+	gapCount := func() int {
+		s := m.Series(primary, mantra.MetricRoutes)
+		if s == nil {
+			return 0
+		}
+		return s.GapCount()
+	}
+	episode := func() *mantra.Anomaly {
+		for _, a := range m.Anomalies() {
+			if a.Kind == sc.DetectKind && a.Target == primary {
+				return &a
+			}
+		}
+		return nil
+	}
+	runCycle := func() {
+		t.Helper()
+		n.Step()
+		if _, err := m.RunCycle(n.Now()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < warmup; i++ {
+		runCycle()
+	}
+	if a := episode(); a != nil {
+		t.Fatalf("anomaly open before the incident: %+v", a)
+	}
+	if err := n.ScheduleScenario(sc); err != nil {
+		t.Fatal(err)
+	}
+
+	// The begin event fires at the boundary of the next cycle, before
+	// that cycle's protocol ticks, so the incident is visible to
+	// collection from offset 1 on.
+	startGaps := gapCount()
+	detected := 0
+	for off := 1; off <= duration; off++ {
+		runCycle()
+		a := episode()
+		if a == nil {
+			continue
+		}
+		if detected == 0 {
+			detected = off
+		}
+		if a.Resolved {
+			t.Fatalf("cycle %d: anomaly resolved while the incident is active: %+v", off, a)
+		}
+	}
+	if detected == 0 {
+		t.Fatalf("%s at %s not detected within the incident's %d cycles", sc.DetectKind, primary, duration)
+	}
+	if slack := gapCount() - startGaps; detected > sc.MaxDetectCycles+slack {
+		t.Errorf("detection latency = %d cycles, bound %d (+%d gap slack)",
+			detected, sc.MaxDetectCycles, slack)
+	}
+
+	// The end event fires at the boundary of cycle duration+1; the
+	// episode must resolve within MaxResolveCycles of it, again with one
+	// cycle of slack per collection gap (a gap can neither observe the
+	// recovery nor falsely resolve the episode).
+	endGaps := gapCount()
+	resolvedIn := 0
+	for off := 1; off <= sc.MaxResolveCycles+8; off++ {
+		runCycle()
+		a := episode()
+		if a == nil {
+			t.Fatal("episode vanished from the anomaly log")
+		}
+		if a.Resolved {
+			resolvedIn = off
+			break
+		}
+	}
+	if resolvedIn == 0 {
+		t.Fatalf("%s at %s never resolved after the incident ended", sc.DetectKind, primary)
+	}
+	if slack := gapCount() - endGaps; resolvedIn > sc.MaxResolveCycles+slack {
+		t.Errorf("resolution latency = %d cycles, bound %d (+%d gap slack)",
+			resolvedIn, sc.MaxResolveCycles, slack)
+	}
+	// Exactly one episode per incident: the frozen-baseline lifecycle
+	// must not double-report while the signature persists.
+	count := 0
+	for _, a := range m.Anomalies() {
+		if a.Kind == sc.DetectKind && a.Target == primary {
+			count++
+		}
+	}
+	if count != 1 {
+		t.Errorf("episodes of %s at %s = %d, want 1", sc.DetectKind, primary, count)
+	}
+	return detected
+}
+
+// TestChaosIncidentDetection is the incidents x fault-profiles table:
+// every library scenario must satisfy its detection contract under both
+// clean and degraded collection.
+func TestChaosIncidentDetection(t *testing.T) {
+	profiles := []struct {
+		name    string
+		profile *router.FaultProfile
+	}{
+		{"clean", nil},
+		{"degraded", degradedProfile()},
+	}
+	for _, name := range netsim.LibraryScenarios() {
+		for _, prof := range profiles {
+			t.Run(name+"/"+prof.name, func(t *testing.T) {
+				latency := runIncidentScenario(t, name, prof.profile)
+				t.Logf("%s under %s collection: detected in %d cycles", name, prof.name, latency)
+			})
+		}
+	}
+}
+
+// TestChaosSerialPipelinedAnomalyIdentity proves the anomaly log is
+// schedule-independent: two same-seed networks running overlapping
+// incidents under degraded collection — one monitored by the serial
+// engine, one by the pipelined engine — must produce byte-identical
+// anomaly logs and health rollups.
+func TestChaosSerialPipelinedAnomalyIdentity(t *testing.T) {
+	run := func(pipelined bool) []byte {
+		sc, err := netsim.LibraryScenario("sa-storm", 1, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n, m := incidentMonitor(t, degradedProfile(), sc.Watch[0])
+		cycle := func() {
+			t.Helper()
+			n.Step()
+			var err error
+			if pipelined {
+				_, err = m.RunCycleConcurrent(n.Now())
+			} else {
+				_, err = m.RunCycle(n.Now())
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		for i := 0; i < 8; i++ {
+			cycle()
+		}
+		if err := n.ScheduleScenario(sc); err != nil {
+			t.Fatal(err)
+		}
+		sc2, err := netsim.LibraryScenario("unicast-injection", 2, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := n.ScheduleScenario(sc2); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 14; i++ {
+			cycle()
+		}
+		anomalies := m.Anomalies()
+		if len(anomalies) == 0 {
+			t.Fatal("no anomalies to compare")
+		}
+		blob, err := json.Marshal(struct {
+			Anomalies []mantra.Anomaly     `json:"anomalies"`
+			Rollup    mantra.AnomalyRollup `json:"rollup"`
+		}{anomalies, m.AnomalyRollup()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return blob
+	}
+	serial := run(false)
+	pipelined := run(true)
+	if !bytes.Equal(serial, pipelined) {
+		t.Errorf("serial and pipelined anomaly logs diverge:\n serial:    %s\n pipelined: %s", serial, pipelined)
 	}
 }

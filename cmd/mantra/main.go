@@ -24,6 +24,11 @@
 // -stats prints the engine's per-stage timings each cycle, and the same
 // instrumentation is served at /stats.
 //
+// Detected anomalies (route injection, RP loss, SA storms, route leaks,
+// route flapping) are logged once when they open and once when they
+// resolve, and served with full episode state at /anomalies;
+// -max-anomalies caps the retained episode ring.
+//
 // Endpoints: /  /series/<target>/<metric>  /graph/<target>/<metric>
 // /tables/<name>  /anomalies  /health  /archive  /stats
 package main
@@ -70,6 +75,7 @@ func main() {
 	checkpointEvery := flag.Int("checkpoint-every", 12, "cycles between full-state checkpoints")
 	resume := flag.Bool("resume", true, "recover existing archive data on start (with -data-dir)")
 	archiveSync := flag.Bool("archive-sync", false, "fsync the archive after every record (durable to the last cycle, slower)")
+	maxAnomalies := flag.Int("max-anomalies", 0, "cap on retained anomaly episodes, oldest resolved evicted first (0 = default cap)")
 	flag.Parse()
 
 	if len(targets) == 0 {
@@ -86,6 +92,9 @@ func main() {
 	if *aggregate {
 		m.EnableAggregation()
 		*concurrent = true
+	}
+	if *maxAnomalies > 0 {
+		m.SetMaxAnomalies(*maxAnomalies)
 	}
 	if *concurrency > 0 {
 		m.SetConcurrency(*concurrency)
@@ -137,6 +146,8 @@ func main() {
 		}
 	}()
 
+	lastAnomalyID := -1
+	resolvedPrinted := make(map[int]bool)
 	for i := 0; *cycles == 0 || i < *cycles; i++ {
 		now := time.Now().UTC() //mantralint:allow wallclock composition root: live monitoring stamps cycles with real time and injects it downward
 		var stats []mantra.CycleStats
@@ -188,8 +199,18 @@ func main() {
 			}
 			os.Exit(1)
 		}
+		// Anomalies are episodes, not events: print each once when it
+		// opens and once when it resolves, rather than re-logging every
+		// open episode every cycle.
 		for _, a := range m.Anomalies() {
-			log.Printf("mantra: ANOMALY %s at %s: %s", a.Kind, a.Target, a.Detail)
+			if a.ID > lastAnomalyID {
+				lastAnomalyID = a.ID
+				log.Printf("mantra: ANOMALY #%d %s %s at %s: %s", a.ID, a.Severity, a.Kind, a.Target, a.Detail)
+			}
+			if a.Resolved && !resolvedPrinted[a.ID] {
+				resolvedPrinted[a.ID] = true
+				log.Printf("mantra: RESOLVED #%d %s at %s after %s", a.ID, a.Kind, a.Target, a.ResolvedAt.Sub(a.At))
+			}
 		}
 		time.Sleep(*interval)
 	}

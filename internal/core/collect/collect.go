@@ -105,6 +105,11 @@ type deadliner interface {
 	SetReadDeadline(time.Time) error
 }
 
+// writeDeadliner is implemented by net.Conn and net.Pipe ends.
+type writeDeadliner interface {
+	SetWriteDeadline(time.Time) error
+}
+
 // readUntil consumes the stream until pattern appears, returning
 // everything read including the pattern. The session timeout is enforced
 // for every transport: connections with native read deadlines use them,
@@ -144,7 +149,19 @@ func (s *Session) readUntil(pattern string) (string, error) {
 	}
 }
 
+// send writes one line under the session timeout. Writes need the same
+// hard bound as reads: on an unbuffered transport (net.Pipe) a write
+// blocks until the peer reads, and a peer that timed out or wedged
+// mid-dump never will — without a deadline, sending "exit" to a stuck
+// session deadlocks both ends in Write forever.
 func (s *Session) send(line string) error {
+	if d, ok := s.conn.(writeDeadliner); ok {
+		_ = d.SetWriteDeadline(s.now().Add(s.timeout))
+		defer d.SetWriteDeadline(time.Time{})
+	} else {
+		watchdog := time.AfterFunc(s.timeout, func() { s.conn.Close() })
+		defer watchdog.Stop()
+	}
 	_, err := io.WriteString(s.conn, line+"\n")
 	return err
 }

@@ -220,3 +220,58 @@ func TestLoginTimeoutUsesInjectedClock(t *testing.T) {
 		t.Fatalf("injected clock consulted %d times, want >= 2", calls)
 	}
 }
+
+// wedgedRouter authenticates normally, then stops reading the stream
+// entirely — the shape of a peer stuck mid-dump. On an unbuffered
+// transport every subsequent client write would block forever without a
+// write deadline.
+type wedgedRouter struct{ done chan struct{} }
+
+func (w wedgedRouter) HandleSession(rw io.ReadWriter) error {
+	if _, err := io.WriteString(rw, "Password: "); err != nil {
+		return err
+	}
+	buf := make([]byte, 64)
+	if _, err := rw.Read(buf); err != nil {
+		return err
+	}
+	if _, err := io.WriteString(rw, "wedged> "); err != nil {
+		return err
+	}
+	<-w.done
+	return nil
+}
+
+func TestSendTimesOutAgainstWedgedPeer(t *testing.T) {
+	// Regression: Session writes carry the same hard timeout as reads.
+	// net.Pipe writes block until the peer reads; a command sent to a
+	// session whose peer stopped reading (including the "exit" Close
+	// sends after a read timeout) used to deadlock both ends in Write.
+	done := make(chan struct{})
+	t.Cleanup(func() { close(done) })
+	tgt := collect.Target{
+		Name:     "wedged",
+		Dialer:   collect.PipeDialer{Router: wedgedRouter{done: done}},
+		Password: "pw",
+		Prompt:   "wedged> ",
+		Timeout:  100 * time.Millisecond,
+	}
+	s, err := collect.Login(tgt)
+	if err != nil {
+		t.Fatalf("Login: %v", err)
+	}
+	defer s.Close()
+	errc := make(chan error, 1)
+	go func() {
+		_, err := s.Run("show ip mroute")
+		errc <- err
+	}()
+	select {
+	case err := <-errc:
+		if err == nil {
+			t.Fatal("Run against a wedged peer succeeded, want timeout error")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Run against a wedged peer blocked past the session timeout")
+	}
+}

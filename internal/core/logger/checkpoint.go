@@ -39,8 +39,12 @@ type ReplayEvent struct {
 	Target string
 	At     time.Time
 	// Snapshot is the full materialized table state as of this cycle —
-	// what the original Ingest saw — nil for gap events.
-	Snapshot *tables.Snapshot
+	// what the original Ingest saw — nil for gap events. The MSDP/MBGP
+	// tables are not delta-logged, so their magnitudes travel separately
+	// in SACache and MBGPRoutes.
+	Snapshot   *tables.Snapshot
+	SACache    int
+	MBGPRoutes int
 	// Gap marks a failed cycle; Reason carries its recorded error.
 	Gap    bool
 	Reason string
@@ -80,7 +84,13 @@ func (s *Store) Recover() *RecoveredArchive {
 		case recDelta:
 			ra.Logger.ApplyRecord(r.Target, r.Rec, r.FullEntries)
 			sn, _ := ra.Logger.Materialized(r.Target)
-			ra.Events = append(ra.Events, ReplayEvent{Target: r.Target, At: r.Rec.At, Snapshot: sn})
+			ra.Events = append(ra.Events, ReplayEvent{
+				Target:     r.Target,
+				At:         r.Rec.At,
+				Snapshot:   sn,
+				SACache:    r.Rec.SACache,
+				MBGPRoutes: r.Rec.MBGPRoutes,
+			})
 		case recGap:
 			ra.Logger.MarkGap(r.Target, r.At, r.Reason)
 			ra.Events = append(ra.Events, ReplayEvent{Target: r.Target, At: r.At, Gap: true, Reason: r.Reason})

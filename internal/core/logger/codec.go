@@ -119,6 +119,8 @@ func encodePayload(r walRecord) []byte {
 	case recDelta:
 		b = appendTime(b, r.Rec.At)
 		b = appendUvarint(b, r.FullEntries)
+		b = appendUvarint(b, uint64(r.Rec.SACache))
+		b = appendUvarint(b, uint64(r.Rec.MBGPRoutes))
 		b = appendUvarint(b, uint64(len(r.Rec.Pairs.Upserted)))
 		for _, e := range r.Rec.Pairs.Upserted {
 			b = appendPair(b, e)
@@ -311,6 +313,8 @@ func decodePayload(b []byte) (walRecord, error) {
 	case recDelta:
 		out.Rec.At = r.time()
 		out.FullEntries = r.uvarint()
+		out.Rec.SACache = int(r.uvarint())
+		out.Rec.MBGPRoutes = int(r.uvarint())
 		if n := r.count(2); n > 0 {
 			out.Rec.Pairs.Upserted = make([]tables.PairEntry, 0, n)
 			for i := 0; i < n && r.err == nil; i++ {

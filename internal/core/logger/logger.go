@@ -46,6 +46,12 @@ type CycleRecord struct {
 	At     time.Time
 	Pairs  PairDelta
 	Routes RouteDelta
+	// SACache and MBGPRoutes are the MSDP SA-cache and MBGP RIB sizes at
+	// this cycle. The protocol tables themselves are not delta-logged —
+	// the anomaly detectors consume only their magnitudes — so the record
+	// carries the counts a recovery needs to replay detection exactly.
+	SACache    int
+	MBGPRoutes int
 }
 
 // GapMark records one failed collection cycle: no snapshot arrived at At,
@@ -107,7 +113,7 @@ func (l *Logger) target(name string) *targetLog {
 // durable archive can persist exactly what the in-memory log holds.
 func (l *Logger) Append(sn *tables.Snapshot) CycleRecord {
 	tl := l.target(sn.Target)
-	rec := CycleRecord{At: sn.At}
+	rec := CycleRecord{At: sn.At, SACache: len(sn.SAs), MBGPRoutes: len(sn.MBGP)}
 
 	seenP := make(map[pairKey]bool, len(sn.Pairs))
 	for _, e := range sn.Pairs {

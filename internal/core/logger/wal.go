@@ -31,8 +31,8 @@ import (
 )
 
 const (
-	segMagic            = "MWAL0001"
-	ckptMagic           = "MCKP0001"
+	segMagic            = "MWAL0002"
+	ckptMagic           = "MCKP0002"
 	defaultSegmentBytes = 4 << 20
 	// maxRecordBytes caps a frame's declared length so a corrupted length
 	// field cannot trigger a giant allocation.

@@ -216,12 +216,39 @@ func (s *Server) handleTable(w http.ResponseWriter, r *http.Request) {
 	_ = view.Render(w)
 }
 
+// handleAnomalies serves the anomaly log as a JSON array in detection
+// order. Query filters: ?open=1 keeps only unresolved episodes,
+// ?target=<name> and ?kind=<kind> filter by field, and ?cross=1 switches
+// to the cross-target incident view (kinds open at two or more targets
+// at once).
 func (s *Server) handleAnomalies(w http.ResponseWriter, r *http.Request) {
-	an := s.proc.Anomalies()
-	if an == nil {
-		an = []process.Anomaly{}
+	q := r.URL.Query()
+	if q.Get("cross") != "" {
+		ct := s.proc.CrossTarget()
+		if ct == nil {
+			ct = []process.CrossTargetIncident{}
+		}
+		writeJSON(w, ct)
+		return
 	}
-	writeJSON(w, an)
+	an := s.proc.Anomalies()
+	openOnly := q.Get("open") != ""
+	target := q.Get("target")
+	kind := q.Get("kind")
+	out := make([]process.Anomaly, 0, len(an))
+	for _, a := range an {
+		if openOnly && a.Resolved {
+			continue
+		}
+		if target != "" && a.Target != target {
+			continue
+		}
+		if kind != "" && a.Kind != kind {
+			continue
+		}
+		out = append(out, a)
+	}
+	writeJSON(w, out)
 }
 
 func writeJSON(w http.ResponseWriter, v any) {

@@ -305,3 +305,77 @@ func TestTableWriteJSON(t *testing.T) {
 		t.Errorf("numeric cell decoded as %T %v", decoded.Rows[0][1], decoded.Rows[0][1])
 	}
 }
+
+// spikeAnomalies seeds a processor with route-injection episodes: open
+// on targets a and b, plus a resolved one on a.
+func spikeAnomalies(p *process.Processor) {
+	at := sim.Epoch
+	ingest := func(target string, routes int) {
+		var rt tables.RouteTable
+		for i := 0; i < routes; i++ {
+			rt = append(rt, tables.RouteEntry{Prefix: addr.PrefixFrom(addr.IP(uint32(i)<<12), 24), Metric: 1})
+		}
+		p.Ingest(&tables.Snapshot{Target: target, At: at, Routes: rt})
+		at = at.Add(30 * time.Minute)
+	}
+	for i := 0; i < 4; i++ {
+		ingest("a", 500)
+		ingest("b", 500)
+	}
+	ingest("a", 1400) // opens, then resolves below
+	ingest("a", 500)
+	for i := 0; i < 8; i++ {
+		ingest("a", 500)
+	}
+	ingest("a", 1400) // open on a
+	ingest("b", 1400) // open on b
+}
+
+func TestAnomalyEndpointFilters(t *testing.T) {
+	p := process.New()
+	spikeAnomalies(p)
+	s := NewServer(p)
+	srv := httptest.NewServer(s)
+	defer srv.Close()
+
+	fetch := func(path string, v any) {
+		t.Helper()
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Fatalf("%s -> %d", path, resp.StatusCode)
+		}
+		if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+	}
+
+	var all []process.Anomaly
+	fetch("/anomalies", &all)
+	if len(all) != 3 {
+		t.Fatalf("anomalies = %+v", all)
+	}
+	var open []process.Anomaly
+	fetch("/anomalies?open=1", &open)
+	if len(open) != 2 {
+		t.Fatalf("open = %+v", open)
+	}
+	var onB []process.Anomaly
+	fetch("/anomalies?target=b&kind=route-injection", &onB)
+	if len(onB) != 1 || onB[0].Target != "b" {
+		t.Fatalf("target filter = %+v", onB)
+	}
+	var none []process.Anomaly
+	fetch("/anomalies?kind=ghost", &none)
+	if len(none) != 0 {
+		t.Fatalf("kind filter = %+v", none)
+	}
+	var cross []process.CrossTargetIncident
+	fetch("/anomalies?cross=1", &cross)
+	if len(cross) != 1 || cross[0].Kind != "route-injection" || len(cross[0].Targets) != 2 {
+		t.Fatalf("cross = %+v", cross)
+	}
+}

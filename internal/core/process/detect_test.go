@@ -1,0 +1,462 @@
+package process
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+
+	"repro/internal/addr"
+	"repro/internal/core/tables"
+	"repro/internal/sim"
+)
+
+// detectHarness drives a processor one target cycle at a time with
+// scripted route counts, SA-cache sizes and MBGP RIB sizes.
+type detectHarness struct {
+	p  *Processor
+	at time.Time
+}
+
+func newHarness() *detectHarness {
+	return &detectHarness{p: New(), at: sim.Epoch}
+}
+
+func routeTable(n int) tables.RouteTable {
+	var rt tables.RouteTable
+	for i := 0; i < n; i++ {
+		rt = append(rt, route(addr.PrefixFrom(addr.IP(uint32(i)<<12), 24).String(), 1))
+	}
+	return rt
+}
+
+func saCache(n int) []tables.SAEntry {
+	var sas []tables.SAEntry
+	for i := 0; i < n; i++ {
+		sas = append(sas, tables.SAEntry{
+			Source:   addr.IP(uint32(i) + 1),
+			Group:    addr.V4(224, 9, byte(i/250), byte(i%250)),
+			OriginRP: addr.MustParse("9.9.9.9"),
+		})
+	}
+	return sas
+}
+
+func mbgpRIB(n int) []tables.MBGPEntry {
+	var rib []tables.MBGPEntry
+	for i := 0; i < n; i++ {
+		rib = append(rib, tables.MBGPEntry{
+			Prefix:  addr.PrefixFrom(addr.IP(uint32(i)<<8), 24),
+			NextHop: addr.MustParse("9.9.9.9"),
+		})
+	}
+	return rib
+}
+
+// cycle ingests one snapshot for target with the given table sizes and
+// advances the virtual clock by 30 minutes.
+func (h *detectHarness) cycle(target string, routes, sas, mbgp int) {
+	sn := &tables.Snapshot{
+		Target: target,
+		At:     h.at,
+		Routes: routeTable(routes),
+		SAs:    saCache(sas),
+		MBGP:   mbgpRIB(mbgp),
+	}
+	h.p.Ingest(sn)
+	h.at = h.at.Add(30 * time.Minute)
+}
+
+// gap marks a failed cycle for target and advances the clock.
+func (h *detectHarness) gap(target string) {
+	h.p.MarkGap(target, h.at)
+	h.at = h.at.Add(30 * time.Minute)
+}
+
+func openOfKind(p *Processor, kind string) []Anomaly {
+	var out []Anomaly
+	for _, a := range p.OpenAnomalies() {
+		if a.Kind == kind {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+func TestDetectOnSecondCycle(t *testing.T) {
+	// A single clean baseline point is enough history: a spike on the
+	// very second cycle must fire (regression for the old n<3 guard that
+	// let early-run injections slip past).
+	h := newHarness()
+	h.cycle("fixw", 500, 0, 0)
+	h.cycle("fixw", 1400, 0, 0)
+	an := openOfKind(h.p, KindRouteInjection)
+	if len(an) != 1 {
+		t.Fatalf("second-cycle spike not detected: %+v", h.p.Anomalies())
+	}
+	if an[0].Severity != SeverityCritical {
+		t.Errorf("severity = %q", an[0].Severity)
+	}
+}
+
+func TestNoFirstCycleMisfire(t *testing.T) {
+	// The first point a target ever reports seeds the baseline; however
+	// large, it is not an anomaly — there is nothing to compare against.
+	h := newHarness()
+	h.cycle("fixw", 5000, 400, 300)
+	if got := h.p.Anomalies(); len(got) != 0 {
+		t.Fatalf("first cycle misfired: %+v", got)
+	}
+}
+
+func TestDetectAfterShortGap(t *testing.T) {
+	// One or two missed cycles must not blind the detector: the
+	// pre-gap baseline still anchors the judgement.
+	h := newHarness()
+	for i := 0; i < 6; i++ {
+		h.cycle("fixw", 500, 0, 0)
+	}
+	h.gap("fixw")
+	h.gap("fixw")
+	h.cycle("fixw", 1400, 0, 0)
+	if an := openOfKind(h.p, KindRouteInjection); len(an) != 1 {
+		t.Fatalf("post-gap spike not detected: %+v", h.p.Anomalies())
+	}
+}
+
+func TestNoMisfireAfterLongOutage(t *testing.T) {
+	// After GapResetCycles consecutive misses the world may have
+	// legitimately changed: the first post-outage point seeds a fresh
+	// baseline instead of firing against the stale one.
+	h := newHarness()
+	for i := 0; i < 6; i++ {
+		h.cycle("fixw", 500, 0, 0)
+	}
+	for i := 0; i < DefaultGapResetCycles; i++ {
+		h.gap("fixw")
+	}
+	h.cycle("fixw", 1400, 0, 0)
+	if got := h.p.Anomalies(); len(got) != 0 {
+		t.Fatalf("misfired against stale pre-outage baseline: %+v", got)
+	}
+	// The fresh baseline is live from here: a further spike fires.
+	h.cycle("fixw", 1400, 0, 0)
+	if got := h.p.Anomalies(); len(got) != 0 {
+		t.Fatalf("steady post-outage level misread as anomaly: %+v", got)
+	}
+	h.cycle("fixw", 3500, 0, 0)
+	if an := openOfKind(h.p, KindRouteInjection); len(an) != 1 {
+		t.Fatalf("spike against fresh baseline not detected: %+v", h.p.Anomalies())
+	}
+}
+
+func TestEpisodeLifecycle(t *testing.T) {
+	h := newHarness()
+	for i := 0; i < 8; i++ {
+		h.cycle("fixw", 500, 0, 0)
+	}
+	// Incident holds for four cycles — one anomaly, LastSeen advancing.
+	var firstAt time.Time
+	for i := 0; i < 4; i++ {
+		if i == 0 {
+			firstAt = h.at
+		}
+		h.cycle("fixw", 1400, 0, 0)
+	}
+	an := h.p.Anomalies()
+	if len(an) != 1 {
+		t.Fatalf("anomalies = %+v", an)
+	}
+	if an[0].Resolved {
+		t.Fatal("resolved while incident still raging")
+	}
+	if !an[0].At.Equal(firstAt) {
+		t.Errorf("first seen = %v, want %v", an[0].At, firstAt)
+	}
+	if !an[0].LastSeen.After(an[0].At) {
+		t.Errorf("LastSeen did not advance: %+v", an[0])
+	}
+	// Recovery resolves the episode at the recovery cycle.
+	resolvedAt := h.at
+	h.cycle("fixw", 505, 0, 0)
+	an = h.p.Anomalies()
+	if !an[0].Resolved || !an[0].ResolvedAt.Equal(resolvedAt) {
+		t.Fatalf("not resolved on recovery: %+v", an[0])
+	}
+	if len(h.p.OpenAnomalies()) != 0 {
+		t.Error("open set not emptied")
+	}
+}
+
+func TestFrozenBaselineSurvivesLongIncident(t *testing.T) {
+	// An incident longer than the trailing window would poison a live
+	// baseline; the episode must stay open because resolution compares
+	// against the baseline frozen at detection time.
+	h := newHarness()
+	for i := 0; i < 8; i++ {
+		h.cycle("fixw", 500, 0, 0)
+	}
+	for i := 0; i < h.p.Window+5; i++ {
+		h.cycle("fixw", 1400, 0, 0)
+	}
+	an := h.p.Anomalies()
+	if len(an) != 1 || an[0].Resolved {
+		t.Fatalf("long incident self-resolved: %+v", an)
+	}
+	h.cycle("fixw", 505, 0, 0)
+	if an = h.p.Anomalies(); !an[0].Resolved {
+		t.Fatalf("recovery after long incident not seen: %+v", an[0])
+	}
+}
+
+func TestGapNeverResolves(t *testing.T) {
+	// A router going dark mid-incident is not evidence of recovery.
+	h := newHarness()
+	for i := 0; i < 8; i++ {
+		h.cycle("fixw", 500, 0, 0)
+	}
+	h.cycle("fixw", 1400, 0, 0)
+	for i := 0; i < 10; i++ {
+		h.gap("fixw")
+	}
+	an := h.p.Anomalies()
+	if len(an) != 1 || an[0].Resolved {
+		t.Fatalf("gaps resolved the episode: %+v", an)
+	}
+	// The long outage reset the baseline, but the open episode still
+	// resolves once real data shows recovery against the frozen base.
+	h.cycle("fixw", 505, 0, 0)
+	if an = h.p.Anomalies(); !an[0].Resolved {
+		t.Fatalf("post-outage recovery not seen: %+v", an[0])
+	}
+}
+
+func TestRPLossDetector(t *testing.T) {
+	h := newHarness()
+	for i := 0; i < 6; i++ {
+		h.cycle("rp1", 500, 40, 0)
+	}
+	h.cycle("rp1", 500, 0, 0) // RP dies: SA cache empties instantly
+	an := openOfKind(h.p, KindRPLoss)
+	if len(an) != 1 {
+		t.Fatalf("rp-loss not detected: %+v", h.p.Anomalies())
+	}
+	h.cycle("rp1", 500, 38, 0) // failover repopulates the cache
+	if an = openOfKind(h.p, KindRPLoss); len(an) != 0 {
+		t.Fatalf("rp-loss not resolved after recovery: %+v", an)
+	}
+}
+
+func TestSAStormAndRouteLeakDetectors(t *testing.T) {
+	h := newHarness()
+	for i := 0; i < 6; i++ {
+		h.cycle("rp1", 500, 40, 30)
+	}
+	h.cycle("rp1", 500, 240, 90)
+	if an := openOfKind(h.p, KindSAStorm); len(an) != 1 {
+		t.Fatalf("sa-storm not detected: %+v", h.p.Anomalies())
+	}
+	if an := openOfKind(h.p, KindRouteLeak); len(an) != 1 {
+		t.Fatalf("route-leak not detected: %+v", h.p.Anomalies())
+	}
+}
+
+func TestRouteFlapDetector(t *testing.T) {
+	p := New()
+	at := sim.Epoch
+	ingest := func(rt tables.RouteTable) {
+		p.Ingest(&tables.Snapshot{Target: "fixw", At: at, Routes: rt})
+		at = at.Add(30 * time.Minute)
+	}
+	stable := routeTable(200)
+	flapped := routeTable(260) // 60 prefixes appear, churn 60 each swing
+	for i := 0; i < 6; i++ {
+		ingest(stable)
+	}
+	// Churn must hold >= threshold for Run consecutive cycles; two
+	// swings are not enough, the third opens the episode.
+	ingest(flapped)
+	ingest(stable)
+	if an := openOfKind(p, KindRouteFlap); len(an) != 0 {
+		t.Fatalf("flap fired before sustained run: %+v", an)
+	}
+	ingest(flapped)
+	if an := openOfKind(p, KindRouteFlap); len(an) != 1 {
+		t.Fatalf("sustained flap not detected: %+v", p.Anomalies())
+	}
+	// Calm cycles resolve it.
+	ingest(stable)
+	ingest(stable)
+	if an := openOfKind(p, KindRouteFlap); len(an) != 0 {
+		t.Fatalf("flap not resolved: %+v", an)
+	}
+}
+
+func TestAnomalyRingEviction(t *testing.T) {
+	h := newHarness()
+	h.p.MaxAnomalies = 4
+	// Isolate ring mechanics: one spike detector, one-cycle baseline, so
+	// alternating levels yield exactly one episode per swing (the churn
+	// the alternation causes would otherwise open a flap episode too).
+	h.p.SetDetectors(&SpikeDetector{KindName: KindRouteInjection, Watch: MetricRoutes,
+		Sev: SeverityCritical, Factor: 1.5, MinJump: 200})
+	h.p.Window = 1
+	for i := 0; i < 6; i++ {
+		h.cycle("fixw", 500, 0, 0)
+	}
+	// Ten separate spike episodes, each resolved before the next.
+	for i := 0; i < 10; i++ {
+		h.cycle("fixw", 1400, 0, 0)
+		h.cycle("fixw", 500, 0, 0)
+	}
+	an := h.p.Anomalies()
+	if len(an) != 4 {
+		t.Fatalf("ring size = %d, want 4", len(an))
+	}
+	if got := h.p.AnomaliesEvicted(); got != 6 {
+		t.Errorf("evicted = %d, want 6", got)
+	}
+	for i := 1; i < len(an); i++ {
+		if an[i].ID != an[i-1].ID+1 {
+			t.Fatalf("IDs not consecutive: %+v", an)
+		}
+	}
+	if an[0].ID != 6 {
+		t.Errorf("oldest retained ID = %d, want 6", an[0].ID)
+	}
+	if r := h.p.Rollup(); r.Total != 10 || r.Evicted != 6 {
+		t.Errorf("rollup = %+v", r)
+	}
+}
+
+func TestEvictionDropsOpenEpisode(t *testing.T) {
+	// When an open episode's record falls off the ring, the episode is
+	// abandoned rather than left pointing at a recycled slot.
+	h := newHarness()
+	h.p.MaxAnomalies = 2
+	for i := 0; i < 6; i++ {
+		h.cycle("a", 500, 40, 0)
+	}
+	h.cycle("a", 1400, 0, 0) // opens route-injection AND rp-loss
+	for i := 0; i < 3; i++ { // three more episodes evict both
+		h.cycle("b", 500, 0, 0)
+	}
+	h.cycle("b", 1400, 0, 0)
+	h.cycle("b", 500, 0, 0)
+	h.cycle("b", 1400, 0, 0)
+	h.cycle("b", 500, 0, 0)
+	h.cycle("b", 1400, 0, 0)
+	// Target a's episodes were evicted; new data must not panic and a
+	// fresh spike opens a fresh episode.
+	h.cycle("a", 500, 40, 0)
+	h.cycle("a", 500, 40, 0)
+	if len(h.p.Anomalies()) != 2 {
+		t.Fatalf("ring = %+v", h.p.Anomalies())
+	}
+}
+
+func TestRollupAndCrossTarget(t *testing.T) {
+	h := newHarness()
+	for i := 0; i < 6; i++ {
+		h.cycle("a", 500, 40, 0)
+		h.cycle("b", 600, 35, 0)
+	}
+	h.cycle("a", 1400, 240, 0) // route-injection + sa-storm on a
+	h.cycle("b", 1600, 35, 0)  // route-injection on b
+	r := h.p.Rollup()
+	if r.Open != 3 || r.Total != 3 || r.Resolved != 0 {
+		t.Fatalf("rollup = %+v", r)
+	}
+	if r.Critical != 2 || r.Warning != 1 {
+		t.Errorf("severity counts = %+v", r)
+	}
+	if len(r.ByKind) != 2 || r.ByKind[0].Kind != KindRouteInjection || r.ByKind[1].Kind != KindSAStorm {
+		t.Errorf("by-kind = %+v", r.ByKind)
+	}
+	ct := h.p.CrossTarget()
+	if len(ct) != 1 || ct[0].Kind != KindRouteInjection {
+		t.Fatalf("cross-target = %+v", ct)
+	}
+	if len(ct[0].Targets) != 2 || ct[0].Targets[0] != "a" || ct[0].Targets[1] != "b" {
+		t.Errorf("targets = %v", ct[0].Targets)
+	}
+	if ct[0].Severity != SeverityCritical {
+		t.Errorf("severity = %q", ct[0].Severity)
+	}
+}
+
+func TestSetDetectors(t *testing.T) {
+	p := New()
+	if len(p.Detectors()) != 5 {
+		t.Fatalf("default detectors = %d", len(p.Detectors()))
+	}
+	p.SetDetectors(&SpikeDetector{KindName: "custom", Watch: MetricSessions,
+		Sev: SeverityWarning, Factor: 2, MinJump: 5})
+	if ds := p.Detectors(); len(ds) != 1 || ds[0].Kind() != "custom" {
+		t.Fatalf("detectors = %+v", ds)
+	}
+	at := sim.Epoch
+	mkPairs := func(n int) tables.PairTable {
+		var ps tables.PairTable
+		for i := 0; i < n; i++ {
+			ps = append(ps, pair(addr.V4(1, 1, byte(i/250), byte(i%250+1)).String(),
+				addr.V4(224, 1, byte(i/250), byte(i%250+1)).String(), 1))
+		}
+		return ps
+	}
+	for i := 0; i < 4; i++ {
+		p.Ingest(snapAt(at, mkPairs(10), nil))
+		at = at.Add(30 * time.Minute)
+	}
+	p.Ingest(snapAt(at, mkPairs(40), nil))
+	an := p.Anomalies()
+	if len(an) != 1 || an[0].Kind != "custom" {
+		t.Fatalf("custom detector did not fire: %+v", an)
+	}
+}
+
+func TestDetectorStateRoundTrip(t *testing.T) {
+	// Export/import mid-incident: the restored processor must carry the
+	// open episode (same frozen baseline) and the ID counters, so the
+	// continuation is byte-identical to an uninterrupted run.
+	mk := func() *detectHarness {
+		h := newHarness()
+		for i := 0; i < 6; i++ {
+			h.cycle("fixw", 500, 40, 0)
+		}
+		h.cycle("fixw", 1400, 0, 0) // opens two episodes
+		return h
+	}
+	h1 := mk()
+	h2 := mk()
+
+	// h2 crashes and recovers from its exported state.
+	restored := New()
+	restored.ImportState(h2.p.ExportState())
+	h2.p = restored
+
+	finish := func(h *detectHarness) []byte {
+		h.cycle("fixw", 1400, 0, 0)
+		h.cycle("fixw", 505, 38, 0)
+		b, err := json.Marshal(h.p.Anomalies())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	b1, b2 := finish(h1), finish(h2)
+	if string(b1) != string(b2) {
+		t.Fatalf("restored run diverged:\n%s\n%s", b1, b2)
+	}
+	var an []Anomaly
+	if err := json.Unmarshal(b1, &an); err != nil {
+		t.Fatal(err)
+	}
+	if len(an) != 2 {
+		t.Fatalf("anomalies = %+v", an)
+	}
+	for _, a := range an {
+		if !a.Resolved {
+			t.Errorf("unresolved after recovery: %+v", a)
+		}
+	}
+}

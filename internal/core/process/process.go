@@ -12,7 +12,6 @@
 package process
 
 import (
-	"fmt"
 	"math"
 	"sort"
 	"time"
@@ -40,6 +39,8 @@ const (
 	MetricSenderRatio    Metric = "sender_ratio"    // Fig 6 right
 	MetricRoutes         Metric = "routes"          // Figs 7–9
 	MetricRouteChurn     Metric = "route_churn"     // route stability
+	MetricSACache        Metric = "sa_cache"        // MSDP SA-cache size
+	MetricMBGPRoutes     Metric = "mbgp_routes"     // MBGP RIB size
 )
 
 // AllMetrics lists every series the processor maintains.
@@ -47,6 +48,7 @@ var AllMetrics = []Metric{
 	MetricSessions, MetricParticipants, MetricActiveSessions, MetricSenders,
 	MetricAvgDensity, MetricBandwidthKbps, MetricSavedFactor,
 	MetricActiveRatio, MetricSenderRatio, MetricRoutes, MetricRouteChurn,
+	MetricSACache, MetricMBGPRoutes,
 }
 
 // Series is an x-y time series, the raw material of the output graphs.
@@ -139,14 +141,30 @@ type CycleStats struct {
 	RouteChurn int
 	// SingleMemberSessions counts density-1 sessions (burst analysis).
 	SingleMemberSessions int
+	// SACache is the MSDP SA-cache size (0 at routers that are not RPs);
+	// MBGPRoutes the MBGP RIB size (0 at non-speakers).
+	SACache    int
+	MBGPRoutes int
 }
 
-// Anomaly is a detected routing irregularity.
+// Anomaly is a detected routing irregularity. An anomaly is an episode:
+// it opens when a detector's signature first holds, LastSeen advances
+// while the signature persists, and Resolved/ResolvedAt record the
+// cycle at which the value returned to its pre-incident baseline.
 type Anomaly struct {
-	Target string
-	At     time.Time
-	Kind   string
-	Detail string
+	// ID is a monotonically increasing sequence number assigned at
+	// detection, stable across ring eviction and crash recovery.
+	ID     int       `json:"id"`
+	Target string    `json:"target"`
+	At     time.Time `json:"at"` // first seen
+	Kind   string    `json:"kind"`
+	Detail string    `json:"detail"`
+	// Severity is SeverityWarning or SeverityCritical.
+	Severity string    `json:"severity"`
+	LastSeen time.Time `json:"last_seen"`
+	Resolved bool      `json:"resolved"`
+	// ResolvedAt is zero while the episode is open.
+	ResolvedAt time.Time `json:"resolved_at,omitzero"`
 }
 
 // Processor turns snapshots into series, summaries and anomalies.
@@ -155,30 +173,57 @@ type Processor struct {
 	SenderThresholdKbps float64
 	// SpikeFactor triggers the route-injection detector when the route
 	// count exceeds the trailing mean by this multiple (and SpikeMinJump
-	// absolute routes).
+	// absolute routes). Consumed when the default detector set is built;
+	// use SetDetectors for custom thresholds after construction.
 	SpikeFactor  float64
 	SpikeMinJump int
 	// Window is the trailing window (in cycles) for anomaly baselines.
 	Window int
+	// MaxAnomalies caps the in-memory anomaly ring: the oldest records
+	// are evicted once the cap is reached (AnomaliesEvicted counts
+	// them). 0 means DefaultMaxAnomalies.
+	MaxAnomalies int
+	// GapResetCycles is how many consecutive collection gaps stale a
+	// target's detection baseline: after an outage at least this long,
+	// detection restarts from a fresh window instead of firing against
+	// pre-outage values. 0 means DefaultGapResetCycles.
+	GapResetCycles int
 
 	series    map[string]map[Metric]*Series
 	lastRoute map[string]map[addr.Prefix]bool
+
+	// anomalies is the capped ring, ordered by ID; anomalies[i].ID ==
+	// firstID+i. nextID is the next ID to assign; evicted counts records
+	// dropped off the front.
 	anomalies []Anomaly
-	// inSpike suppresses duplicate anomaly reports during one episode.
-	inSpike map[string]bool
+	firstID   int
+	nextID    int
+	evicted   uint64
+	// open tracks in-progress episodes per target and kind; baseStart
+	// is the series index from which a target's baseline may draw
+	// (advanced past long outages).
+	open      map[string]map[string]openEpisode
+	baseStart map[string]int
+
+	detectors       []Detector
+	customDetectors bool
 }
 
-// New returns a processor with the paper's thresholds.
+// New returns a processor with the paper's thresholds and the default
+// detector set.
 func New() *Processor {
-	return &Processor{
+	p := &Processor{
 		SenderThresholdKbps: DefaultSenderThresholdKbps,
 		SpikeFactor:         1.5,
 		SpikeMinJump:        200,
 		Window:              12,
 		series:              make(map[string]map[Metric]*Series),
 		lastRoute:           make(map[string]map[addr.Prefix]bool),
-		inSpike:             make(map[string]bool),
+		open:                make(map[string]map[string]openEpisode),
+		baseStart:           make(map[string]int),
 	}
+	p.detectors = DefaultDetectors(p.SpikeFactor, p.SpikeMinJump)
+	return p
 }
 
 // Series returns the named series for a target, or nil.
@@ -200,7 +245,9 @@ func (p *Processor) Targets() []string {
 	return out
 }
 
-// Anomalies returns all detected anomalies in detection order.
+// Anomalies returns the retained anomalies sorted by ID — detection
+// order, deterministic across runs. The slice is a copy; records
+// evicted from the capped ring (AnomaliesEvicted) are not included.
 func (p *Processor) Anomalies() []Anomaly {
 	return append([]Anomaly(nil), p.anomalies...)
 }
@@ -230,6 +277,20 @@ func (p *Processor) MarkGap(target string, at time.Time) {
 // Ingest processes one cycle snapshot: computes the cycle statistics,
 // extends every series, and runs anomaly detection.
 func (p *Processor) Ingest(sn *tables.Snapshot) CycleStats {
+	return p.ingest(sn, len(sn.SAs), len(sn.MBGP))
+}
+
+// IngestCounts ingests a snapshot reconstructed from the delta log,
+// which stores the MSDP/MBGP table magnitudes rather than their
+// contents — the archive-recovery replay path. It is identical to
+// Ingest except the two counts are supplied instead of measured, so a
+// replayed cycle extends the sa_cache/mbgp_routes series (and drives
+// the detectors) with exactly the values the original ingest saw.
+func (p *Processor) IngestCounts(sn *tables.Snapshot, saCache, mbgpRoutes int) CycleStats {
+	return p.ingest(sn, saCache, mbgpRoutes)
+}
+
+func (p *Processor) ingest(sn *tables.Snapshot, saCache, mbgpRoutes int) CycleStats {
 	st := CycleStats{Target: sn.Target, At: sn.At}
 
 	sessions := sn.Pairs.Sessions()
@@ -301,6 +362,9 @@ func (p *Processor) Ingest(sn *tables.Snapshot) CycleStats {
 	}
 	p.lastRoute[sn.Target] = cur
 
+	st.SACache = saCache
+	st.MBGPRoutes = mbgpRoutes
+
 	// Extend series.
 	ts := p.seriesFor(sn.Target)
 	ts[MetricSessions].Append(sn.At, float64(st.Sessions))
@@ -322,41 +386,11 @@ func (p *Processor) Ingest(sn *tables.Snapshot) CycleStats {
 	}
 	ts[MetricRoutes].Append(sn.At, float64(st.Routes))
 	ts[MetricRouteChurn].Append(sn.At, float64(st.RouteChurn))
+	ts[MetricSACache].Append(sn.At, float64(st.SACache))
+	ts[MetricMBGPRoutes].Append(sn.At, float64(st.MBGPRoutes))
 
-	p.detectRouteInjection(sn.Target, sn.At, ts[MetricRoutes])
+	p.detect(sn.Target, sn.At, ts)
 	return st
-}
-
-// detectRouteInjection flags step jumps in the route count — the
-// signature of the October 14 1998 unicast-injection incident (Fig 9).
-func (p *Processor) detectRouteInjection(target string, at time.Time, routes *Series) {
-	n := routes.Len()
-	if n < 3 {
-		return
-	}
-	w := p.Window
-	if n-1 < w {
-		w = n - 1
-	}
-	base := 0.0
-	for _, v := range routes.Values[n-1-w : n-1] {
-		base += v
-	}
-	base /= float64(w)
-	cur := routes.Values[n-1]
-	if base > 0 && cur > base*p.SpikeFactor && cur-base > float64(p.SpikeMinJump) {
-		if !p.inSpike[target] {
-			p.inSpike[target] = true
-			p.anomalies = append(p.anomalies, Anomaly{
-				Target: target,
-				At:     at,
-				Kind:   "route-injection",
-				Detail: fmt.Sprintf("route count jumped to %.0f against trailing mean %.0f", cur, base),
-			})
-		}
-		return
-	}
-	p.inSpike[target] = false
 }
 
 // DensityDistribution computes, for one snapshot, the fraction of

@@ -23,11 +23,27 @@ type State struct {
 	SpikeFactor         float64
 	SpikeMinJump        int
 	Window              int
+	MaxAnomalies        int
+	GapResetCycles      int
 
 	Series    map[string]map[Metric]*Series
 	LastRoute map[string]map[addr.Prefix]bool
 	Anomalies []Anomaly
-	InSpike   map[string]bool
+	NextID    int
+	FirstID   int
+	Evicted   uint64
+	Open      []OpenEpisodeState
+	BaseStart map[string]int
+}
+
+// OpenEpisodeState is the exportable form of one in-progress anomaly
+// episode: which ring entry it updates and the baseline frozen at
+// detection time that resolution is judged against.
+type OpenEpisodeState struct {
+	Target string
+	Kind   string
+	ID     int
+	Frozen float64
 }
 
 func copySeries(s *Series) *Series {
@@ -45,10 +61,15 @@ func (p *Processor) ExportState() *State {
 		SpikeFactor:         p.SpikeFactor,
 		SpikeMinJump:        p.SpikeMinJump,
 		Window:              p.Window,
+		MaxAnomalies:        p.MaxAnomalies,
+		GapResetCycles:      p.GapResetCycles,
 		Series:              make(map[string]map[Metric]*Series, len(p.series)),
 		LastRoute:           make(map[string]map[addr.Prefix]bool, len(p.lastRoute)),
 		Anomalies:           append([]Anomaly(nil), p.anomalies...),
-		InSpike:             make(map[string]bool, len(p.inSpike)),
+		NextID:              p.nextID,
+		FirstID:             p.firstID,
+		Evicted:             p.evicted,
+		BaseStart:           make(map[string]int, len(p.baseStart)),
 	}
 	for target, ts := range p.series {
 		cp := make(map[Metric]*Series, len(ts))
@@ -64,9 +85,28 @@ func (p *Processor) ExportState() *State {
 		}
 		st.LastRoute[target] = cp
 	}
-	for target, v := range p.inSpike {
-		st.InSpike[target] = v
+	for target, v := range p.baseStart {
+		st.BaseStart[target] = v
 	}
+	// The open-episode map is exported sorted by target then kind: the
+	// export gob-encodes straight into checkpoints, so map-iteration
+	// order here would make checkpoint bytes differ run to run.
+	for target, eps := range p.open {
+		for kind, ep := range eps {
+			st.Open = append(st.Open, OpenEpisodeState{
+				Target: target,
+				Kind:   kind,
+				ID:     ep.ID,
+				Frozen: ep.Frozen,
+			})
+		}
+	}
+	sort.Slice(st.Open, func(i, j int) bool {
+		if st.Open[i].Target != st.Open[j].Target {
+			return st.Open[i].Target < st.Open[j].Target
+		}
+		return st.Open[i].Kind < st.Open[j].Kind
+	})
 	return st
 }
 
@@ -98,10 +138,29 @@ func (p *Processor) ImportState(st *State) {
 		}
 		p.lastRoute[target] = cp
 	}
+	p.MaxAnomalies = st.MaxAnomalies
+	p.GapResetCycles = st.GapResetCycles
 	p.anomalies = append([]Anomaly(nil), st.Anomalies...)
-	p.inSpike = make(map[string]bool, len(st.InSpike))
-	for target, v := range st.InSpike {
-		p.inSpike[target] = v
+	p.nextID = st.NextID
+	p.firstID = st.FirstID
+	p.evicted = st.Evicted
+	p.baseStart = make(map[string]int, len(st.BaseStart))
+	for target, v := range st.BaseStart {
+		p.baseStart[target] = v
+	}
+	p.open = make(map[string]map[string]openEpisode, len(st.Open))
+	for _, ep := range st.Open {
+		m := p.open[ep.Target]
+		if m == nil {
+			m = make(map[string]openEpisode)
+			p.open[ep.Target] = m
+		}
+		m[ep.Kind] = openEpisode{ID: ep.ID, Frozen: ep.Frozen}
+	}
+	// Detector thresholds travel with the state; rebuild the default set
+	// from them unless the consumer installed a custom set explicitly.
+	if !p.customDetectors {
+		p.detectors = DefaultDetectors(p.SpikeFactor, p.SpikeMinJump)
 	}
 }
 

@@ -1,0 +1,460 @@
+// Scripted protocol-level incidents: the fault library behind the
+// paper's §V anomaly findings. Where the session-fault layer
+// (router.FaultyRouter) degrades *collection*, an Incident degrades the
+// *network itself* — an RP dies, a speaker leaks unicast routes into
+// MBGP, a border flaps prefixes cycle after cycle — so detectors can be
+// exercised end to end, including under simultaneously degraded
+// collection.
+//
+// Incidents are scheduled on the virtual clock (ScheduleScenario), are
+// reversible (End restores the pre-incident configuration), and are
+// deterministic: every address they fabricate is a pure function of the
+// incident parameters, so two same-seed networks running the same
+// scenario stay byte-identical. Scheduler events run at the cycle
+// boundary before the cycle's protocol ticks, so an incident beginning
+// at cycle k is visible in cycle k's collected dumps.
+package netsim
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/addr"
+	"repro/internal/sim"
+	"repro/internal/topo"
+)
+
+// Incident is one scripted, reversible protocol-level fault. Begin
+// applies it, Tick maintains it at each subsequent cycle boundary while
+// active, End reverses it. Incidents carry per-run state (saved
+// peerings, leaked prefixes) and are therefore single-use: build a
+// fresh value per scheduled occurrence.
+type Incident interface {
+	// Name labels the incident's scheduler events.
+	Name() string
+	// Validate checks the incident against the network before it is
+	// scheduled — unknown routers or domains fail here, not mid-run.
+	Validate(n *Network) error
+	Begin(n *Network, now time.Time)
+	Tick(n *Network, now time.Time)
+	End(n *Network, now time.Time)
+}
+
+// ScheduledIncident places one incident on a scenario's cycle timeline.
+type ScheduledIncident struct {
+	Incident Incident
+	// StartCycle is the cycle offset (from scheduling time) at which
+	// Begin fires; DurationCycles how many cycles the incident holds
+	// before End (minimum 1).
+	StartCycle     int
+	DurationCycles int
+}
+
+// Scenario is a named incident script plus the detection contract the
+// chaos proofs hold Mantra to.
+type Scenario struct {
+	Name string
+	// Watch lists the routers whose dumps exhibit the incidents'
+	// signatures — the recommended monitoring set, primary first.
+	Watch []string
+	// DetectKind is the process anomaly kind the scenario must raise
+	// (mirrors the process.Kind* constants).
+	DetectKind string
+	// MaxDetectCycles bounds the cycles from an incident's Begin to the
+	// anomaly opening on the primary watch target (clean collection; a
+	// degraded collector adds one cycle per missed collection).
+	// MaxResolveCycles bounds the cycles from End to the anomaly
+	// resolving — SA-backed incidents drain over the MSDP lifetime.
+	MaxDetectCycles  int
+	MaxResolveCycles int
+	Events           []ScheduledIncident
+}
+
+// ScheduleScenario validates every event and arranges the scenario's
+// begin/tick/end callbacks on the virtual clock, relative to now.
+func (n *Network) ScheduleScenario(sc Scenario) error {
+	for _, ev := range sc.Events {
+		if ev.Incident == nil {
+			return fmt.Errorf("netsim: scenario %q: nil incident", sc.Name)
+		}
+		if err := ev.Incident.Validate(n); err != nil {
+			return fmt.Errorf("netsim: scenario %q: %w", sc.Name, err)
+		}
+	}
+	now := n.Clock.Now()
+	for _, ev := range sc.Events {
+		inc := ev.Incident
+		dur := ev.DurationCycles
+		if dur < 1 {
+			dur = 1
+		}
+		start := now.Add(time.Duration(ev.StartCycle) * n.cfg.Cycle)
+		n.Sched.At(start, inc.Name()+"-begin", func(*sim.Scheduler) {
+			inc.Begin(n, n.Clock.Now())
+		})
+		for i := 1; i < dur; i++ {
+			n.Sched.At(start.Add(time.Duration(i)*n.cfg.Cycle), inc.Name()+"-tick", func(*sim.Scheduler) {
+				inc.Tick(n, n.Clock.Now())
+			})
+		}
+		n.Sched.At(start.Add(time.Duration(dur)*n.cfg.Cycle), inc.Name()+"-end", func(*sim.Scheduler) {
+			inc.End(n, n.Clock.Now())
+		})
+	}
+	return nil
+}
+
+// RPFailure kills a transitioned domain's rendezvous point: the RP
+// leaves the MSDP mesh (its SA cache empties instantly, the shared tree
+// loses its root) and, optionally, a core RP is assigned as interim
+// failover for the domain's sources. End restores the original RP, its
+// peerings, and the domain assignment.
+type RPFailure struct {
+	Domain string
+	// Failover optionally names a core RP that assumes the domain's
+	// source registrations while the RP is down.
+	Failover string
+
+	rp     topo.NodeID
+	peers  []topo.NodeID
+	active bool
+}
+
+func (f *RPFailure) Name() string {
+	if f.Failover != "" {
+		return "rp-failover"
+	}
+	return "rp-failure"
+}
+
+func (f *RPFailure) Validate(n *Network) error {
+	if n.Topo.Domain(f.Domain) == nil {
+		return fmt.Errorf("rp-failure: unknown domain %q", f.Domain)
+	}
+	if f.Failover != "" {
+		r := n.Topo.RouterByName(f.Failover)
+		if r == nil {
+			return fmt.Errorf("rp-failure: unknown failover router %q", f.Failover)
+		}
+		if !n.MSDP.HasRP(r.ID) {
+			return fmt.Errorf("rp-failure: failover router %q is not an MSDP RP", f.Failover)
+		}
+	}
+	return nil
+}
+
+func (f *RPFailure) Begin(n *Network, now time.Time) {
+	rp, ok := n.RPs.For(f.Domain)
+	if !ok || !n.MSDP.HasRP(rp) {
+		return // domain not transitioned yet: nothing to kill
+	}
+	f.rp = rp
+	f.peers = n.MSDP.Peers(rp)
+	f.active = true
+	n.MSDP.RemoveRP(rp)
+	if f.Failover != "" {
+		n.RPs.Assign(f.Domain, n.Topo.RouterByName(f.Failover).ID)
+	}
+}
+
+func (f *RPFailure) Tick(*Network, time.Time) {}
+
+func (f *RPFailure) End(n *Network, now time.Time) {
+	if !f.active {
+		return
+	}
+	f.active = false
+	n.MSDP.EnsureRP(f.rp)
+	for _, p := range f.peers {
+		if n.MSDP.HasRP(p) {
+			n.MSDP.Peer(f.rp, p)
+		}
+	}
+	n.RPs.Assign(f.Domain, f.rp)
+}
+
+// SAStorm floods the MSDP mesh with fabricated (source, group)
+// originations at one RP — the 2001-style storm in which bogus SA state
+// balloons every cache in the mesh. Originations are refreshed each
+// cycle while active; after End the state drains over the SA lifetime.
+type SAStorm struct {
+	Router string // an MSDP RP
+	Count  int
+
+	id topo.NodeID
+}
+
+func (s *SAStorm) Name() string { return "sa-storm" }
+
+func (s *SAStorm) Validate(n *Network) error {
+	r := n.Topo.RouterByName(s.Router)
+	if r == nil {
+		return fmt.Errorf("sa-storm: unknown router %q", s.Router)
+	}
+	s.id = r.ID
+	return nil
+}
+
+// pair returns the i-th fabricated (source, group); a pure function of
+// i so reruns and twin networks originate identical state.
+func (s *SAStorm) pair(i int) (source, group addr.IP) {
+	return addr.V4(199, byte(50+i/250), byte(i%250), 9),
+		addr.V4(239, 200, byte(i/250), byte(i%250))
+}
+
+func (s *SAStorm) originate(n *Network, now time.Time) {
+	if !n.MSDP.HasRP(s.id) {
+		return
+	}
+	for i := 0; i < s.Count; i++ {
+		src, grp := s.pair(i)
+		n.MSDP.Originate(s.id, src, grp, now)
+	}
+}
+
+func (s *SAStorm) Begin(n *Network, now time.Time) { s.originate(n, now) }
+func (s *SAStorm) Tick(n *Network, now time.Time)  { s.originate(n, now) }
+
+func (s *SAStorm) End(n *Network, now time.Time) {
+	for i := 0; i < s.Count; i++ {
+		src, grp := s.pair(i)
+		n.MSDP.StopOriginating(s.id, src, grp)
+	}
+}
+
+// RouteLeak originates a block of foreign unicast prefixes at an MBGP
+// speaker — a full-table leak in miniature, flooding every RIB in the
+// mesh within a cycle. End withdraws the block.
+type RouteLeak struct {
+	Speaker string
+	Count   int
+
+	id     topo.NodeID
+	leaked []addr.Prefix
+}
+
+func (l *RouteLeak) Name() string { return "route-leak" }
+
+func (l *RouteLeak) Validate(n *Network) error {
+	r := n.Topo.RouterByName(l.Speaker)
+	if r == nil {
+		return fmt.Errorf("route-leak: unknown router %q", l.Speaker)
+	}
+	l.id = r.ID
+	return nil
+}
+
+func (l *RouteLeak) Begin(n *Network, now time.Time) {
+	if !n.MBGP.HasSpeaker(l.id) {
+		return
+	}
+	base := addr.MustParse("66.0.0.0")
+	l.leaked = l.leaked[:0]
+	for i := 0; i < l.Count; i++ {
+		l.leaked = append(l.leaked, addr.PrefixFrom(base+addr.IP(i<<8), 24))
+	}
+	n.MBGP.Originate(l.id, now, l.leaked...)
+}
+
+func (l *RouteLeak) Tick(*Network, time.Time) {}
+
+func (l *RouteLeak) End(n *Network, now time.Time) {
+	if len(l.leaked) > 0 {
+		n.MBGP.Withdraw(l.id, now, l.leaked...)
+	}
+}
+
+// UnicastInjection reproduces the October 14 1998 Abilene incident:
+// unicast prefixes leak into a router's DVMRP table and propagate
+// through the cloud until withdrawn.
+type UnicastInjection struct {
+	Router string
+	Count  int
+
+	id     topo.NodeID
+	leaked []addr.Prefix
+}
+
+func (u *UnicastInjection) Name() string { return "unicast-injection" }
+
+func (u *UnicastInjection) Validate(n *Network) error {
+	r := n.Topo.RouterByName(u.Router)
+	if r == nil {
+		return fmt.Errorf("unicast-injection: unknown router %q", u.Router)
+	}
+	u.id = r.ID
+	return nil
+}
+
+func (u *UnicastInjection) Begin(n *Network, now time.Time) {
+	base := addr.MustParse("24.0.0.0")
+	u.leaked = u.leaked[:0]
+	for i := 0; i < u.Count; i++ {
+		u.leaked = append(u.leaked, addr.PrefixFrom(base+addr.IP(i<<8), 24))
+	}
+	n.DVMRP.Originate(u.id, now, 1, u.leaked...)
+}
+
+func (u *UnicastInjection) Tick(*Network, time.Time) {}
+
+func (u *UnicastInjection) End(n *Network, now time.Time) {
+	if len(u.leaked) > 0 {
+		n.DVMRP.Withdraw(u.id, now, u.leaked...)
+	}
+}
+
+// PruneStorm flaps a block of prefixes at a DVMRP router every cycle —
+// present one cycle, withdrawn the next — the route-churn signature of
+// a prune/graft storm. End withdraws whatever phase left behind.
+type PruneStorm struct {
+	Router string
+	Count  int
+
+	id       topo.NodeID
+	prefixes []addr.Prefix
+	present  bool
+}
+
+func (p *PruneStorm) Name() string { return "prune-storm" }
+
+func (p *PruneStorm) Validate(n *Network) error {
+	r := n.Topo.RouterByName(p.Router)
+	if r == nil {
+		return fmt.Errorf("prune-storm: unknown router %q", p.Router)
+	}
+	p.id = r.ID
+	return nil
+}
+
+func (p *PruneStorm) Begin(n *Network, now time.Time) {
+	base := addr.MustParse("39.0.0.0")
+	p.prefixes = p.prefixes[:0]
+	for i := 0; i < p.Count; i++ {
+		p.prefixes = append(p.prefixes, addr.PrefixFrom(base+addr.IP(i<<8), 24))
+	}
+	n.DVMRP.Originate(p.id, now, 1, p.prefixes...)
+	p.present = true
+}
+
+func (p *PruneStorm) Tick(n *Network, now time.Time) {
+	if p.present {
+		n.DVMRP.Withdraw(p.id, now, p.prefixes...)
+	} else {
+		n.DVMRP.Originate(p.id, now, 1, p.prefixes...)
+	}
+	p.present = !p.present
+}
+
+func (p *PruneStorm) End(n *Network, now time.Time) {
+	if p.present {
+		n.DVMRP.Withdraw(p.id, now, p.prefixes...)
+		p.present = false
+	}
+}
+
+// libraryBuilders maps scenario names to constructors against the
+// paper's internet topology (BuildInternet names). The rp-failure,
+// rp-failover, sa-storm and route-leak scenarios assume dom00 has
+// transitioned to native sparse mode (making fixw a border RP/speaker
+// and dom00-gw the domain RP) before the scenario begins.
+var libraryBuilders = map[string]func(start, duration int) Scenario{
+	"rp-failure": func(start, duration int) Scenario {
+		return Scenario{
+			Name:             "rp-failure",
+			Watch:            []string{"dom00-gw"},
+			DetectKind:       "rp-loss",
+			MaxDetectCycles:  2,
+			MaxResolveCycles: 3,
+			Events: []ScheduledIncident{{
+				Incident:   &RPFailure{Domain: "dom00"},
+				StartCycle: start, DurationCycles: duration,
+			}},
+		}
+	},
+	"rp-failover": func(start, duration int) Scenario {
+		return Scenario{
+			Name:             "rp-failover",
+			Watch:            []string{"dom00-gw"},
+			DetectKind:       "rp-loss",
+			MaxDetectCycles:  2,
+			MaxResolveCycles: 3,
+			Events: []ScheduledIncident{{
+				Incident:   &RPFailure{Domain: "dom00", Failover: "nexch1"},
+				StartCycle: start, DurationCycles: duration,
+			}},
+		}
+	},
+	"sa-storm": func(start, duration int) Scenario {
+		return Scenario{
+			Name:             "sa-storm",
+			Watch:            []string{"fixw", "dom00-gw"},
+			DetectKind:       "sa-storm",
+			MaxDetectCycles:  2,
+			MaxResolveCycles: 5, // drains over the 3-cycle SA lifetime
+			Events: []ScheduledIncident{{
+				Incident:   &SAStorm{Router: "fixw", Count: 200},
+				StartCycle: start, DurationCycles: duration,
+			}},
+		}
+	},
+	"route-leak": func(start, duration int) Scenario {
+		return Scenario{
+			Name:             "route-leak",
+			Watch:            []string{"fixw", "dom00-gw"},
+			DetectKind:       "route-leak",
+			MaxDetectCycles:  2,
+			MaxResolveCycles: 2,
+			Events: []ScheduledIncident{{
+				Incident:   &RouteLeak{Speaker: "fixw", Count: 400},
+				StartCycle: start, DurationCycles: duration,
+			}},
+		}
+	},
+	"unicast-injection": func(start, duration int) Scenario {
+		return Scenario{
+			Name:             "unicast-injection",
+			Watch:            []string{"ucsb-r1", "fixw"},
+			DetectKind:       "route-injection",
+			MaxDetectCycles:  2,
+			MaxResolveCycles: 2,
+			Events: []ScheduledIncident{{
+				Incident:   &UnicastInjection{Router: "ucsb-gw", Count: 3000},
+				StartCycle: start, DurationCycles: duration,
+			}},
+		}
+	},
+	"prune-storm": func(start, duration int) Scenario {
+		return Scenario{
+			Name:             "prune-storm",
+			Watch:            []string{"ucsb-r1", "fixw"},
+			DetectKind:       "route-flap",
+			MaxDetectCycles:  4, // churn must sustain 3 consecutive cycles
+			MaxResolveCycles: 2,
+			Events: []ScheduledIncident{{
+				Incident:   &PruneStorm{Router: "ucsb-gw", Count: 120},
+				StartCycle: start, DurationCycles: duration,
+			}},
+		}
+	},
+}
+
+// LibraryScenarios lists the built-in scenario names, sorted.
+func LibraryScenarios() []string {
+	out := make([]string, 0, len(libraryBuilders))
+	for name := range libraryBuilders {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// LibraryScenario builds a built-in scenario beginning start cycles
+// from scheduling time and holding for duration cycles.
+func LibraryScenario(name string, start, duration int) (Scenario, error) {
+	b, ok := libraryBuilders[name]
+	if !ok {
+		return Scenario{}, fmt.Errorf("netsim: unknown scenario %q (have %v)", name, LibraryScenarios())
+	}
+	return b(start, duration), nil
+}

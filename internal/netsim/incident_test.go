@@ -1,0 +1,263 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/topo"
+	"repro/internal/workload"
+)
+
+// buildIncidentNet constructs a small internet with dom00 transitioned
+// to native sparse mode — the precondition of the RP/MSDP/MBGP library
+// scenarios — and a few warmup cycles behind it.
+func buildIncidentNet(t *testing.T) *Network {
+	t.Helper()
+	tcfg := topo.DefaultInternetConfig()
+	tcfg.NumDomains = 4
+	inet := topo.BuildInternet(tcfg)
+	wl := workload.New(workload.DefaultConfig(), inet.Topo)
+	cfg := DefaultConfig()
+	// Deterministic background: the chaos proofs script their own faults.
+	cfg.FlapPerDomainPerCycle = 0
+	cfg.RestartPerCycle = 0
+	n := New(inet, wl, cfg)
+	if err := n.Track("fixw", "ucsb-r1", "dom00-gw"); err != nil {
+		t.Fatal(err)
+	}
+	steps(n, 2)
+	n.TransitionDomain("dom00")
+	steps(n, 6)
+	return n
+}
+
+func TestRPFailureReversible(t *testing.T) {
+	n := buildIncidentNet(t)
+	rp, ok := n.RPs.For("dom00")
+	if !ok {
+		t.Fatal("dom00 has no RP")
+	}
+	prePeers := n.MSDP.Peers(rp)
+	if len(prePeers) == 0 {
+		t.Fatal("RP has no peers to save")
+	}
+	if n.MSDP.CacheSize(rp) == 0 {
+		t.Fatal("RP cache empty before failure")
+	}
+
+	inc := &RPFailure{Domain: "dom00"}
+	if err := inc.Validate(n); err != nil {
+		t.Fatal(err)
+	}
+	inc.Begin(n, n.Now())
+	steps(n, 2)
+	if n.MSDP.HasRP(rp) {
+		t.Fatal("RP still in mesh after failure")
+	}
+	if n.MSDP.CacheSize(rp) != 0 {
+		t.Error("dead RP still holds SA cache")
+	}
+
+	inc.End(n, n.Now())
+	steps(n, 2)
+	if !n.MSDP.HasRP(rp) {
+		t.Fatal("RP not restored")
+	}
+	if got := n.MSDP.Peers(rp); len(got) != len(prePeers) {
+		t.Errorf("peers after restore = %v, want %v", got, prePeers)
+	}
+	if back, ok := n.RPs.For("dom00"); !ok || back != rp {
+		t.Error("RP assignment not restored")
+	}
+	if n.MSDP.CacheSize(rp) == 0 {
+		t.Error("restored RP cache did not repopulate")
+	}
+}
+
+func TestRPFailoverReassignsSources(t *testing.T) {
+	n := buildIncidentNet(t)
+	rp, _ := n.RPs.For("dom00")
+	inc := &RPFailure{Domain: "dom00", Failover: "nexch1"}
+	if err := inc.Validate(n); err != nil {
+		t.Fatal(err)
+	}
+	inc.Begin(n, n.Now())
+	nexch1 := n.Topo.RouterByName("nexch1").ID
+	if got, _ := n.RPs.For("dom00"); got != nexch1 {
+		t.Fatalf("failover RP = %v, want nexch1", got)
+	}
+	steps(n, 2)
+	inc.End(n, n.Now())
+	if got, _ := n.RPs.For("dom00"); got != rp {
+		t.Error("original RP not reinstated")
+	}
+}
+
+func TestSAStormBalloonsAndDrains(t *testing.T) {
+	n := buildIncidentNet(t)
+	fixw := n.Inet.FIXW.ID
+	dom00 := n.Topo.Domain("dom00").Border()
+	// Count only the storm's fabricated entries (sources in 199/8): the
+	// background workload churns a few real SAs per cycle.
+	stormSAs := func(rp topo.NodeID) int {
+		count := 0
+		for _, e := range n.MSDP.Cache(rp) {
+			if byte(e.Source>>24) == 199 {
+				count++
+			}
+		}
+		return count
+	}
+
+	inc := &SAStorm{Router: "fixw", Count: 200}
+	if err := inc.Validate(n); err != nil {
+		t.Fatal(err)
+	}
+	inc.Begin(n, n.Now())
+	n.Step()
+	// The storm floods mesh-wide within a cycle: visible at the origin
+	// AND at the transitioned domain's RP (the cross-target signature).
+	if got := stormSAs(fixw); got != 200 {
+		t.Errorf("fixw storm SAs = %d, want 200", got)
+	}
+	if got := stormSAs(dom00); got != 200 {
+		t.Errorf("dom00-gw storm SAs = %d, want 200", got)
+	}
+
+	inc.End(n, n.Now())
+	steps(n, 5) // SA lifetime is 3 cycles
+	if got := stormSAs(fixw); got != 0 {
+		t.Errorf("storm state did not drain: %d", got)
+	}
+}
+
+func TestRouteLeakFloodsMesh(t *testing.T) {
+	n := buildIncidentNet(t)
+	fixw := n.Inet.FIXW.ID
+	dom00 := n.Topo.Domain("dom00").Border()
+	preFixw := n.MBGP.RouteCount(fixw)
+	preDom := n.MBGP.RouteCount(dom00)
+
+	inc := &RouteLeak{Speaker: "fixw", Count: 400}
+	if err := inc.Validate(n); err != nil {
+		t.Fatal(err)
+	}
+	inc.Begin(n, n.Now())
+	n.Step()
+	if got := n.MBGP.RouteCount(fixw); got < preFixw+400 {
+		t.Errorf("fixw RIB = %d, want >= %d", got, preFixw+400)
+	}
+	if got := n.MBGP.RouteCount(dom00); got < preDom+400 {
+		t.Errorf("dom00-gw RIB = %d, want >= %d", got, preDom+400)
+	}
+
+	inc.End(n, n.Now())
+	steps(n, 2)
+	if got := n.MBGP.RouteCount(fixw); got != preFixw {
+		t.Errorf("RIB after withdraw = %d, want %d", got, preFixw)
+	}
+}
+
+func TestPruneStormFlapsEveryCycle(t *testing.T) {
+	n := buildIncidentNet(t)
+	ucsb := n.Topo.RouterByName("ucsb-r1").ID
+	base := n.DVMRP.RouteCount(ucsb)
+
+	inc := &PruneStorm{Router: "ucsb-gw", Count: 120}
+	if err := inc.Validate(n); err != nil {
+		t.Fatal(err)
+	}
+	inc.Begin(n, n.Now())
+	n.Step()
+	if got := n.DVMRP.RouteCount(ucsb); got < base+120 {
+		t.Fatalf("flapped prefixes not visible: %d", got)
+	}
+	inc.Tick(n, n.Now())
+	n.Step()
+	if got := n.DVMRP.RouteCount(ucsb); got >= base+120 {
+		t.Fatalf("withdraw phase did not land: %d", got)
+	}
+	inc.Tick(n, n.Now())
+	n.Step()
+	if got := n.DVMRP.RouteCount(ucsb); got < base+120 {
+		t.Fatalf("restore phase did not land: %d", got)
+	}
+	inc.End(n, n.Now())
+	n.Step()
+	if got := n.DVMRP.RouteCount(ucsb); got != base {
+		t.Errorf("routes after end = %d, want %d", got, base)
+	}
+}
+
+func TestScheduleScenarioLibrary(t *testing.T) {
+	n := buildIncidentNet(t)
+	for _, name := range LibraryScenarios() {
+		sc, err := LibraryScenario(name, 1, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sc.DetectKind == "" || len(sc.Watch) == 0 || sc.MaxDetectCycles <= 0 {
+			t.Errorf("%s: incomplete detection contract: %+v", name, sc)
+		}
+		for _, w := range sc.Watch {
+			if n.Topo.RouterByName(w) == nil {
+				t.Errorf("%s: watch router %q missing from topology", name, w)
+			}
+		}
+	}
+	sc, err := LibraryScenario("unicast-injection", 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.ScheduleScenario(sc); err != nil {
+		t.Fatal(err)
+	}
+	ucsb := n.Topo.RouterByName("ucsb-r1").ID
+	base := n.DVMRP.RouteCount(ucsb)
+	steps(n, 2) // cycle 1: begin fires, injection visible
+	if got := n.DVMRP.RouteCount(ucsb); got < base+3000 {
+		t.Fatalf("scenario injection not visible: %d vs base %d", got, base)
+	}
+	steps(n, 2) // end fires, withdraw converges
+	if got := n.DVMRP.RouteCount(ucsb); got >= base+3000 {
+		t.Fatalf("scenario did not end: %d", got)
+	}
+	if _, err := LibraryScenario("no-such", 0, 1); err == nil {
+		t.Error("unknown scenario accepted")
+	}
+}
+
+func TestScheduleScenarioValidates(t *testing.T) {
+	n := buildIncidentNet(t)
+	err := n.ScheduleScenario(Scenario{
+		Name: "bad",
+		Events: []ScheduledIncident{{
+			Incident: &UnicastInjection{Router: "nope", Count: 10},
+		}},
+	})
+	if err == nil {
+		t.Fatal("unknown router accepted")
+	}
+}
+
+func TestIncidentDeterminism(t *testing.T) {
+	// Two same-seed networks running the same scenario stay identical.
+	run := func() (int, int, time.Time) {
+		n := buildIncidentNet(t)
+		sc, err := LibraryScenario("sa-storm", 1, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := n.ScheduleScenario(sc); err != nil {
+			t.Fatal(err)
+		}
+		steps(n, 6)
+		fixw := n.Inet.FIXW.ID
+		return n.MSDP.CacheSize(fixw), n.DVMRP.RouteCount(n.Inet.FIXW.ID), n.Now()
+	}
+	c1, r1, t1 := run()
+	c2, r2, t2 := run()
+	if c1 != c2 || r1 != r2 || !t1.Equal(t2) {
+		t.Errorf("runs diverged: (%d,%d,%v) vs (%d,%d,%v)", c1, r1, t1, c2, r2, t2)
+	}
+}

@@ -321,22 +321,18 @@ func (n *Network) ScheduleTransition(name string, at time.Time) {
 }
 
 // InjectUnicastRoutes reproduces the October 14 1998 incident: unicast
-// prefixes leak into a router's DVMRP table for the given duration.
+// prefixes leak into a router's DVMRP table for the given duration. It
+// is the time-based form of scheduling a UnicastInjection incident.
 func (n *Network) InjectUnicastRoutes(routerName string, count int, at time.Time, d time.Duration) error {
-	r := n.Topo.RouterByName(routerName)
-	if r == nil {
-		return fmt.Errorf("netsim: unknown router %q", routerName)
-	}
-	var leaked []addr.Prefix
-	base := addr.MustParse("24.0.0.0")
-	for i := 0; i < count; i++ {
-		leaked = append(leaked, addr.PrefixFrom(base+addr.IP(i<<8), 24))
+	inc := &UnicastInjection{Router: routerName, Count: count}
+	if err := inc.Validate(n); err != nil {
+		return fmt.Errorf("netsim: %w", err)
 	}
 	n.Sched.At(at, "unicast-injection", func(*sim.Scheduler) {
-		n.DVMRP.Originate(r.ID, n.Clock.Now(), 1, leaked...)
+		inc.Begin(n, n.Clock.Now())
 	})
 	n.Sched.At(at.Add(d), "unicast-injection-clear", func(*sim.Scheduler) {
-		n.DVMRP.Withdraw(r.ID, n.Clock.Now(), leaked...)
+		inc.End(n, n.Clock.Now())
 	})
 	return nil
 }

@@ -61,13 +61,27 @@ const (
 	MetricSenderRatio    = process.MetricSenderRatio
 	MetricRoutes         = process.MetricRoutes
 	MetricRouteChurn     = process.MetricRouteChurn
+	MetricSACache        = process.MetricSACache
+	MetricMBGPRoutes     = process.MetricMBGPRoutes
 )
 
 // CycleStats is one cycle's computed statistics for one target.
 type CycleStats = process.CycleStats
 
-// Anomaly is a detected routing irregularity.
+// Anomaly is a detected routing irregularity — an episode with
+// first-seen/last-seen times, severity, and resolved state.
 type Anomaly = process.Anomaly
+
+// Detector is the pluggable incident-signature interface the processor
+// runs after each ingest; see Monitor.Processor().SetDetectors.
+type Detector = process.Detector
+
+// AnomalyRollup is the aggregate anomaly view served under /health.
+type AnomalyRollup = process.AnomalyRollup
+
+// CrossTargetIncident is one anomaly kind open at two or more targets
+// at once; served at /anomalies?cross=1.
+type CrossTargetIncident = process.CrossTargetIncident
 
 // Monitor is a running Mantra instance.
 type Monitor struct {
@@ -109,7 +123,7 @@ func New() *Monitor {
 		collector: collect.NewCollector(collect.DefaultPolicy()),
 	}
 	m.engine = engine.New(m.engineStages(), nil)
-	m.server.SetHealth(func() any { return m.Health() })
+	m.server.SetHealth(func() any { return m.HealthView() })
 	m.server.SetStats(func() any { return m.EngineStats() })
 	return m
 }
@@ -192,10 +206,34 @@ func (m *Monitor) Latest(target string) *tables.Snapshot {
 	return m.engine.Latest(target)
 }
 
-// Anomalies returns the anomalies detected so far.
+// Anomalies returns the retained anomalies in detection order; the ring
+// is capped (SetMaxAnomalies) and AnomalyRollup counts evictions.
 func (m *Monitor) Anomalies() []Anomaly {
 	return m.proc.Anomalies()
 }
+
+// OpenAnomalies returns the currently unresolved anomalies in detection
+// order.
+func (m *Monitor) OpenAnomalies() []Anomaly {
+	return m.proc.OpenAnomalies()
+}
+
+// AnomalyRollup returns the aggregate anomaly counts — the rollup
+// served under /health alongside per-target collection health.
+func (m *Monitor) AnomalyRollup() AnomalyRollup {
+	return m.proc.Rollup()
+}
+
+// CrossTargetIncidents correlates open anomalies across targets: kinds
+// currently open at two or more routers at once.
+func (m *Monitor) CrossTargetIncidents() []CrossTargetIncident {
+	return m.proc.CrossTarget()
+}
+
+// SetMaxAnomalies caps the in-memory anomaly ring (0 restores the
+// default, process.DefaultMaxAnomalies). Evicted records are counted in
+// the rollup.
+func (m *Monitor) SetMaxAnomalies(n int) { m.proc.MaxAnomalies = n }
 
 // Processor exposes the underlying data processor for advanced analysis
 // (distribution computations, custom thresholds).

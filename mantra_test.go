@@ -215,15 +215,18 @@ func TestMonitorHealthEndpoint(t *testing.T) {
 	if resp.StatusCode != 200 {
 		t.Fatalf("/health -> %d", resp.StatusCode)
 	}
-	var health []mantra.TargetHealth
+	var health mantra.HealthView
 	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
 		t.Fatal(err)
 	}
-	if len(health) != 2 {
-		t.Fatalf("health = %d targets, want 2", len(health))
+	if len(health.Targets) != 2 {
+		t.Fatalf("health = %d targets, want 2", len(health.Targets))
 	}
-	if h := health[0]; h.Target != "fixw" || h.Breaker != collect.BreakerClosed || h.TotalCycles != 1 {
+	if h := health.Targets[0]; h.Target != "fixw" || h.Breaker != collect.BreakerClosed || h.TotalCycles != 1 {
 		t.Errorf("fixw health = %+v", h)
+	}
+	if health.Anomalies.Total != 0 || health.Anomalies.Open != 0 {
+		t.Errorf("anomaly rollup = %+v", health.Anomalies)
 	}
 }
 

@@ -49,9 +49,20 @@ func (m *Monitor) ResetCollectState() {
 	m.collector = collect.NewCollector(m.collector.Policy())
 }
 
+// HealthView is the combined health object served over HTTP at /health:
+// per-target collection health plus the anomaly rollup.
+type HealthView struct {
+	Targets   []TargetHealth `json:"targets"`
+	Anomalies AnomalyRollup  `json:"anomalies"`
+}
+
+// HealthView returns the combined health object served at /health.
+func (m *Monitor) HealthView() HealthView {
+	return HealthView{Targets: m.Health(), Anomalies: m.proc.Rollup()}
+}
+
 // Health returns every registered target's collection health, in
-// registration order, including targets not yet collected. This is the
-// view served over HTTP at /health.
+// registration order, including targets not yet collected.
 func (m *Monitor) Health() []TargetHealth {
 	out := make([]TargetHealth, 0, len(m.targets))
 	for _, t := range m.targets {
