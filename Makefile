@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build vet fmt-check mantralint lint lint-json lint-sarif test race bench bench-collect bench-archive bench-engine bench-detect bench-smoke bench-json fuzz chaos figures check
+.PHONY: build vet fmt-check mantralint lint lint-json lint-sarif test race bench bench-collect bench-archive bench-engine bench-detect bench-scale bench-smoke bench-json fuzz chaos chaos-shard figures check
 
 build:
 	$(GO) build ./...
@@ -93,6 +93,20 @@ chaos:
 bench-detect:
 	$(GO) test -run '^$$' -bench 'BenchmarkDetectLatency' -benchtime 1x . | $(GO) run ./cmd/benchjson -out BENCH_detect.json
 	@echo "wrote BENCH_detect.json"
+
+# The sharded-collection scale benchmark, captured as timestamp-free
+# JSON: one supervised fleet cycle over a ~5k-router topology at 1, 4
+# and 16 shards.
+bench-scale:
+	$(GO) test -run '^$$' -bench 'BenchmarkScaleCycle' -benchtime 1x . | $(GO) run ./cmd/benchjson -out BENCH_scale.json
+	@echo "wrote BENCH_scale.json"
+
+# The shard-supervisor chaos proofs under the race detector: worker
+# kills during active incidents (no lost detections, no duplicate or
+# out-of-order WAL frames) and fleet-output byte-identity at 1/4/16
+# shards.
+chaos-shard:
+	$(GO) test -race -shuffle=on -run 'TestChaosShard' -v .
 
 figures:
 	$(GO) run ./cmd/figures -scale quick -out out

@@ -102,6 +102,80 @@ func TestMergeSnapshotsOrderIndependent(t *testing.T) {
 	}
 }
 
+// TestMergeSnapshotsHandoffRace: during a shard handoff the dying
+// worker's last snapshot of a target and the new owner's fresh one can
+// reach the fan-in in the same merge. The newest sequence (latest At)
+// must win outright — a withdrawn pair or route from the stale snapshot
+// must not reappear in the aggregate — and the result must stay
+// order-independent.
+func TestMergeSnapshotsHandoffRace(t *testing.T) {
+	src := addr.MustParse("1.1.1.1")
+	gone := addr.MustParse("9.9.9.9")
+	grp := addr.MustParse("224.1.1.1")
+	stale := &tables.Snapshot{Target: "fixw", At: sim.Epoch, Pairs: tables.PairTable{
+		{Source: src, Group: grp, RateKbps: 64, Packets: 100, Uptime: time.Hour},
+		// Withdrawn by the time the new owner collects: must not survive.
+		{Source: gone, Group: grp, RateKbps: 8, Packets: 10, Uptime: time.Minute},
+	}, Routes: tables.RouteTable{
+		{Prefix: addr.MustParsePrefix("10.0.0.0/8"), Metric: 1},
+		{Prefix: addr.MustParsePrefix("99.0.0.0/8"), Metric: 1},
+	}}
+	fresh := &tables.Snapshot{Target: "fixw", At: sim.Epoch.Add(time.Second), Pairs: tables.PairTable{
+		{Source: src, Group: grp, RateKbps: 32, Packets: 150, Uptime: time.Hour + time.Second},
+	}, Routes: tables.RouteTable{
+		{Prefix: addr.MustParsePrefix("10.0.0.0/8"), Metric: 3},
+	}}
+	other := &tables.Snapshot{Target: "ucsb-r1", At: sim.Epoch, Pairs: tables.PairTable{
+		{Source: src, Group: grp, RateKbps: 16, Packets: 50, Uptime: 30 * time.Minute},
+	}}
+	ref := mantra.MergeSnapshots("fleet", sim.Epoch.Add(time.Second), stale, fresh, other)
+	if len(ref.Pairs) != 1 {
+		t.Fatalf("pairs = %d, want 1 (stale 9.9.9.9 pair must not survive handoff)", len(ref.Pairs))
+	}
+	p := ref.Pairs[0]
+	if p.Packets != 150 || p.Uptime != time.Hour+time.Second {
+		t.Errorf("merged pair = %+v, want fresh fixw observation to dominate", p)
+	}
+	if p.RateKbps != 32 {
+		t.Errorf("rate = %v: stale fixw snapshot leaked into the field-wise max", p.RateKbps)
+	}
+	if len(ref.Routes) != 1 {
+		t.Fatalf("routes = %d, want 1 (stale 99/8 must not survive)", len(ref.Routes))
+	}
+	if ref.Routes[0].Metric != 3 {
+		t.Errorf("route metric = %d, want the fresh snapshot's 3, not the stale 1", ref.Routes[0].Metric)
+	}
+
+	// Order independence holds with duplicates in play.
+	snaps := []*tables.Snapshot{stale, fresh, other, nil}
+	perm := []int{0, 1, 2, 3}
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 40; trial++ {
+		rng.Shuffle(len(perm), func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+		shuffled := make([]*tables.Snapshot, len(snaps))
+		for i, pi := range perm {
+			shuffled[i] = snaps[pi]
+		}
+		got := mantra.MergeSnapshots("fleet", sim.Epoch.Add(time.Second), shuffled...)
+		if !reflect.DeepEqual(ref, got) {
+			t.Fatalf("handoff-race merge depends on input order (perm %v):\nref: %+v\ngot: %+v", perm, ref, got)
+		}
+	}
+
+	// Equal At (no real race — e.g. the engine's own aggregate fed back)
+	// falls through to the commutative entry-level merge.
+	tie := &tables.Snapshot{Target: "fixw", At: sim.Epoch, Pairs: tables.PairTable{
+		{Source: src, Group: grp, RateKbps: 80, Packets: 90, Uptime: time.Hour},
+	}}
+	both := mantra.MergeSnapshots("fleet", sim.Epoch, stale, tie)
+	if len(both.Pairs) != 2 {
+		t.Fatalf("equal-At pairs = %d, want 2 (entry-level merge)", len(both.Pairs))
+	}
+	if both.Pairs[0].RateKbps != 80 {
+		t.Errorf("equal-At merge rate = %v, want field-wise max 80", both.Pairs[0].RateKbps)
+	}
+}
+
 func TestConcurrentCollectionWithAggregation(t *testing.T) {
 	n, m := newMonitoredNetwork(t)
 	m.EnableAggregation()

@@ -29,8 +29,20 @@
 // resolve, and served with full episode state at /anomalies;
 // -max-anomalies caps the retained episode ring.
 //
+// With -shards N (N > 1), collection runs through the fault-tolerant
+// shard supervisor instead of the single monitor: targets are
+// consistent-hash-assigned across N supervised shard workers, each with
+// its own WAL under -data-dir/shard-NN, and the merged fleet view is
+// what the HTTP endpoints serve. A shard that crashes or stops
+// heartbeating (-shard-heartbeat, measured in cycle time) is declared
+// dead at the next cycle boundary; its targets hand off to the
+// survivors with their health ledger, breaker state and open anomaly
+// episodes intact, and the shard restarts under bounded backoff.
+// Per-shard liveness, assignment and handoff counts are served at
+// /shards.
+//
 // Endpoints: /  /series/<target>/<metric>  /graph/<target>/<metric>
-// /tables/<name>  /anomalies  /health  /archive  /stats
+// /tables/<name>  /anomalies  /health  /archive  /stats  /shards
 package main
 
 import (
@@ -44,6 +56,9 @@ import (
 
 	mantra "repro"
 	"repro/internal/core/collect"
+	"repro/internal/core/output"
+	"repro/internal/core/process"
+	"repro/internal/core/shard"
 )
 
 type targetFlags []string
@@ -76,10 +91,38 @@ func main() {
 	resume := flag.Bool("resume", true, "recover existing archive data on start (with -data-dir)")
 	archiveSync := flag.Bool("archive-sync", false, "fsync the archive after every record (durable to the last cycle, slower)")
 	maxAnomalies := flag.Int("max-anomalies", 0, "cap on retained anomaly episodes, oldest resolved evicted first (0 = default cap)")
+	shards := flag.Int("shards", 1, "shard worker count; >1 runs the fault-tolerant shard supervisor")
+	shardHeartbeat := flag.Duration("shard-heartbeat", 0, "declare a shard dead when its last completed cycle is older than this (cycle time; 0 = crash detection only)")
 	flag.Parse()
 
 	if len(targets) == 0 {
 		targets = targetFlags{"fixw=127.0.0.1:2601", "ucsb-r1=127.0.0.1:2602"}
+	}
+
+	if *shards > 1 {
+		runSharded(shardedConfig{
+			targets:  targets,
+			password: *password,
+			interval: *interval,
+			httpAddr: *httpAddr,
+			cycles:   *cycles,
+			cfg: shard.Config{
+				Shards:           *shards,
+				HeartbeatTimeout: *shardHeartbeat,
+				Policy: collect.Policy{
+					MaxAttempts:      *retries,
+					BaseDelay:        *retryBase,
+					BreakerThreshold: *breakerThreshold,
+					BreakerCooldown:  *breakerCooldown,
+				},
+				Concurrency:     *concurrency,
+				MaxAnomalies:    *maxAnomalies,
+				DataDir:         *dataDir,
+				SyncEveryAppend: *archiveSync,
+			},
+			showHealth: *showHealth,
+		})
+		return
 	}
 
 	m := mantra.New()
@@ -216,6 +259,98 @@ func main() {
 	}
 	if err := m.CloseArchive(time.Now().UTC()); err != nil { //mantralint:allow wallclock composition root: final checkpoint stamped with real time
 		log.Fatalf("mantra: archive close: %v", err)
+	}
+}
+
+// shardedConfig carries the flag set into the sharded daemon loop.
+type shardedConfig struct {
+	targets    targetFlags
+	password   string
+	interval   time.Duration
+	httpAddr   string
+	cycles     int
+	cfg        shard.Config
+	showHealth bool
+}
+
+// runSharded is the -shards N daemon loop: the shard supervisor drives
+// collection, and the HTTP server publishes the merged fleet views —
+// the fleet series, the re-keyed fleet anomaly log, per-target health
+// with gap counts, and the /shards supervisor status.
+func runSharded(sc shardedConfig) {
+	s, err := shard.New(sc.cfg)
+	if err != nil {
+		log.Fatalf("mantra: shards: %v", err)
+	}
+	defer s.Close()
+	for _, spec := range sc.targets {
+		parts := strings.SplitN(spec, "=", 2)
+		if len(parts) != 2 {
+			log.Fatalf("mantra: bad -target %q (want name=addr)", spec)
+		}
+		s.Register(collect.Target{
+			Name:     parts[0],
+			Dialer:   collect.TCPDialer{Addr: parts[1]},
+			Password: sc.password,
+			Prompt:   parts[0] + "> ",
+			Timeout:  10 * time.Second,
+		})
+	}
+
+	srv := output.NewServer(s.FleetProc())
+	srv.SetShards(func() any { return s.Status() })
+	srv.SetHealth(func() any { return s.FleetHealth() })
+	srv.SetAnomalies(func() []process.Anomaly { return s.FleetAnomalies() })
+	srv.SetSeries(s.SeriesView)
+	go func() {
+		log.Printf("mantra: serving fleet results on http://%s/ (%d shards)", sc.httpAddr, sc.cfg.Shards)
+		if err := http.ListenAndServe(sc.httpAddr, srv); err != nil {
+			log.Fatalf("mantra: http: %v", err)
+		}
+	}()
+
+	lastAnomalyID := 0
+	resolvedPrinted := make(map[int]bool)
+	for i := 0; sc.cycles == 0 || i < sc.cycles; i++ {
+		now := time.Now().UTC() //mantralint:allow wallclock composition root: live monitoring stamps cycles with real time and injects it downward
+		res, err := s.RunCycle(now)
+		if err != nil {
+			log.Fatalf("mantra: shard cycle: %v", err)
+		}
+		for _, st := range res.Stats {
+			fmt.Printf("%s %-10s sessions=%-5d participants=%-5d active=%-4d senders=%-4d bw=%.0fkbps routes=%d churn=%d\n",
+				now.Format("15:04:05"), st.Target, st.Sessions, st.Participants,
+				st.ActiveSessions, st.Senders, st.BandwidthKbps, st.Routes, st.RouteChurn)
+		}
+		if res.Handoffs > 0 {
+			log.Printf("mantra: %d shard handoff(s) at this boundary; blind=%v", res.Handoffs, res.Blind)
+		} else if len(res.Blind) > 0 {
+			log.Printf("mantra: blind targets this cycle: %v", res.Blind)
+		}
+		for _, werr := range res.WALErrs {
+			log.Printf("mantra: shard wal: %v", werr)
+		}
+		if sc.showHealth {
+			for _, h := range s.FleetHealth() {
+				last := "never"
+				if !h.LastSuccess.IsZero() {
+					last = h.LastSuccess.Format("15:04:05")
+				}
+				fmt.Printf("%s %-10s health shard=%-2d breaker=%-9s consecutive_failures=%-3d gaps=%-3d last_success=%s\n",
+					now.Format("15:04:05"), h.Target, h.Shard, h.Breaker, h.ConsecutiveFailures, h.GapCount, last)
+			}
+		}
+		for _, a := range s.FleetAnomalies() {
+			if a.ID > lastAnomalyID {
+				lastAnomalyID = a.ID
+				log.Printf("mantra: ANOMALY #%d %s %s at %s: %s", a.ID, a.Severity, a.Kind, a.Target, a.Detail)
+			}
+			if a.Resolved && !resolvedPrinted[a.ID] {
+				resolvedPrinted[a.ID] = true
+				log.Printf("mantra: RESOLVED #%d %s at %s after %s", a.ID, a.Kind, a.Target, a.ResolvedAt.Sub(a.At))
+			}
+		}
+		time.Sleep(sc.interval)
 	}
 }
 

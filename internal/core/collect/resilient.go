@@ -381,6 +381,17 @@ func (c *Collector) CarryState(old *Collector) {
 	}
 }
 
+// ResetTarget drops any accumulated health ledger and breaker state
+// for name. A target that is removed and later re-registered must start
+// with a fresh breaker window — without the reset, state carried across
+// policy swaps (CarryState) would hand the re-registered target a stale
+// open breaker or failure streak from its previous life.
+func (c *Collector) ResetTarget(name string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.targets, name)
+}
+
 // RestoreHealth seeds one target's health ledger and breaker from a
 // checkpointed TargetHealth — the restart-recovery path. The breaker's
 // failure streak and state are reconstructed; a breaker restored open

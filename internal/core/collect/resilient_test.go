@@ -346,3 +346,40 @@ func TestCollectorRecordFailure(t *testing.T) {
 		t.Errorf("health = %+v", c.Health())
 	}
 }
+
+func TestCollectorResetTarget(t *testing.T) {
+	// A target removed and re-registered must not inherit its previous
+	// life's open breaker: ResetTarget drops the ledger entirely, and
+	// the stale state must not resurface through CarryState either.
+	c := collect.NewCollector(collect.Policy{BreakerThreshold: 2, BreakerCooldown: time.Hour})
+	t0 := time.Unix(0, 0).UTC()
+	c.RecordFailure("fixw", t0, errors.New("down"))
+	c.RecordFailure("fixw", t0.Add(time.Second), errors.New("down"))
+	if h, _ := c.TargetHealth("fixw"); h.Breaker != collect.BreakerOpen {
+		t.Fatalf("setup: breaker = %s, want open", h.Breaker)
+	}
+	c.ResetTarget("fixw")
+	if _, ok := c.TargetHealth("fixw"); ok {
+		t.Fatal("health ledger survived ResetTarget")
+	}
+	if len(c.Health()) != 0 {
+		t.Errorf("health = %+v, want empty", c.Health())
+	}
+	// Re-registration starts a fresh breaker window: one failure must
+	// not re-open it (threshold is 2).
+	c.RecordFailure("fixw", t0.Add(2*time.Second), errors.New("down"))
+	h, ok := c.TargetHealth("fixw")
+	if !ok || h.Breaker != collect.BreakerClosed || h.ConsecutiveFailures != 1 {
+		t.Errorf("post-reset health = %+v, want closed breaker with 1 failure", h)
+	}
+	// CarryState after a reset must not resurrect the dropped target
+	// from an old collector snapshot taken before the reset.
+	old := collect.NewCollector(collect.Policy{BreakerThreshold: 2, BreakerCooldown: time.Hour})
+	old.RecordFailure("ghost", t0, errors.New("down"))
+	old.RecordFailure("ghost", t0.Add(time.Second), errors.New("down"))
+	c.CarryState(old)
+	c.ResetTarget("ghost")
+	if _, ok := c.TargetHealth("ghost"); ok {
+		t.Error("ghost survived reset after CarryState")
+	}
+}

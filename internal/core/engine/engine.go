@@ -226,6 +226,16 @@ func (e *Engine) StabilityTrackers() map[string]*process.RouteStability {
 	return out
 }
 
+// SetStability installs (or, with nil, clears) one target's stability
+// tracker, leaving every other target's untouched — the shard-handoff
+// transfer path, where a survivor engine grafts a moved target's
+// tracker in next to its own live ones.
+func (e *Engine) SetStability(name string, rs *process.RouteStability) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.state(name).stability = rs
+}
+
 // ImportStability replaces targets' stability trackers wholesale — the
 // checkpoint recovery path.
 func (e *Engine) ImportStability(trackers map[string]*process.RouteStability) {

@@ -396,6 +396,37 @@ func FromState(st *State) *Logger {
 	return l
 }
 
+// ExportTarget captures one target's serialized history — the shard
+// handoff transfer unit — or false if the logger has never seen it.
+// Slices are copied: the export must stay stable while the exporting
+// shard keeps appending.
+func (l *Logger) ExportTarget(name string) (TargetState, bool) {
+	tl := l.targets[name]
+	if tl == nil {
+		return TargetState{}, false
+	}
+	return TargetState{
+		Records:     append([]CycleRecord(nil), tl.Records...),
+		Gaps:        append([]GapMark(nil), tl.gaps...),
+		FullEntries: tl.fullEntries,
+	}, true
+}
+
+// ImportTarget replaces one target's history with ts, leaving every
+// other target untouched — the receiving side of a shard handoff. The
+// materialized tables and storage counters are rebuilt by replaying the
+// recorded delta chain, exactly as FromState does for a whole logger,
+// so Append continues the chain seamlessly.
+func (l *Logger) ImportTarget(name string, ts TargetState) {
+	delete(l.targets, name)
+	tl := l.target(name)
+	tl.gaps = append([]GapMark(nil), ts.Gaps...)
+	for _, rec := range ts.Records {
+		l.ApplyRecord(name, rec, 0)
+	}
+	tl.fullEntries = ts.FullEntries
+}
+
 // Save writes the complete log to w (gob-encoded).
 func (l *Logger) Save(w io.Writer) error {
 	return gob.NewEncoder(w).Encode(l.ExportState())

@@ -1,0 +1,84 @@
+package logger
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/core/tables"
+	"repro/internal/sim"
+)
+
+func snapFor(target string, at time.Time, pairs tables.PairTable, routes tables.RouteTable) *tables.Snapshot {
+	return &tables.Snapshot{Target: target, At: at, Pairs: pairs, Routes: routes}
+}
+
+func TestLoggerExportImportTarget(t *testing.T) {
+	// Shard handoff: one target's delta chain moves to a survivor's
+	// logger, which must continue the chain exactly where the dead
+	// shard left it — same materialized tables, same next delta.
+	src := New()
+	at := sim.Epoch
+	src.Append(snapFor("fixw", at,
+		tables.PairTable{pair("1.1.1.1", "224.1.1.1", 5)},
+		tables.RouteTable{route("10.0.0.0/8", 1), route("11.0.0.0/8", 2)}))
+	src.Append(snapFor("ucsb", at, nil, tables.RouteTable{route("20.0.0.0/8", 1)}))
+	at = at.Add(time.Hour)
+	src.MarkGap("fixw", at, "dial timeout")
+	at = at.Add(time.Hour)
+	src.Append(snapFor("fixw", at,
+		tables.PairTable{pair("1.1.1.1", "224.1.1.1", 9), pair("2.2.2.2", "224.1.1.2", 3)},
+		tables.RouteTable{route("10.0.0.0/8", 1)}))
+
+	ts, ok := src.ExportTarget("fixw")
+	if !ok {
+		t.Fatal("ExportTarget failed for a known target")
+	}
+	if _, ok := src.ExportTarget("ghost"); ok {
+		t.Fatal("ExportTarget succeeded for an unknown target")
+	}
+
+	dst := New()
+	dst.Append(snapFor("dom00-gw", sim.Epoch, nil, tables.RouteTable{route("30.0.0.0/8", 3)}))
+	dst.ImportTarget("fixw", ts)
+
+	wantSn, _ := src.Materialized("fixw")
+	gotSn, ok := dst.Materialized("fixw")
+	if !ok || !reflect.DeepEqual(wantSn, gotSn) {
+		t.Fatalf("materialized state diverged:\nwant %+v\ngot  %+v", wantSn, gotSn)
+	}
+	if !reflect.DeepEqual(src.Gaps("fixw"), dst.Gaps("fixw")) {
+		t.Error("gap marks did not transfer")
+	}
+	if dst.Cycles("fixw") != src.Cycles("fixw") {
+		t.Errorf("cycles = %d, want %d", dst.Cycles("fixw"), src.Cycles("fixw"))
+	}
+	de, fe, _ := src.StorageStats("fixw")
+	de2, fe2, _ := dst.StorageStats("fixw")
+	if de != de2 || fe != fe2 {
+		t.Errorf("storage stats diverged: %d/%d vs %d/%d", de, fe, de2, fe2)
+	}
+
+	// The next cycle's delta must be identical on both sides: the import
+	// rebuilt the materialized diff base, not just the record list.
+	at = at.Add(time.Hour)
+	next := snapFor("fixw", at,
+		tables.PairTable{pair("1.1.1.1", "224.1.1.1", 9)},
+		tables.RouteTable{route("10.0.0.0/8", 1), route("12.0.0.0/8", 4)})
+	recSrc := src.Append(next)
+	recDst := dst.Append(next)
+	if !reflect.DeepEqual(recSrc, recDst) {
+		t.Fatalf("post-handoff delta diverged:\nsrc %+v\ndst %+v", recSrc, recDst)
+	}
+
+	// The export is a copy: mutating the source afterwards must not
+	// bleed into an import taken earlier.
+	if len(ts.Records) != 2 {
+		t.Errorf("export grew with the source: %d records", len(ts.Records))
+	}
+	// Import replaces: re-importing over live state resets to the export.
+	dst.ImportTarget("fixw", ts)
+	if dst.Cycles("fixw") != 2 {
+		t.Errorf("re-import cycles = %d, want 2", dst.Cycles("fixw"))
+	}
+}

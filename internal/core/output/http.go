@@ -23,6 +23,9 @@ type Server struct {
 	health  func() any
 	archive func() any
 	stats   func() any
+	shards  func() any
+	anoms   func() []process.Anomaly
+	series  func(target string, m process.Metric) *process.Series
 }
 
 // NewServer returns a server over a processor's live series. Summary
@@ -41,6 +44,7 @@ func NewServer(p *process.Processor) *Server {
 	s.mux.HandleFunc("/health", s.handleHealth)
 	s.mux.HandleFunc("/archive", s.handleArchive)
 	s.mux.HandleFunc("/stats", s.handleStats)
+	s.mux.HandleFunc("/shards", s.handleShards)
 	return s
 }
 
@@ -66,6 +70,47 @@ func (s *Server) SetStats(fn func() any) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.stats = fn
+}
+
+// SetShards installs the shard-supervisor status source served at
+// /shards — per-shard liveness, assignment and handoff counters when
+// collection runs sharded.
+func (s *Server) SetShards(fn func() any) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.shards = fn
+}
+
+// SetAnomalies overrides the anomaly source backing /anomalies. By
+// default the server reads its processor's log directly; sharded
+// deployments install the merged fleet log here, where per-shard IDs
+// have been re-keyed into one fleet sequence.
+func (s *Server) SetAnomalies(fn func() []process.Anomaly) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.anoms = fn
+}
+
+// SetSeries overrides the series source backing /series and /graph. By
+// default the server reads its processor directly; sharded deployments
+// install a resolver that routes each target to its owning shard's
+// processor.
+func (s *Server) SetSeries(fn func(target string, m process.Metric) *process.Series) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.series = fn
+}
+
+// lookupSeries resolves a target's series through the installed
+// override, falling back to the server's own processor.
+func (s *Server) lookupSeries(target string, m process.Metric) *process.Series {
+	s.mu.RLock()
+	fn := s.series
+	s.mu.RUnlock()
+	if fn != nil {
+		return fn(target, m)
+	}
+	return s.proc.Series(target, m)
 }
 
 // ServeHTTP implements http.Handler.
@@ -111,7 +156,7 @@ func (s *Server) handleSeries(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "use /series/<target>/<metric>", http.StatusBadRequest)
 		return
 	}
-	series := s.proc.Series(parts[0], process.Metric(parts[1]))
+	series := s.lookupSeries(parts[0], process.Metric(parts[1]))
 	if series == nil {
 		http.NotFound(w, r)
 		return
@@ -177,7 +222,7 @@ func (s *Server) handleGraph(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "use /graph/<target>/<metric>", http.StatusBadRequest)
 		return
 	}
-	series := s.proc.Series(parts[0], process.Metric(parts[1]))
+	series := s.lookupSeries(parts[0], process.Metric(parts[1]))
 	if series == nil {
 		http.NotFound(w, r)
 		return
@@ -222,16 +267,29 @@ func (s *Server) handleTable(w http.ResponseWriter, r *http.Request) {
 // to the cross-target incident view (kinds open at two or more targets
 // at once).
 func (s *Server) handleAnomalies(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	src := s.anoms
+	s.mu.RUnlock()
 	q := r.URL.Query()
 	if q.Get("cross") != "" {
-		ct := s.proc.CrossTarget()
+		var ct []process.CrossTargetIncident
+		if src != nil {
+			ct = process.CrossTargetOf(src())
+		} else {
+			ct = s.proc.CrossTarget()
+		}
 		if ct == nil {
 			ct = []process.CrossTargetIncident{}
 		}
 		writeJSON(w, ct)
 		return
 	}
-	an := s.proc.Anomalies()
+	var an []process.Anomaly
+	if src != nil {
+		an = src()
+	} else {
+		an = s.proc.Anomalies()
+	}
 	openOnly := q.Get("open") != ""
 	target := q.Get("target")
 	kind := q.Get("kind")
@@ -249,6 +307,18 @@ func (s *Server) handleAnomalies(w http.ResponseWriter, r *http.Request) {
 		out = append(out, a)
 	}
 	writeJSON(w, out)
+}
+
+// handleShards serves the shard-supervisor status view as JSON.
+func (s *Server) handleShards(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	fn := s.shards
+	s.mu.RUnlock()
+	if fn == nil {
+		http.NotFound(w, r)
+		return
+	}
+	writeJSON(w, fn())
 }
 
 func writeJSON(w http.ResponseWriter, v any) {

@@ -24,7 +24,6 @@ package process
 
 import (
 	"fmt"
-	"sort"
 	"time"
 )
 
@@ -383,39 +382,7 @@ type AnomalyRollup struct {
 // Rollup summarizes the anomaly ring, deterministically (ByKind sorted
 // by kind name).
 func (p *Processor) Rollup() AnomalyRollup {
-	r := AnomalyRollup{
-		Total:   len(p.anomalies) + int(p.evicted),
-		Evicted: p.evicted,
-	}
-	byKind := make(map[string]*KindCount)
-	var kinds []string
-	for i := range p.anomalies {
-		a := &p.anomalies[i]
-		kc := byKind[a.Kind]
-		if kc == nil {
-			kc = &KindCount{Kind: a.Kind}
-			byKind[a.Kind] = kc
-			kinds = append(kinds, a.Kind)
-		}
-		kc.Total++
-		if a.Resolved {
-			r.Resolved++
-			continue
-		}
-		r.Open++
-		kc.Open++
-		switch a.Severity {
-		case SeverityCritical:
-			r.Critical++
-		case SeverityWarning:
-			r.Warning++
-		}
-	}
-	sort.Strings(kinds)
-	for _, k := range kinds {
-		r.ByKind = append(r.ByKind, *byKind[k])
-	}
-	return r
+	return RollupOf(p.anomalies, p.evicted)
 }
 
 // CrossTargetIncident is the cross-target correlation view: one anomaly
@@ -432,36 +399,5 @@ type CrossTargetIncident struct {
 // deterministic: incidents sorted by kind, targets sorted by name,
 // FirstSeen the earliest open episode's first-seen time.
 func (p *Processor) CrossTarget() []CrossTargetIncident {
-	byKind := make(map[string]*CrossTargetIncident)
-	var kinds []string
-	for i := range p.anomalies {
-		a := &p.anomalies[i]
-		if a.Resolved {
-			continue
-		}
-		ci := byKind[a.Kind]
-		if ci == nil {
-			ci = &CrossTargetIncident{Kind: a.Kind, Severity: a.Severity, FirstSeen: a.At}
-			byKind[a.Kind] = ci
-			kinds = append(kinds, a.Kind)
-		}
-		ci.Targets = append(ci.Targets, a.Target)
-		if a.At.Before(ci.FirstSeen) {
-			ci.FirstSeen = a.At
-		}
-		if a.Severity == SeverityCritical {
-			ci.Severity = SeverityCritical
-		}
-	}
-	sort.Strings(kinds)
-	var out []CrossTargetIncident
-	for _, k := range kinds {
-		ci := byKind[k]
-		if len(ci.Targets) < 2 {
-			continue
-		}
-		sort.Strings(ci.Targets)
-		out = append(out, *ci)
-	}
-	return out
+	return CrossTargetOf(p.anomalies)
 }

@@ -8,14 +8,19 @@ import (
 
 // lockScopePkgs are the packages that sit on the engine's concurrency
 // boundary: the pipeline itself, the HTTP output layer it publishes
-// through, the WAL the ordered stages append to, and the SNMP transport.
-// A mutex held across a blocking operation there is a latency cliff for
-// every target behind the lock (and a deadlock when the blocked
-// operation's peer needs the same lock).
+// through, the WAL the ordered stages append to, the SNMP transport,
+// and the shard supervisor whose heartbeat/checkpoint state is shared
+// between the driver and worker goroutines. A mutex held across a
+// blocking operation there is a latency cliff for every target behind
+// the lock (and a deadlock when the blocked operation's peer needs the
+// same lock — the shard supervisor's handoff path in particular closes
+// request channels and joins workers, which must never happen under a
+// lock a worker needs to beat its heartbeat).
 var lockScopePkgs = map[string]bool{
 	"internal/core/engine": true,
 	"internal/core/output": true,
 	"internal/core/logger": true,
+	"internal/core/shard":  true,
 	"internal/snmp":        true,
 }
 

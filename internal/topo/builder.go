@@ -32,6 +32,11 @@ type InternetConfig struct {
 	TunnelLoss, NativeLoss float64
 	// Seed drives the deterministic layout choices.
 	Seed int64
+	// LoopbackPool overrides the router-loopback address pool. The zero
+	// value keeps the historical 198.32.255.0/24, which caps a topology
+	// at ~250 routers; fleet-scale experiments (thousands of routers,
+	// bench-scale) supply a /16 so the builder does not exhaust it.
+	LoopbackPool addr.Prefix
 }
 
 // DefaultInternetConfig returns the configuration used by the paper-scale
@@ -48,6 +53,24 @@ func DefaultInternetConfig() InternetConfig {
 		NativeLoss:        0.0005,
 		Seed:              1998,
 	}
+}
+
+// ScaleInternetConfig returns a fleet-scale configuration: numDomains
+// leaf domains of routersPerDomain+1 routers each, PIM-DM interiors
+// behind DVMRP borders (so the DVMRP cloud holds only the borders and
+// per-cycle cost stays proportional to the monitored set, not the
+// router count), and a /16 loopback pool so the builder can address
+// thousands of routers. The bench-scale experiments use it to build
+// ~5k-router topologies.
+func ScaleInternetConfig(numDomains, routersPerDomain int) InternetConfig {
+	cfg := DefaultInternetConfig()
+	cfg.NumDomains = numDomains
+	cfg.RoutersPerDomain = routersPerDomain
+	cfg.MinSubnets = 180
+	cfg.MaxSubnets = 220
+	cfg.PIMDMFraction = 1.0
+	cfg.LoopbackPool = addr.MustParsePrefix("172.16.0.0/16")
+	return cfg
 }
 
 // Internet is the constructed multi-domain topology with the well-known
@@ -84,7 +107,11 @@ func BuildInternet(cfg InternetConfig) *Internet {
 	}
 
 	transfer := addr.NewAllocator(addr.MustParsePrefix("198.32.0.0/16"))
-	loop := addr.NewAllocator(addr.MustParsePrefix("198.32.255.0/24"))
+	loopPool := cfg.LoopbackPool
+	if loopPool == (addr.Prefix{}) {
+		loopPool = addr.MustParsePrefix("198.32.255.0/24")
+	}
+	loop := addr.NewAllocator(loopPool)
 
 	// Exchange points.
 	inet.FIXW = t.AddRouter("fixw", "", ModeDVMRP, loop.MustNext())

@@ -128,9 +128,35 @@ func New() *Monitor {
 	return m
 }
 
-// AddTarget registers a router to be polled each cycle.
+// AddTarget registers a router to be polled each cycle. Registering a
+// name that is already present replaces its dial settings in place.
+// Either way the target's breaker and health ledger start fresh: a
+// (re-)registration signals the operator swapped or fixed the device,
+// and an inherited open breaker would silently delay the first
+// collection of a healthy replacement.
 func (m *Monitor) AddTarget(t Target) {
+	m.collector.ResetTarget(t.Name)
+	for i := range m.targets {
+		if m.targets[i].Name == t.Name {
+			m.targets[i] = t
+			return
+		}
+	}
 	m.targets = append(m.targets, t)
+}
+
+// RemoveTarget unregisters a target and drops its breaker and health
+// ledger. Its series, delta log and anomaly history remain — history
+// outlives membership. It reports whether the target was registered.
+func (m *Monitor) RemoveTarget(name string) bool {
+	for i := range m.targets {
+		if m.targets[i].Name == name {
+			m.targets = append(m.targets[:i], m.targets[i+1:]...)
+			m.collector.ResetTarget(name)
+			return true
+		}
+	}
+	return false
 }
 
 // Targets returns the registered target names in registration order.

@@ -175,6 +175,84 @@ func TestMonitorFailedTargetDegrades(t *testing.T) {
 	}
 }
 
+func TestMonitorReRegistrationResetsBreaker(t *testing.T) {
+	n, m := newMonitoredNetwork(t)
+	m.SetCollectPolicy(collect.Policy{
+		MaxAttempts:      1,
+		BreakerThreshold: 2,
+		BreakerCooldown:  24 * time.Hour,
+		Sleep:            func(time.Duration) {},
+	})
+	m.AddTarget(mantra.Target{
+		Name:    "flaky",
+		Dialer:  collect.TCPDialer{Addr: "127.0.0.1:1", Timeout: 50 * time.Millisecond},
+		Prompt:  "flaky> ",
+		Timeout: 50 * time.Millisecond,
+	})
+	for i := 0; i < 2; i++ {
+		n.Step()
+		if _, err := m.RunCycle(n.Now()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if h := m.Health()[2]; h.Breaker != collect.BreakerOpen {
+		t.Fatalf("setup: flaky breaker = %+v, want open", h)
+	}
+
+	// Re-registering the name — say the operator swapped in a working
+	// device — must replace in place and start the ledger fresh, not
+	// leave the replacement stuck behind the old device's cooldown.
+	r := n.Router("dom01-gw")
+	r.Password = "pw"
+	m.AddTarget(mantra.Target{
+		Name:     "flaky",
+		Dialer:   collect.PipeDialer{Router: r},
+		Password: "pw",
+		Prompt:   "dom01-gw> ",
+		Timeout:  5 * time.Second,
+	})
+	if got := m.Targets(); len(got) != 3 || got[2] != "flaky" {
+		t.Fatalf("re-registration duplicated the target: %v", got)
+	}
+	if h := m.Health()[2]; h.Breaker != collect.BreakerClosed || h.ConsecutiveFailures != 0 {
+		t.Fatalf("breaker survived re-registration: %+v", h)
+	}
+	n.Step()
+	if _, err := m.RunCycle(n.Now()); err != nil {
+		t.Fatal(err)
+	}
+	hv := m.HealthView()
+	row := hv.Targets[2]
+	if row.Target != "flaky" || row.LastStatus != collect.StatusOK || row.TotalFailures != 0 {
+		t.Errorf("replacement not collecting cleanly: %+v", row)
+	}
+	// Gap visibility survives the reset: the two failed cycles stay on
+	// the series record, and the fresh success is timestamped.
+	if row.GapCount != 2 {
+		t.Errorf("gap count = %d, want the 2 failed cycles", row.GapCount)
+	}
+	if !row.LastSuccess.Equal(n.Now()) {
+		t.Errorf("last success = %v, want %v", row.LastSuccess, n.Now())
+	}
+
+	if !m.RemoveTarget("flaky") {
+		t.Fatal("RemoveTarget said flaky was not registered")
+	}
+	if m.RemoveTarget("flaky") {
+		t.Fatal("second RemoveTarget should report absence")
+	}
+	if got := m.Targets(); len(got) != 2 {
+		t.Fatalf("targets after removal = %v", got)
+	}
+	if rows := m.HealthView().Targets; len(rows) != 2 {
+		t.Fatalf("/health still lists the removed target: %+v", rows)
+	}
+	// History outlives membership: the series (and its gaps) remain.
+	if s := m.Series("flaky", mantra.MetricRoutes); s == nil || s.GapCount() != 2 {
+		t.Errorf("flaky series lost after removal: %+v", s)
+	}
+}
+
 func TestMonitorAllTargetsFailed(t *testing.T) {
 	m := mantra.New()
 	m.SetCollectPolicy(collect.Policy{

@@ -4,6 +4,7 @@ import (
 	"errors"
 
 	"repro/internal/core/collect"
+	"repro/internal/core/process"
 )
 
 // ErrAllTargetsFailed reports a cycle in which no target produced a
@@ -49,16 +50,39 @@ func (m *Monitor) ResetCollectState() {
 	m.collector = collect.NewCollector(m.collector.Policy())
 }
 
+// TargetHealthView is one /health target row: the collector's ledger —
+// including the last successful cycle timestamp — plus the gap count,
+// how many cycles produced no data for the target. Together they make
+// blind windows first-class: an operator reads when the target last
+// yielded data and how many cycles are explicitly missing, whether
+// from collection failures or a shard handoff's dark cycles.
+type TargetHealthView struct {
+	TargetHealth
+	GapCount int `json:"gap_count"`
+}
+
 // HealthView is the combined health object served over HTTP at /health:
 // per-target collection health plus the anomaly rollup.
 type HealthView struct {
-	Targets   []TargetHealth `json:"targets"`
-	Anomalies AnomalyRollup  `json:"anomalies"`
+	Targets   []TargetHealthView `json:"targets"`
+	Anomalies AnomalyRollup      `json:"anomalies"`
 }
 
 // HealthView returns the combined health object served at /health.
 func (m *Monitor) HealthView() HealthView {
-	return HealthView{Targets: m.Health(), Anomalies: m.proc.Rollup()}
+	rows := make([]TargetHealthView, 0, len(m.targets))
+	for _, t := range m.targets {
+		h, _ := m.collector.TargetHealth(t.Name)
+		if h.Target == "" {
+			h.Target = t.Name // not yet collected: name the empty row
+		}
+		row := TargetHealthView{TargetHealth: h}
+		if s := m.proc.Series(t.Name, process.MetricRoutes); s != nil {
+			row.GapCount = s.GapCount()
+		}
+		rows = append(rows, row)
+	}
+	return HealthView{Targets: rows, Anomalies: m.proc.Rollup()}
 }
 
 // Health returns every registered target's collection health, in
