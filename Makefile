@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build vet fmt-check mantralint lint lint-json lint-sarif test race bench bench-collect bench-archive bench-engine bench-detect bench-scale bench-smoke bench-json fuzz chaos chaos-shard figures check
+.PHONY: build vet fmt-check mantralint lint lint-json lint-sarif test race bench bench-collect bench-archive bench-engine bench-detect bench-scale bench-store bench-smoke bench-json fuzz chaos chaos-shard figures check
 
 build:
 	$(GO) build ./...
@@ -100,6 +100,14 @@ bench-detect:
 bench-scale:
 	$(GO) test -run '^$$' -bench 'BenchmarkScaleCycle' -benchtime 1x . | $(GO) run ./cmd/benchjson -out BENCH_scale.json
 	@echo "wrote BENCH_scale.json"
+
+# The series-store benchmarks, captured as timestamp-free JSON: append
+# throughput, compression ratio over ten years of cycles (floor: 5x vs
+# raw CSV), and cold mirror query latency (floor: far under one
+# 30-minute cycle).
+bench-store:
+	$(GO) test -run '^$$' -bench 'BenchmarkStore' -benchtime 1x . | $(GO) run ./cmd/benchjson -out BENCH_store.json
+	@echo "wrote BENCH_store.json"
 
 # The shard-supervisor chaos proofs under the race detector: worker
 # kills during active incidents (no lost detections, no duplicate or

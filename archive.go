@@ -5,6 +5,7 @@ import (
 	"encoding/gob"
 	"errors"
 	"fmt"
+	"path/filepath"
 	"strings"
 	"time"
 
@@ -62,6 +63,10 @@ type ArchiveStatus struct {
 	// LastAppendError is the most recent archive write failure; appends
 	// never abort a cycle, they degrade to in-memory-only with this note.
 	LastAppendError string `json:"last_append_error,omitempty"`
+	// MirrorError is the most recent tsdb block-mirror write failure;
+	// like WAL appends, mirror writes degrade rather than abort — the
+	// in-memory store stays authoritative and the next attach reconciles.
+	MirrorError string `json:"mirror_error,omitempty"`
 }
 
 // archiveExtra is the monitor-level state a checkpoint carries beyond the
@@ -122,6 +127,14 @@ func (m *Monitor) EnableArchive(cfg ArchiveConfig) (*RecoveryReport, error) {
 	}
 	st.report = report
 	m.archive = st
+	// Attach the compressed-series block mirror after recovery has rebuilt
+	// the in-memory store from checkpoint + WAL replay: AttachDir repairs
+	// any torn mirror tail and reconciles sealed blocks the mirror is
+	// missing, so a crash mid-mirror-write self-heals here. A mirror
+	// attach failure degrades to in-memory-only, same as append errors.
+	if err := m.proc.Store().AttachDir(filepath.Join(cfg.Dir, "tsdb"), cfg.SyncEveryAppend); err != nil {
+		st.lastAppendErr = err.Error()
+	}
 	m.server.SetArchive(func() any { return m.ArchiveStatus() })
 	return report, nil
 }
@@ -275,11 +288,15 @@ func (m *Monitor) ArchiveStatus() ArchiveStatus {
 	if m.archive == nil {
 		return ArchiveStatus{}
 	}
-	return ArchiveStatus{
+	st := ArchiveStatus{
 		Store:           m.archive.store.Stats(),
 		Recovery:        m.archive.report,
 		LastAppendError: m.archive.lastAppendErr,
 	}
+	if err := m.proc.Store().PersistErr(); err != nil {
+		st.MirrorError = err.Error()
+	}
+	return st
 }
 
 // CloseArchive checkpoints at now and closes the archive; the monitor
@@ -290,6 +307,9 @@ func (m *Monitor) CloseArchive(now time.Time) error {
 	}
 	err := m.Checkpoint(now)
 	if cerr := m.archive.store.Close(); err == nil {
+		err = cerr
+	}
+	if cerr := m.proc.Store().CloseDir(); err == nil {
 		err = cerr
 	}
 	m.archive = nil

@@ -10,6 +10,7 @@ package mantra_test
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 	"time"
 
@@ -105,6 +106,13 @@ func BenchmarkScaleCycle(b *testing.B) {
 			b.StopTimer()
 			b.ReportMetric(float64(routers), "routers")
 			b.ReportMetric(float64(len(targets)), "targets")
+			// Steady-state footprint after the measured cycles: how much
+			// heap the fleet — series stores included — actually retains
+			// at this shard count, not how much it allocated getting there.
+			runtime.GC()
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
+			b.ReportMetric(float64(ms.HeapAlloc), "heap-bytes")
 		})
 	}
 }

@@ -41,8 +41,13 @@
 // Per-shard liveness, assignment and handoff counts are served at
 // /shards.
 //
-// Endpoints: /  /series/<target>/<metric>  /graph/<target>/<metric>
-// /tables/<name>  /anomalies  /health  /archive  /stats  /shards
+// With -series-retain N the in-memory hot rings are bounded to the
+// newest N points; the compressed long-horizon store keeps full history
+// and backs /query and the ranged form of /series either way.
+//
+// Endpoints: /  /series/<target>/<metric>[?from=&to=&limit=]
+// /graph/<target>/<metric>  /tables/<name>  /anomalies  /health
+// /archive  /stats  /shards  /query?metric=&op=&target=&from=&to=&k=&by=&tier=
 package main
 
 import (
@@ -93,6 +98,7 @@ func main() {
 	maxAnomalies := flag.Int("max-anomalies", 0, "cap on retained anomaly episodes, oldest resolved evicted first (0 = default cap)")
 	shards := flag.Int("shards", 1, "shard worker count; >1 runs the fault-tolerant shard supervisor")
 	shardHeartbeat := flag.Duration("shard-heartbeat", 0, "declare a shard dead when its last completed cycle is older than this (cycle time; 0 = crash detection only)")
+	seriesRetain := flag.Int("series-retain", 0, "bound the in-memory hot series rings to the newest N points; the compressed store retains full history (0 = unbounded rings)")
 	flag.Parse()
 
 	if len(targets) == 0 {
@@ -117,6 +123,7 @@ func main() {
 				},
 				Concurrency:     *concurrency,
 				MaxAnomalies:    *maxAnomalies,
+				SeriesRetain:    *seriesRetain,
 				DataDir:         *dataDir,
 				SyncEveryAppend: *archiveSync,
 			},
@@ -138,6 +145,9 @@ func main() {
 	}
 	if *maxAnomalies > 0 {
 		m.SetMaxAnomalies(*maxAnomalies)
+	}
+	if *seriesRetain > 0 {
+		m.SetSeriesRetain(*seriesRetain)
 	}
 	if *concurrency > 0 {
 		m.SetConcurrency(*concurrency)
@@ -302,6 +312,7 @@ func runSharded(sc shardedConfig) {
 	srv.SetHealth(func() any { return s.FleetHealth() })
 	srv.SetAnomalies(func() []process.Anomaly { return s.FleetAnomalies() })
 	srv.SetSeries(s.SeriesView)
+	srv.SetQuery(s.QueryFleet)
 	go func() {
 		log.Printf("mantra: serving fleet results on http://%s/ (%d shards)", sc.httpAddr, sc.cfg.Shards)
 		if err := http.ListenAndServe(sc.httpAddr, srv); err != nil {

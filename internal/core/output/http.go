@@ -26,6 +26,7 @@ type Server struct {
 	shards  func() any
 	anoms   func() []process.Anomaly
 	series  func(target string, m process.Metric) *process.Series
+	query   QueryFunc
 }
 
 // NewServer returns a server over a processor's live series. Summary
@@ -45,6 +46,7 @@ func NewServer(p *process.Processor) *Server {
 	s.mux.HandleFunc("/archive", s.handleArchive)
 	s.mux.HandleFunc("/stats", s.handleStats)
 	s.mux.HandleFunc("/shards", s.handleShards)
+	s.mux.HandleFunc("/query", s.handleQuery)
 	return s
 }
 
@@ -149,11 +151,17 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, idx)
 }
 
-// handleSeries serves /series/<target>/<metric> as JSON x-y data.
+// handleSeries serves /series/<target>/<metric> as JSON x-y data. With
+// any of ?from=, ?to= (RFC3339) or ?limit= present, the points come
+// from the long-horizon store via the query engine — reaching history
+// the bounded hot ring has already dropped — in the identical shape.
 func (s *Server) handleSeries(w http.ResponseWriter, r *http.Request) {
 	parts := strings.Split(strings.TrimPrefix(r.URL.Path, "/series/"), "/")
 	if len(parts) != 2 {
 		http.Error(w, "use /series/<target>/<metric>", http.StatusBadRequest)
+		return
+	}
+	if s.rangedSeries(w, r, parts[0], process.Metric(parts[1])) {
 		return
 	}
 	series := s.lookupSeries(parts[0], process.Metric(parts[1]))

@@ -236,7 +236,13 @@ func (p *Processor) appendAnomaly(a Anomaly) {
 // the monitor is blind.
 func (p *Processor) detect(target string, at time.Time, ts map[Metric]*Series) {
 	ref := ts[MetricRoutes]
-	n := ref.Len()
+	// Indices are absolute — positions in the full history — so the
+	// baseline anchor survives the retention ring trimming the front of
+	// the in-memory window; they are translated to ring positions only
+	// when slicing. The retention clamp (SetSeriesRetain keeps at least
+	// Window+2 points) guarantees the trailing baseline is resident,
+	// which is what makes detection byte-identical at any retention.
+	n := ref.TotalLen()
 	if n == 0 {
 		return
 	}
@@ -244,7 +250,7 @@ func (p *Processor) detect(target string, at time.Time, ts map[Metric]*Series) {
 	if n == 1 {
 		p.baseStart[target] = 0
 		reset = true
-	} else if p.staleBaseline(ref, n) {
+	} else if p.staleBaseline(ref) {
 		// The monitor was blind long enough that the pre-outage window
 		// can no longer anchor a judgement: seed a fresh baseline here.
 		p.baseStart[target] = n - 1
@@ -256,10 +262,10 @@ func (p *Processor) detect(target string, at time.Time, ts map[Metric]*Series) {
 	}
 	for _, d := range p.detectors {
 		s := ts[d.Observes()]
-		if s == nil || s.Len() != n {
+		if s == nil || s.TotalLen() != n || s.Len() == 0 {
 			continue
 		}
-		cur := s.Values[n-1]
+		cur := s.Values[s.Len()-1]
 		if ep, ok := p.open[target][d.Kind()]; ok {
 			a := &p.anomalies[ep.ID-p.firstID]
 			if d.Cleared(cur, ep.Frozen) {
@@ -278,7 +284,12 @@ func (p *Processor) detect(target string, at time.Time, ts map[Metric]*Series) {
 		if m := n - 1 - win; m > lo {
 			lo = m
 		}
-		base := s.Values[lo : n-1]
+		// Translate the absolute window to ring positions.
+		phys := lo - s.Dropped
+		if phys < 0 {
+			phys = 0
+		}
+		base := s.Values[phys : s.Len()-1]
 		need := d.MinBase()
 		if need < 1 {
 			need = 1
@@ -309,14 +320,18 @@ func (p *Processor) detect(target string, at time.Time, ts map[Metric]*Series) {
 }
 
 // staleBaseline reports whether GapResetCycles or more consecutive
-// collection gaps separate the current point (index n-1) from the
-// previous one.
-func (p *Processor) staleBaseline(s *Series, n int) bool {
+// collection gaps separate the newest point from the previous one. It
+// reads only the trailing edge of the ring, which the retention clamp
+// keeps resident.
+func (p *Processor) staleBaseline(s *Series) bool {
 	limit := p.GapResetCycles
 	if limit <= 0 {
 		limit = DefaultGapResetCycles
 	}
-	prev := s.Times[n-2]
+	if s.Len() < 2 {
+		return false
+	}
+	prev := s.Times[s.Len()-2]
 	gaps := 0
 	for i := len(s.Gaps) - 1; i >= 0; i-- {
 		if !s.Gaps[i].After(prev) {

@@ -18,6 +18,7 @@ import (
 
 	"repro/internal/addr"
 	"repro/internal/core/tables"
+	"repro/internal/core/tsdb"
 )
 
 // DefaultSenderThresholdKbps is the paper's content/control threshold.
@@ -52,6 +53,11 @@ var AllMetrics = []Metric{
 }
 
 // Series is an x-y time series, the raw material of the output graphs.
+// By default it grows without bound; with a retention cap (see
+// Processor.SetSeriesRetain) it becomes the *hot ring* over the most
+// recent points, with full history living in the processor's
+// compressed store. Dropped/DroppedGaps record how much the ring has
+// trimmed, so indices into the full history (TotalLen) stay stable.
 type Series struct {
 	Times  []time.Time
 	Values []float64
@@ -59,24 +65,65 @@ type Series struct {
 	// value could be recorded — explicit markers so degraded cycles are
 	// visible in the outputs instead of silently missing.
 	Gaps []time.Time
+	// Dropped counts value points trimmed off the front by the
+	// retention ring; DroppedGaps counts trimmed gap markers. Both are
+	// zero while the series is unbounded.
+	Dropped     int
+	DroppedGaps int
+
+	retain int
 }
 
 // Append adds one point.
 func (s *Series) Append(t time.Time, v float64) {
 	s.Times = append(s.Times, t)
 	s.Values = append(s.Values, v)
+	s.trim()
 }
 
 // MarkGap records a failed cycle at time t.
 func (s *Series) MarkGap(t time.Time) {
 	s.Gaps = append(s.Gaps, t)
+	s.trim()
 }
 
-// GapCount returns the number of failed cycles recorded.
-func (s *Series) GapCount() int { return len(s.Gaps) }
+// trim enforces the retention cap: the oldest value points beyond
+// retain fall off the front (counted in Dropped), and gap markers older
+// than the remaining window — or beyond retain of them — follow.
+func (s *Series) trim() {
+	if s.retain <= 0 {
+		return
+	}
+	if n := len(s.Values) - s.retain; n > 0 {
+		s.Times = s.Times[n:]
+		s.Values = s.Values[n:]
+		s.Dropped += n
+	}
+	cut := 0
+	if len(s.Times) > 0 {
+		for cut < len(s.Gaps) && s.Gaps[cut].Before(s.Times[0]) {
+			cut++
+		}
+	}
+	if n := len(s.Gaps) - s.retain; n > cut {
+		cut = n
+	}
+	if cut > 0 {
+		s.Gaps = s.Gaps[cut:]
+		s.DroppedGaps += cut
+	}
+}
 
-// Len returns the number of points.
+// GapCount returns the number of failed cycles recorded over the whole
+// history, trimmed markers included.
+func (s *Series) GapCount() int { return s.DroppedGaps + len(s.Gaps) }
+
+// Len returns the number of points currently held in memory.
 func (s *Series) Len() int { return len(s.Values) }
+
+// TotalLen returns the number of points over the whole history: the
+// in-memory window plus everything the retention ring has trimmed.
+func (s *Series) TotalLen() int { return s.Dropped + len(s.Values) }
 
 // Last returns the most recent value, or 0 for an empty series.
 func (s *Series) Last() float64 {
@@ -191,6 +238,10 @@ type Processor struct {
 
 	series    map[string]map[Metric]*Series
 	lastRoute map[string]map[addr.Prefix]bool
+	// store mirrors every appended point into the compressed long-
+	// horizon layer; retain caps the in-memory hot rings (0 unbounded).
+	store  *tsdb.Store
+	retain int
 
 	// anomalies is the capped ring, ordered by ID; anomalies[i].ID ==
 	// firstID+i. nextID is the next ID to assign; evicted counts records
@@ -219,6 +270,7 @@ func New() *Processor {
 		Window:              12,
 		series:              make(map[string]map[Metric]*Series),
 		lastRoute:           make(map[string]map[addr.Prefix]bool),
+		store:               tsdb.New(),
 		open:                make(map[string]map[string]openEpisode),
 		baseStart:           make(map[string]int),
 	}
@@ -226,13 +278,74 @@ func New() *Processor {
 	return p
 }
 
-// Series returns the named series for a target, or nil.
+// Series returns the named series for a target, or nil. With a
+// retention cap set this is the hot ring — the most recent points only;
+// MaterializedSeries reads the full history back out of the store.
 func (p *Processor) Series(target string, m Metric) *Series {
 	ts := p.series[target]
 	if ts == nil {
 		return nil
 	}
 	return ts[m]
+}
+
+// Store exposes the compressed long-horizon series store every ingested
+// point is mirrored into.
+func (p *Processor) Store() *tsdb.Store { return p.store }
+
+// SetSeriesRetain caps the in-memory hot rings at n points per series
+// (0 restores unbounded growth). The cap is clamped to Window+2 so the
+// anomaly detectors always see their full trailing baseline — detection
+// output is byte-identical at any retention. Existing series are
+// trimmed immediately.
+func (p *Processor) SetSeriesRetain(n int) {
+	if n > 0 {
+		win := p.Window
+		if win < 1 {
+			win = 1
+		}
+		if min := win + 2; n < min {
+			n = min
+		}
+	}
+	p.retain = n
+	for _, ts := range p.series {
+		for _, s := range ts {
+			s.retain = n
+			s.trim()
+		}
+	}
+}
+
+// SeriesRetain returns the hot-ring cap, 0 when unbounded.
+func (p *Processor) SeriesRetain() int { return p.retain }
+
+// Query answers a store query over this processor's targets: the
+// unsharded execution path behind /query.
+func (p *Processor) Query(q tsdb.Query) (tsdb.Result, error) {
+	return p.store.Query(q)
+}
+
+// MaterializedSeries reconstructs a target's full series from the
+// compressed store — the streamed counterpart of Series, unaffected by
+// the retention ring. Compression is lossless, so the result is
+// point-for-point identical to an unbounded hot ring. Returns nil for
+// an unseen series.
+func (p *Processor) MaterializedSeries(target string, m Metric) *Series {
+	pts, err := p.store.Materialize(target, string(m))
+	if err != nil || pts == nil {
+		return nil
+	}
+	s := &Series{}
+	for _, pt := range pts {
+		if pt.Gap {
+			s.Gaps = append(s.Gaps, time.Unix(0, pt.T).UTC())
+		} else {
+			s.Times = append(s.Times, time.Unix(0, pt.T).UTC())
+			s.Values = append(s.Values, pt.V)
+		}
+	}
+	return s
 }
 
 // Targets returns the targets seen so far, sorted.
@@ -257,7 +370,7 @@ func (p *Processor) seriesFor(target string) map[Metric]*Series {
 	if ts == nil {
 		ts = make(map[Metric]*Series, len(AllMetrics))
 		for _, m := range AllMetrics {
-			ts[m] = &Series{}
+			ts[m] = &Series{retain: p.retain}
 		}
 		p.series[target] = ts
 	}
@@ -269,8 +382,10 @@ func (p *Processor) seriesFor(target string) map[Metric]*Series {
 // consumers can distinguish "no data because the target was down" from
 // "series not yet started". The target's series are created if absent.
 func (p *Processor) MarkGap(target string, at time.Time) {
-	for _, s := range p.seriesFor(target) {
+	ns := at.UnixNano()
+	for m, s := range p.seriesFor(target) {
 		s.MarkGap(at)
+		p.store.AppendGap(target, string(m), ns)
 	}
 }
 
@@ -365,29 +480,35 @@ func (p *Processor) ingest(sn *tables.Snapshot, saCache, mbgpRoutes int) CycleSt
 	st.SACache = saCache
 	st.MBGPRoutes = mbgpRoutes
 
-	// Extend series.
+	// Extend series: the in-memory hot ring and the compressed store
+	// both receive every point.
 	ts := p.seriesFor(sn.Target)
-	ts[MetricSessions].Append(sn.At, float64(st.Sessions))
-	ts[MetricParticipants].Append(sn.At, float64(st.Participants))
-	ts[MetricActiveSessions].Append(sn.At, float64(st.ActiveSessions))
-	ts[MetricSenders].Append(sn.At, float64(st.Senders))
-	ts[MetricAvgDensity].Append(sn.At, st.AvgDensity)
-	ts[MetricBandwidthKbps].Append(sn.At, st.BandwidthKbps)
-	ts[MetricSavedFactor].Append(sn.At, st.SavedFactor)
+	ns := sn.At.UnixNano()
+	app := func(m Metric, v float64) {
+		ts[m].Append(sn.At, v)
+		p.store.Append(sn.Target, string(m), ns, v)
+	}
+	app(MetricSessions, float64(st.Sessions))
+	app(MetricParticipants, float64(st.Participants))
+	app(MetricActiveSessions, float64(st.ActiveSessions))
+	app(MetricSenders, float64(st.Senders))
+	app(MetricAvgDensity, st.AvgDensity)
+	app(MetricBandwidthKbps, st.BandwidthKbps)
+	app(MetricSavedFactor, st.SavedFactor)
 	if st.Sessions > 0 {
-		ts[MetricActiveRatio].Append(sn.At, float64(st.ActiveSessions)/float64(st.Sessions))
+		app(MetricActiveRatio, float64(st.ActiveSessions)/float64(st.Sessions))
 	} else {
-		ts[MetricActiveRatio].Append(sn.At, 0)
+		app(MetricActiveRatio, 0)
 	}
 	if st.Participants > 0 {
-		ts[MetricSenderRatio].Append(sn.At, float64(st.Senders)/float64(st.Participants))
+		app(MetricSenderRatio, float64(st.Senders)/float64(st.Participants))
 	} else {
-		ts[MetricSenderRatio].Append(sn.At, 0)
+		app(MetricSenderRatio, 0)
 	}
-	ts[MetricRoutes].Append(sn.At, float64(st.Routes))
-	ts[MetricRouteChurn].Append(sn.At, float64(st.RouteChurn))
-	ts[MetricSACache].Append(sn.At, float64(st.SACache))
-	ts[MetricMBGPRoutes].Append(sn.At, float64(st.MBGPRoutes))
+	app(MetricRoutes, float64(st.Routes))
+	app(MetricRouteChurn, float64(st.RouteChurn))
+	app(MetricSACache, float64(st.SACache))
+	app(MetricMBGPRoutes, float64(st.MBGPRoutes))
 
 	p.detect(sn.Target, sn.At, ts)
 	return st

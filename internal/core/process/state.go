@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"repro/internal/addr"
+	"repro/internal/core/tsdb"
 )
 
 // State is the exportable form of a Processor. All fields are plain data
@@ -25,8 +26,12 @@ type State struct {
 	Window              int
 	MaxAnomalies        int
 	GapResetCycles      int
+	SeriesRetain        int
 
-	Series    map[string]map[Metric]*Series
+	Series map[string]map[Metric]*Series
+	// Store is the compressed long-horizon layer's state. Sealed blocks
+	// checkpoint far smaller than the raw Series export they replace.
+	Store     *tsdb.State
 	LastRoute map[string]map[addr.Prefix]bool
 	Anomalies []Anomaly
 	NextID    int
@@ -48,9 +53,12 @@ type OpenEpisodeState struct {
 
 func copySeries(s *Series) *Series {
 	return &Series{
-		Times:  append([]time.Time(nil), s.Times...),
-		Values: append([]float64(nil), s.Values...),
-		Gaps:   append([]time.Time(nil), s.Gaps...),
+		Times:       append([]time.Time(nil), s.Times...),
+		Values:      append([]float64(nil), s.Values...),
+		Gaps:        append([]time.Time(nil), s.Gaps...),
+		Dropped:     s.Dropped,
+		DroppedGaps: s.DroppedGaps,
+		retain:      s.retain,
 	}
 }
 
@@ -63,7 +71,9 @@ func (p *Processor) ExportState() *State {
 		Window:              p.Window,
 		MaxAnomalies:        p.MaxAnomalies,
 		GapResetCycles:      p.GapResetCycles,
+		SeriesRetain:        p.retain,
 		Series:              make(map[string]map[Metric]*Series, len(p.series)),
+		Store:               p.store.Export(),
 		LastRoute:           make(map[string]map[addr.Prefix]bool, len(p.lastRoute)),
 		Anomalies:           append([]Anomaly(nil), p.anomalies...),
 		NextID:              p.nextID,
@@ -122,14 +132,21 @@ func (p *Processor) ImportState(st *State) {
 	p.SpikeFactor = st.SpikeFactor
 	p.SpikeMinJump = st.SpikeMinJump
 	p.Window = st.Window
+	p.retain = st.SeriesRetain
 	p.series = make(map[string]map[Metric]*Series, len(st.Series))
 	for target, ts := range st.Series {
 		cp := make(map[Metric]*Series, len(ts))
 		for m, s := range ts {
-			cp[m] = copySeries(s)
+			sr := copySeries(s)
+			sr.retain = p.retain
+			sr.trim()
+			cp[m] = sr
 		}
 		p.series[target] = cp
 	}
+	// Self-exported store state always round-trips; the checkpoint blob
+	// carrying it is CRC-validated before it gets here.
+	_ = p.store.Import(st.Store)
 	p.lastRoute = make(map[string]map[addr.Prefix]bool, len(st.LastRoute))
 	for target, routes := range st.LastRoute {
 		cp := make(map[addr.Prefix]bool, len(routes))

@@ -19,14 +19,18 @@ import (
 	"sort"
 
 	"repro/internal/addr"
+	"repro/internal/core/tsdb"
 )
 
 // TargetState is the exportable processing state of one target: the
 // transfer unit for shard handoff. All fields are plain data (gob-safe)
 // and deep-copied on export and import.
 type TargetState struct {
-	Target    string
-	Series    map[Metric]*Series
+	Target string
+	Series map[Metric]*Series
+	// Store carries the target's compressed long-horizon series, so a
+	// handoff moves full history, not just the hot rings.
+	Store     *tsdb.TargetState
 	LastRoute map[addr.Prefix]bool
 	// BaseStart anchors the detection baseline window; HasBase records
 	// whether the target had one (index 0 is a valid anchor).
@@ -58,6 +62,7 @@ func (p *Processor) ExportTarget(target string) *TargetState {
 		return nil
 	}
 	st := &TargetState{Target: target, BaseStart: base, HasBase: okBase}
+	st.Store = p.store.ExportTarget(target)
 	if okSeries {
 		st.Series = make(map[Metric]*Series, len(ts))
 		for m, s := range ts {
@@ -104,13 +109,19 @@ func (p *Processor) ImportTarget(target string, st *TargetState) {
 	delete(p.lastRoute, target)
 	delete(p.baseStart, target)
 	delete(p.open, target)
+	p.store.Remove(target)
 	if st == nil {
 		return
 	}
+	// Self-exported store state always round-trips.
+	_ = p.store.ImportTarget(target, st.Store)
 	if st.Series != nil {
 		cp := make(map[Metric]*Series, len(st.Series))
 		for m, s := range st.Series {
-			cp[m] = copySeries(s)
+			sr := copySeries(s)
+			sr.retain = p.retain
+			sr.trim()
+			cp[m] = sr
 		}
 		p.series[target] = cp
 	}

@@ -13,6 +13,7 @@ import (
 	"repro/internal/core/collect"
 	"repro/internal/core/process"
 	"repro/internal/core/tables"
+	"repro/internal/core/tsdb"
 )
 
 // publish recomputes and swaps in the reader-facing views. Driver
@@ -215,4 +216,71 @@ func (s *Supervisor) SeriesView(name string, m process.Metric) *process.Series {
 		return nil
 	}
 	return w.core.proc.Series(name, m)
+}
+
+// QueryFleet executes a store query across the fleet: each target is
+// answered by its owning shard's long-horizon store (the fleet-level
+// synthetic targets by the aggregation processor's), and the per-target
+// rows are merged with tsdb.Assemble — the same split execution a
+// single store uses internally, so the result bytes are identical at
+// any shard count. Resolution goes through the last *published*
+// assignment like SeriesView, with the same between-cycle quiescence
+// contract for the store reads.
+func (s *Supervisor) QueryFleet(q tsdb.Query) (tsdb.Result, error) {
+	// The published assignment map is rebuilt wholesale each publish and
+	// never mutated afterwards, so holding the reference past the unlock
+	// is safe.
+	s.mu.Lock()
+	assign := s.status.Assignment
+	s.mu.Unlock()
+
+	names := q.Targets
+	if len(names) == 0 {
+		seen := make(map[string]bool)
+		for name := range assign {
+			if !seen[name] {
+				seen[name] = true
+				names = append(names, name)
+			}
+		}
+		for _, name := range s.fleetProc.Store().Targets() {
+			if !seen[name] {
+				seen[name] = true
+				names = append(names, name)
+			}
+		}
+		sort.Strings(names)
+	}
+
+	parts := make([]tsdb.TargetResult, 0, len(names))
+	for _, name := range names {
+		store := s.fleetProc.Store()
+		if sh, ok := assign[name]; ok && sh >= 0 && sh < len(s.workers) && s.workers[sh] != nil {
+			store = s.workers[sh].core.proc.Store()
+		}
+		tr, err := store.QueryTarget(q, name)
+		if err != nil {
+			return tsdb.Result{}, err
+		}
+		parts = append(parts, tr)
+	}
+	return tsdb.Assemble(q, parts), nil
+}
+
+// MaterializedView reads a target's full-history series from its owning
+// shard's store (or the aggregation processor's for fleet-level names),
+// through the published assignment — the sharded counterpart of
+// Monitor.MaterializedSeries, backing ranged /series reads.
+func (s *Supervisor) MaterializedView(name string, m process.Metric) *process.Series {
+	s.mu.Lock()
+	sh, ok := s.status.Assignment[name]
+	s.mu.Unlock()
+	if !ok || sh < 0 || sh >= len(s.workers) {
+		return s.fleetProc.MaterializedSeries(name, m)
+	}
+	w := s.workers[sh]
+	if w == nil {
+		return nil
+	}
+	return w.core.proc.MaterializedSeries(name, m)
 }

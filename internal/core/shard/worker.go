@@ -154,6 +154,9 @@ func newCore(cfg Config, dir string) (*shardCore, error) {
 	if cfg.MaxAnomalies > 0 {
 		c.proc.MaxAnomalies = cfg.MaxAnomalies
 	}
+	if cfg.SeriesRetain > 0 {
+		c.proc.SetSeriesRetain(cfg.SeriesRetain)
+	}
 	c.eng = engine.New(c.stages(), cfg.Clock)
 	if dir != "" {
 		st, err := logger.OpenStore(dir, logger.StoreOptions{SyncEveryAppend: cfg.SyncEveryAppend})

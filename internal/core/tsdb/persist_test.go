@@ -1,0 +1,232 @@
+package tsdb
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// buildMirrored fills a store attached to dir and returns the appended
+// points' count and the store.
+func buildMirrored(t *testing.T, dir string, n int) *Store {
+	t.Helper()
+	st := New()
+	if err := st.AttachDir(dir, false); err != nil {
+		t.Fatal(err)
+	}
+	fill(st, "fixw", "routes", 8, n)
+	fill(st, "ucsb-r1", "routes", 9, n/2)
+	if err := st.CloseDir(); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.PersistErr(); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// rebuilt replays the same appends into a fresh store — the stand-in
+// for "rebuilt from checkpoint + WAL replay" that archive recovery
+// performs before attaching the mirror.
+func rebuilt(n int) *Store {
+	st := New()
+	fill(st, "fixw", "routes", 8, n)
+	fill(st, "ucsb-r1", "routes", 9, n/2)
+	return st
+}
+
+func queryAll(t *testing.T, st *Store) Result {
+	t.Helper()
+	res, err := st.Query(Query{Metric: "routes", Op: OpRange})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestOpenColdMatchesSealedHistory(t *testing.T) {
+	dir := t.TempDir()
+	const n = 3*BlockPoints + 50
+	st := buildMirrored(t, dir, n)
+
+	cold, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The cold store holds sealed blocks only; compare against the live
+	// store's sealed prefix.
+	live := st.lookup("fixw", "routes")
+	var sealed []Point
+	for _, blk := range live.blocks {
+		pts, err := DecodeBlock(blk)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sealed = append(sealed, pts...)
+	}
+	got, err := cold.Materialize("fixw", "routes")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pointsEqual(sealed, got) {
+		t.Fatalf("cold store has %d points, sealed history has %d", len(got), len(sealed))
+	}
+}
+
+// TestAttachDirRepairsTruncation truncates the mirror segment at every
+// offset and proves AttachDir repairs the tail, reconciles the missing
+// blocks from memory, and leaves queries byte-identical — PR 2's
+// truncate-everywhere discipline applied to the block mirror.
+func TestAttachDirRepairsTruncation(t *testing.T) {
+	srcDir := t.TempDir()
+	const n = 2*BlockPoints + 10
+	orig := buildMirrored(t, srcDir, n)
+	want := queryAll(t, orig)
+
+	segs, err := listSegments(srcDir)
+	if err != nil || len(segs) != 1 {
+		t.Fatalf("segments = %v, %v", segs, err)
+	}
+	data, err := os.ReadFile(segs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Every offset would be ~5k attach cycles; step 7 covers every byte
+	// position class (frame headers, payload, magic) at 1/7 the cost.
+	for cut := 0; cut < len(data); cut += 7 {
+		dir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(dir, filepath.Base(segs[0])), data[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		st := rebuilt(n)
+		if err := st.AttachDir(dir, false); err != nil {
+			t.Fatalf("cut %d: attach: %v", cut, err)
+		}
+		if got := queryAll(t, st); !reflect.DeepEqual(want, got) {
+			t.Fatalf("cut %d: query differs after repair", cut)
+		}
+		if err := st.CloseDir(); err != nil {
+			t.Fatalf("cut %d: close: %v", cut, err)
+		}
+		// The healed mirror must itself be fully readable again.
+		cold, err := Open(dir)
+		if err != nil {
+			t.Fatalf("cut %d: reopen: %v", cut, err)
+		}
+		if cold.Len("fixw", "routes") == 0 && cut > len(segMagic) {
+			// Fine when the cut killed the magic: AttachDir removed the
+			// segment and rewrote sealed blocks into a fresh one — which
+			// the Len check above would then see. Reaching here means the
+			// reconcile failed to re-append anything.
+			t.Fatalf("cut %d: healed mirror is empty", cut)
+		}
+	}
+}
+
+// TestAttachDirRepairsBitFlips flips bytes throughout the segment and
+// proves the CRC framing catches them and the reconcile restores the
+// lost frames.
+func TestAttachDirRepairsBitFlips(t *testing.T) {
+	srcDir := t.TempDir()
+	const n = 2*BlockPoints + 10
+	orig := buildMirrored(t, srcDir, n)
+	want := queryAll(t, orig)
+
+	segs, _ := listSegments(srcDir)
+	data, err := os.ReadFile(segs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for pos := 0; pos < len(data); pos += 11 {
+		dir := t.TempDir()
+		mut := append([]byte(nil), data...)
+		mut[pos] ^= 0x5a
+		if err := os.WriteFile(filepath.Join(dir, filepath.Base(segs[0])), mut, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		st := rebuilt(n)
+		if err := st.AttachDir(dir, false); err != nil {
+			t.Fatalf("flip %d: attach: %v", pos, err)
+		}
+		if got := queryAll(t, st); !reflect.DeepEqual(want, got) {
+			t.Fatalf("flip %d: query differs after repair", pos)
+		}
+		if err := st.CloseDir(); err != nil {
+			t.Fatalf("flip %d: close: %v", pos, err)
+		}
+	}
+}
+
+// TestAttachDirDropsSegmentsAfterTear: segments after a repaired tail
+// are untrusted and removed, then reconciled back from memory.
+func TestAttachDirDropsSegmentsAfterTear(t *testing.T) {
+	dir := t.TempDir()
+	const n = 2*BlockPoints + 10
+	_ = buildMirrored(t, dir, n)
+
+	// Fabricate a rotation: tear the first segment and add a later one.
+	segs, _ := listSegments(dir)
+	data, err := os.ReadFile(segs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(segs[0], int64(len(data)-3)); err != nil {
+		t.Fatal(err)
+	}
+	later := segmentPath(dir, segmentSeq(segs[0])+1)
+	if err := os.WriteFile(later, []byte(segMagic+"garbage-after-rotation"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	st := rebuilt(n)
+	if err := st.AttachDir(dir, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.PersistErr(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(later); !os.IsNotExist(err) {
+		t.Fatalf("post-tear segment survived: %v", err)
+	}
+	if err := st.CloseDir(); err != nil {
+		t.Fatal(err)
+	}
+	cold, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.Len("fixw", "routes") != 2*BlockPoints {
+		t.Fatalf("healed mirror holds %d sealed points, want %d", cold.Len("fixw", "routes"), 2*BlockPoints)
+	}
+}
+
+// TestMirrorAppendsAcrossReattach: blocks sealed while attached and
+// blocks sealed before attach both end up mirrored exactly once.
+func TestMirrorAppendsAcrossReattach(t *testing.T) {
+	dir := t.TempDir()
+	st := New()
+	fill(st, "fixw", "routes", 8, BlockPoints) // sealed before attach
+	if err := st.AttachDir(dir, false); err != nil {
+		t.Fatal(err)
+	}
+	fill(st, "fixw", "sessions", 9, BlockPoints) // sealed while attached
+	if err := st.CloseDir(); err != nil {
+		t.Fatal(err)
+	}
+	// Re-attach: nothing is missing, so nothing is re-appended.
+	if err := st.AttachDir(dir, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.CloseDir(); err != nil {
+		t.Fatal(err)
+	}
+	cold, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.Len("fixw", "routes") != BlockPoints || cold.Len("fixw", "sessions") != BlockPoints {
+		t.Fatalf("mirror lens = %d, %d", cold.Len("fixw", "routes"), cold.Len("fixw", "sessions"))
+	}
+}

@@ -24,6 +24,10 @@ import (
 // The two legitimate unframed writes (the 8-byte segment magic, the
 // checkpoint helper that receives caller-framed bytes) carry reasoned
 // allow comments; anything new is a finding first.
+//
+// internal/core/tsdb is in scope too: the block mirror under DataDir
+// reuses the same segment-magic + CRC-framed discipline, and its
+// open-time scan makes the same torn-tail-vs-corruption distinction.
 var walTaintAnalyzer = &Analyzer{
 	Name: "waltaint",
 	Doc:  "direct file write on WAL/checkpoint paths bypassing the checksummed frame writer",
@@ -37,7 +41,7 @@ var rawWriteMethods = map[string]string{
 }
 
 func runWalTaint(a *Analysis, p *Package) []Finding {
-	if p.RelPath != "internal/core/logger" {
+	if p.RelPath != "internal/core/logger" && p.RelPath != "internal/core/tsdb" {
 		return nil
 	}
 	var out []Finding

@@ -37,6 +37,7 @@ import (
 	"repro/internal/core/output"
 	"repro/internal/core/process"
 	"repro/internal/core/tables"
+	"repro/internal/core/tsdb"
 )
 
 // Target identifies one monitored router; it aliases the collector's
@@ -82,6 +83,16 @@ type AnomalyRollup = process.AnomalyRollup
 // CrossTargetIncident is one anomaly kind open at two or more targets
 // at once; served at /anomalies?cross=1.
 type CrossTargetIncident = process.CrossTargetIncident
+
+// Query describes one read against the compressed series store — a raw
+// or downsampled range, an aggregate (min/max/avg/sum/count/rate), or a
+// top-k ranking across targets. Served over HTTP at /query.
+type Query = tsdb.Query
+
+// QueryResult is an assembled query answer: one row per target, sorted
+// by name, byte-identical whether the monitor runs unsharded or the
+// shard supervisor fanned the query across workers.
+type QueryResult = tsdb.Result
 
 // Monitor is a running Mantra instance.
 type Monitor struct {
@@ -222,10 +233,33 @@ func (m *Monitor) refreshTables(name string, sn *tables.Snapshot) {
 }
 
 // Series returns the named result series for a target, or nil before the
-// first cycle.
+// first cycle. With a retention cap (SetSeriesRetain) this is the hot
+// ring over the most recent points; MaterializedSeries streams the full
+// history back out of the compressed store.
 func (m *Monitor) Series(target string, metric Metric) *process.Series {
 	return m.proc.Series(target, metric)
 }
+
+// MaterializedSeries reconstructs a target's full series from the
+// compressed store, independent of the hot-ring retention cap.
+// Compression is lossless, so the result is point-for-point identical
+// to what an unbounded in-memory series would hold.
+func (m *Monitor) MaterializedSeries(target string, metric Metric) *process.Series {
+	return m.proc.MaterializedSeries(target, metric)
+}
+
+// Query answers a series-store query — range, aggregate, or top-k —
+// over this monitor's targets; the programmatic form of /query.
+func (m *Monitor) Query(q Query) (QueryResult, error) {
+	return m.proc.Query(q)
+}
+
+// SetSeriesRetain caps the in-memory hot ring of every series at n
+// points (0 restores unbounded growth). Full history stays queryable
+// through the compressed store; the cap is clamped so anomaly
+// detection is unaffected. Long-running daemons set this via the
+// -series-retain flag.
+func (m *Monitor) SetSeriesRetain(n int) { m.proc.SetSeriesRetain(n) }
 
 // Latest returns the most recent normalized snapshot for a target, or nil.
 func (m *Monitor) Latest(target string) *tables.Snapshot {
