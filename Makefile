@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build vet fmt-check mantralint lint lint-json lint-sarif test race bench bench-collect bench-archive bench-engine bench-detect bench-scale bench-store bench-smoke bench-json fuzz chaos chaos-shard figures check
+.PHONY: build vet fmt-check mantralint lint lint-json lint-sarif lint-baseline write-baseline test race bench bench-collect bench-archive bench-engine bench-detect bench-scale bench-store bench-smoke bench-json fuzz chaos chaos-shard figures check
 
 build:
 	$(GO) build ./...
@@ -17,11 +17,15 @@ fmt-check:
 
 # The project-specific analyzers: determinism (mapiter, floatsum),
 # clock injection (wallclock, globalrand), crash safety (walerr,
-# waltaint) and cross-function concurrency (lockheld, sharedmut,
-# goleak). See DESIGN.md §8–§9 for the invariants and the suppression
-# syntax.
+# waltaint), cross-function concurrency (lockheld, sharedmut, goleak),
+# hot-path allocation budgets (hotalloc, hotpath) and module-wide lock
+# ordering (lockorder). See DESIGN.md §8–§9 and §14 for the invariants
+# and the suppression syntax. The cache directory makes warm runs
+# re-analyze only packages whose content hash (self + dependency
+# closure) moved; findings are byte-identical to a cold run, and
+# deleting the directory forces one.
 mantralint:
-	$(GO) run ./cmd/mantralint ./...
+	$(GO) run ./cmd/mantralint -cache .mantralint-cache ./...
 
 # The one pre-commit lint target: formatting, vet, and the invariant
 # analyzers.
@@ -35,7 +39,19 @@ lint-json:
 # SARIF 2.1.0 log for GitHub code-scanning upload (CI runs this; the
 # file is valid — rules and all — even when the run is clean).
 lint-sarif:
-	$(GO) run ./cmd/mantralint -sarif mantralint.sarif ./...
+	$(GO) run ./cmd/mantralint -cache .mantralint-cache -sarif mantralint.sarif ./...
+
+# Baseline-diff mode: fail only on findings absent from the committed
+# snapshot, so a legacy finding can be burned down incrementally while
+# no fresh violation rides in under its cover. The tree is lint-clean
+# today, so the committed baseline is empty and this is equivalent to
+# plain `make mantralint` until someone baselines a legacy finding.
+lint-baseline:
+	$(GO) run ./cmd/mantralint -cache .mantralint-cache -baseline lint-baseline.json ./...
+
+# Snapshot the current findings as the new baseline (exits zero).
+write-baseline:
+	$(GO) run ./cmd/mantralint -write-baseline lint-baseline.json ./...
 
 # -shuffle randomizes test order every run, dynamically flushing
 # inter-test state dependence (the runtime complement to mapiter).

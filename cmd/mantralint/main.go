@@ -1,30 +1,47 @@
-// Command mantralint runs the project's determinism, clock-injection and
-// crash-safety analyzers over every package in the module and exits
-// non-zero on any finding.
+// Command mantralint runs the project's determinism, clock-injection,
+// crash-safety and concurrency analyzers over every package in the
+// module and exits non-zero on any finding.
 //
-//	mantralint ./...              # whole module (the ./... is cosmetic)
+//	mantralint ./...                        # whole module (the ./... is cosmetic)
 //	mantralint -checks mapiter,walerr
+//	mantralint -cache .mantralint-cache     # warm runs re-analyze changed packages only
+//	mantralint -baseline lint-baseline.json # fail only on findings not in the baseline
+//	mantralint -write-baseline lint-baseline.json
 //	mantralint -json
 //	mantralint -sarif mantralint.sarif ./...
+//	mantralint -hotroots                    # print the //mantra:hotpath root set
 //	mantralint -list
 //
 // Findings print as file:line:col: [check] message, with paths relative
 // to the module root. -json replaces that with a JSON array on stdout;
 // -sarif additionally writes a SARIF 2.1.0 log (GitHub code scanning's
 // ingest format) to the named file regardless of the stdout format.
+//
+// -cache names a directory of per-package entries keyed by a content
+// hash over each package's sources and its module-internal dependency
+// closure; a warm run loads and re-analyzes only packages whose hash
+// moved, and its findings are byte-identical to a cold run's. Delete the
+// directory to force a full re-analysis.
+//
+// -baseline diffs the run against a committed findings snapshot
+// (line-agnostic, multiset over file/check/message): only NEW findings
+// print and fail the run, so legacy findings can be burned down without
+// blocking unrelated changes. The SARIF log still carries the full
+// finding list. -write-baseline snapshots the current findings and exits
+// zero.
+//
 // A finding is silenced on its exact line by
 //
 //	//mantralint:allow <check> <reason>
 //
-// See DESIGN.md §8–§9 for the invariants each check encodes and when a
-// suppression is legitimate.
+// See DESIGN.md §8–§9 and §14 for the invariants each check encodes and
+// when a suppression is legitimate.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
-	"path/filepath"
 	"strings"
 
 	"repro/internal/lint"
@@ -34,9 +51,14 @@ func main() {
 	checks := flag.String("checks", "", "comma-separated subset of checks to run (default: all)")
 	dir := flag.String("dir", ".", "directory inside the module to lint")
 	list := flag.Bool("list", false, "list registered checks and exit")
-	debug := flag.Bool("debug", false, "print type-check diagnostics (analysis is best-effort under them)")
+	debug := flag.Bool("debug", false, "print type-check diagnostics (analysis is best-effort under them; disables -cache)")
 	jsonOut := flag.Bool("json", false, "print findings as a JSON array instead of text")
 	sarifPath := flag.String("sarif", "", "also write findings as SARIF 2.1.0 to this file")
+	cacheDir := flag.String("cache", "", "per-package finding/fact cache directory (empty: no cache)")
+	baselinePath := flag.String("baseline", "", "fail only on findings absent from this baseline file")
+	writeBaseline := flag.String("write-baseline", "", "write current findings to this baseline file and exit 0")
+	hotroots := flag.Bool("hotroots", false, "print the //mantra:hotpath root set and exit")
+	stats := flag.Bool("stats", false, "report package/cache-hit counts to stderr")
 	flag.Parse()
 
 	if *list {
@@ -51,56 +73,96 @@ func main() {
 		var err error
 		analyzers, err = lint.ByName(strings.Split(*checks, ","))
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "mantralint:", err)
-			os.Exit(2)
+			fail(err)
 		}
 	}
 
 	mod, err := lint.NewModule(*dir)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "mantralint:", err)
-		os.Exit(2)
+		fail(err)
 	}
-	pkgs, err := mod.LoadAll()
+	cache := *cacheDir
+	if *debug {
+		// Diagnostics come from freshly loaded packages; a warm cache would
+		// hide them. Debug runs are always cold.
+		cache = ""
+	}
+	d := &lint.Driver{Mod: mod, CacheDir: cache, Analyzers: analyzers}
+	res, err := d.Run()
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "mantralint:", err)
-		os.Exit(2)
+		fail(err)
 	}
 	if *debug {
-		for _, p := range pkgs {
+		for _, p := range mod.Loaded() {
 			for _, te := range p.TypeErrors {
 				fmt.Fprintf(os.Stderr, "mantralint: typecheck %s: %v\n", p.RelPath, te)
 			}
 		}
 	}
+	if *debug || *stats {
+		fmt.Fprintf(os.Stderr, "mantralint: %d package(s), %d cached, %d re-analyzed\n",
+			res.Stats.Packages, res.Stats.CacheHits, res.Stats.Reanalyzed)
+	}
 
-	findings := lint.RunAnalyzers(pkgs, analyzers)
-	for i := range findings {
-		if rel, err := filepath.Rel(mod.Root, findings[i].Pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
-			findings[i].Pos.Filename = rel
+	if *hotroots {
+		for _, r := range res.HotRoots {
+			fmt.Println(r)
 		}
+		return
+	}
+
+	findings := res.Findings
+
+	if *writeBaseline != "" {
+		f, err := os.Create(*writeBaseline)
+		if err != nil {
+			fail(err)
+		}
+		werr := lint.WriteJSON(f, findings)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			fail(werr)
+		}
+		fmt.Fprintf(os.Stderr, "mantralint: wrote %d finding(s) to %s\n", len(findings), *writeBaseline)
+		return
 	}
 
 	if *sarifPath != "" {
 		f, err := os.Create(*sarifPath)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "mantralint:", err)
-			os.Exit(2)
+			fail(err)
 		}
 		werr := lint.WriteSARIF(f, findings)
 		if cerr := f.Close(); werr == nil {
 			werr = cerr
 		}
 		if werr != nil {
-			fmt.Fprintln(os.Stderr, "mantralint: sarif:", werr)
-			os.Exit(2)
+			fail(fmt.Errorf("sarif: %w", werr))
 		}
+	}
+
+	if *baselinePath != "" {
+		bf, err := os.Open(*baselinePath)
+		if err != nil {
+			fail(err)
+		}
+		baseline, err := lint.ReadBaseline(bf)
+		bf.Close()
+		if err != nil {
+			fail(fmt.Errorf("baseline: %w", err))
+		}
+		newFindings, resolved := lint.DiffBaseline(findings, baseline)
+		if len(resolved) > 0 {
+			fmt.Fprintf(os.Stderr, "mantralint: %d baseline finding(s) resolved — shrink the baseline\n", len(resolved))
+		}
+		findings = newFindings
 	}
 
 	if *jsonOut {
 		if err := lint.WriteJSON(os.Stdout, findings); err != nil {
-			fmt.Fprintln(os.Stderr, "mantralint: json:", err)
-			os.Exit(2)
+			fail(fmt.Errorf("json: %w", err))
 		}
 	} else {
 		for _, f := range findings {
@@ -108,7 +170,16 @@ func main() {
 		}
 	}
 	if len(findings) > 0 {
-		fmt.Fprintf(os.Stderr, "mantralint: %d finding(s)\n", len(findings))
+		kind := "finding(s)"
+		if *baselinePath != "" {
+			kind = "new finding(s) not in baseline"
+		}
+		fmt.Fprintf(os.Stderr, "mantralint: %d %s\n", len(findings), kind)
 		os.Exit(1)
 	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "mantralint:", err)
+	os.Exit(2)
 }

@@ -48,6 +48,8 @@ func V4(a, b, c, d byte) IP {
 }
 
 // Parse parses a dotted-quad IPv4 address such as "192.168.1.7".
+//
+//mantra:hotpath budget=2
 func Parse(s string) (IP, error) {
 	parts := strings.Split(s, ".")
 	if len(parts) != 4 {
@@ -133,6 +135,8 @@ func PrefixFrom(ip IP, bits int) Prefix {
 }
 
 // ParsePrefix parses CIDR notation such as "128.111.0.0/16".
+//
+//mantra:hotpath budget=3
 func ParsePrefix(s string) (Prefix, error) {
 	slash := strings.IndexByte(s, '/')
 	if slash < 0 {

@@ -117,6 +117,8 @@ type writeDeadliner interface {
 // only way to unblock a stuck Read — so a hung router can never wedge the
 // collector. A timed-out session is dead either way; callers retry with a
 // fresh login.
+//
+//mantra:hotpath budget=3
 func (s *Session) readUntil(pattern string) (string, error) {
 	var sb strings.Builder
 	deadline := s.now().Add(s.timeout)
@@ -154,6 +156,8 @@ func (s *Session) readUntil(pattern string) (string, error) {
 // blocks until the peer reads, and a peer that timed out or wedged
 // mid-dump never will — without a deadline, sending "exit" to a stuck
 // session deadlocks both ends in Write forever.
+//
+//mantra:hotpath budget=1
 func (s *Session) send(line string) error {
 	if d, ok := s.conn.(writeDeadliner); ok {
 		_ = d.SetWriteDeadline(s.now().Add(s.timeout))
@@ -167,6 +171,8 @@ func (s *Session) send(line string) error {
 }
 
 // Login opens and authenticates a session against t.
+//
+//mantra:hotpath budget=2
 func Login(t Target) (*Session, error) {
 	conn, err := t.Dialer.Dial()
 	if err != nil {
@@ -265,6 +271,8 @@ var StandardCommands = []string{
 
 // CollectAll logs into the target once and captures every command.
 // Dumps carry the collection timestamp now.
+//
+//mantra:hotpath budget=4
 func CollectAll(t Target, commands []string, now time.Time) ([]Dump, error) {
 	s, err := Login(t)
 	if err != nil {
@@ -285,6 +293,8 @@ func CollectAll(t Target, commands []string, now time.Time) ([]Dump, error) {
 // Preprocess cleans a raw dump into trimmed, non-empty lines: excess
 // whitespace collapsed, delimiters and prompt remnants removed — the
 // paper's pre-processing step ahead of table mapping.
+//
+//mantra:hotpath budget=1
 func Preprocess(raw string) []string {
 	var out []string
 	for _, line := range strings.Split(raw, "\n") {

@@ -3,8 +3,8 @@ package collect
 import (
 	"errors"
 	"fmt"
-	"hash/fnv"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 )
@@ -199,9 +199,23 @@ func (p Policy) Backoff(target string, attempt int) time.Duration {
 	if d > p.MaxDelay {
 		d = p.MaxDelay
 	}
-	h := fnv.New64a()
-	fmt.Fprintf(h, "%s/%d/%d", target, attempt, p.JitterSeed)
-	frac := 0.5 + 0.5*float64(h.Sum64()%1024)/1024
+	// FNV-1a over "target/attempt/seed", composed in a stack buffer: the
+	// byte stream matches what fmt.Fprintf("%s/%d/%d") used to feed the
+	// hasher, so jitter values are unchanged, but the per-retry fmt and
+	// hasher allocations are gone (Backoff sits on the collect hot path).
+	var buf [64]byte
+	b := append(buf[:0], target...)
+	b = append(b, '/')
+	b = strconv.AppendInt(b, int64(attempt), 10)
+	b = append(b, '/')
+	b = strconv.AppendInt(b, int64(p.JitterSeed), 10)
+	const offset64, prime64 = 14695981039346656037, 1099511628211
+	h := uint64(offset64)
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= prime64
+	}
+	frac := 0.5 + 0.5*float64(h%1024)/1024
 	return time.Duration(float64(d) * frac)
 }
 
@@ -276,6 +290,8 @@ func (c *Collector) state(name string) *targetState {
 // It never panics and never blocks past the per-step timeouts; a target
 // that cannot be collected comes back as StatusDegraded (or
 // StatusBreakerOpen when skipped) with the last error attached.
+//
+//mantra:hotpath budget=3
 func (c *Collector) Collect(t Target, commands []string, now time.Time) Result {
 	c.mu.Lock()
 	st := c.state(t.Name)

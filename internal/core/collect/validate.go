@@ -43,6 +43,8 @@ var headerCountRE = regexp.MustCompile(`- (\d+) (entries|neighbors|groups)(?:, (
 // non-printable garbage all reject the dump. Unknown commands get only
 // the generic checks; the standard show commands are additionally held to
 // their table layout.
+//
+//mantra:hotpath budget=9
 func ValidateDump(prompt, command, raw string) error {
 	header, known := tableHeaders[command]
 	// Whitespace-only responses (a bare CR, a prompt-only reply's leftover

@@ -110,6 +110,8 @@ func appendRoute(b []byte, e tables.RouteEntry) []byte {
 }
 
 // encodePayload renders a record's payload (everything inside the frame).
+//
+//mantra:hotpath budget=1
 func encodePayload(r walRecord) []byte {
 	b := make([]byte, 0, 64)
 	b = appendUvarint(b, r.Seq)

@@ -69,6 +69,10 @@ type targetLog struct {
 	// last* is the materialized latest state, used to compute deltas.
 	lastPairs  map[pairKey]tables.PairEntry
 	lastRoutes map[addr.Prefix]tables.RouteEntry
+	// seen* are Append's per-cycle scratch sets, kept here and cleared
+	// between cycles so the diff allocates no fresh maps at steady state.
+	seenP map[pairKey]bool
+	seenR map[addr.Prefix]bool
 	// fullEntries counts what full-snapshot storage would have used.
 	fullEntries  uint64
 	deltaEntries uint64
@@ -111,11 +115,24 @@ func (l *Logger) target(name string) *targetLog {
 // Append logs one cycle snapshot, computing deltas against the previous
 // cycle of the same target. It returns the delta record it stored, so a
 // durable archive can persist exactly what the in-memory log holds.
+//
+// The budget covers the delta-set appends and sort closures — the
+// record being built is returned, so its slices cannot be pooled; the
+// per-cycle scratch maps are reused via targetLog.
+//
+//mantra:hotpath budget=7
 func (l *Logger) Append(sn *tables.Snapshot) CycleRecord {
 	tl := l.target(sn.Target)
 	rec := CycleRecord{At: sn.At, SACache: len(sn.SAs), MBGPRoutes: len(sn.MBGP)}
 
-	seenP := make(map[pairKey]bool, len(sn.Pairs))
+	if tl.seenP == nil {
+		tl.seenP = make(map[pairKey]bool, len(sn.Pairs))
+		tl.seenR = make(map[addr.Prefix]bool, len(sn.Routes))
+	} else {
+		clear(tl.seenP)
+		clear(tl.seenR)
+	}
+	seenP, seenR := tl.seenP, tl.seenR
 	for _, e := range sn.Pairs {
 		e = normPair(e)
 		k := pairKey{Source: e.Source, Group: e.Group}
@@ -142,7 +159,6 @@ func (l *Logger) Append(sn *tables.Snapshot) CycleRecord {
 		return a.Source < b.Source
 	})
 
-	seenR := make(map[addr.Prefix]bool, len(sn.Routes))
 	for _, e := range sn.Routes {
 		e = normRoute(e)
 		seenR[e.Prefix] = true

@@ -230,6 +230,11 @@ func (s *Store) AppendGap(target string, at time.Time, reason string) error {
 }
 
 // append frames and writes one record; the caller holds s.mu.
+//
+// The budget covers the two error-path fmt.Errorf wraps; the frame
+// buffer itself is the one deliberate per-record allocation.
+//
+//mantra:hotpath budget=2
 func (s *Store) append(rec walRecord) error {
 	if s.seg == nil {
 		if err := s.openSegment(s.seq + 1); err != nil {
@@ -275,11 +280,14 @@ func putU32(b []byte, v uint32) {
 	b[3] = byte(v >> 24)
 }
 
+//mantra:hotpath budget=1
 func segmentName(first uint64) string { return fmt.Sprintf("wal-%020d.seg", first) }
 func ckptName(seq uint64) string      { return fmt.Sprintf("ckpt-%020d.ck", seq) }
 
 // openSegment creates a fresh segment whose first record will carry seq
 // first; the caller holds s.mu.
+//
+//mantra:hotpath budget=3
 func (s *Store) openSegment(first uint64) error {
 	path := filepath.Join(s.dir, segmentName(first))
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND|os.O_EXCL, 0o644)
@@ -298,6 +306,8 @@ func (s *Store) openSegment(first uint64) error {
 
 // rotate closes the active segment (synced, so rotation is a durability
 // point) and retires it to the closed list; the caller holds s.mu.
+//
+//mantra:hotpath budget=1
 func (s *Store) rotate() error {
 	if s.seg == nil {
 		return nil

@@ -40,6 +40,8 @@ func NewRouteStability() *RouteStability {
 }
 
 // Observe folds one cycle's route table into the tracker.
+//
+//mantra:hotpath budget=2
 func (rs *RouteStability) Observe(routes tables.RouteTable, at time.Time) {
 	rs.cycles++
 	cur := make(map[addr.Prefix]bool, len(routes))

@@ -130,6 +130,8 @@ type Snapshot struct {
 }
 
 // parseUptime parses the H:MM:SS uptime format.
+//
+//mantra:hotpath budget=2
 func parseUptime(s string) (time.Duration, error) {
 	parts := strings.Split(s, ":")
 	if len(parts) != 3 {
@@ -160,6 +162,8 @@ func headerCount(line string) (int, bool) {
 
 // ParseDVMRPRoutes maps a pre-processed `show ip dvmrp route` dump to the
 // Route table.
+//
+//mantra:hotpath budget=4
 func ParseDVMRPRoutes(lines []string) (RouteTable, error) {
 	var out RouteTable
 	for _, line := range lines {
@@ -196,6 +200,8 @@ func ParseDVMRPRoutes(lines []string) (RouteTable, error) {
 }
 
 // ParseMroute maps a pre-processed `show ip mroute` dump to the Pair table.
+//
+//mantra:hotpath budget=5
 func ParseMroute(lines []string) (PairTable, error) {
 	var out PairTable
 	for _, line := range lines {
@@ -235,6 +241,8 @@ func ParseMroute(lines []string) (PairTable, error) {
 }
 
 // ParseIGMP maps a pre-processed `show ip igmp groups` dump.
+//
+//mantra:hotpath budget=3
 func ParseIGMP(lines []string) ([]IGMPEntry, error) {
 	var out []IGMPEntry
 	for _, line := range lines {
@@ -263,6 +271,8 @@ func ParseIGMP(lines []string) ([]IGMPEntry, error) {
 }
 
 // ParseMSDP maps a pre-processed `show ip msdp sa-cache` dump.
+//
+//mantra:hotpath budget=3
 func ParseMSDP(lines []string) ([]SAEntry, error) {
 	var out []SAEntry
 	for _, line := range lines {
@@ -297,6 +307,8 @@ func ParseMSDP(lines []string) ([]SAEntry, error) {
 }
 
 // ParseMBGP maps a pre-processed `show ip mbgp` dump.
+//
+//mantra:hotpath budget=5
 func ParseMBGP(lines []string) ([]MBGPEntry, error) {
 	var out []MBGPEntry
 	for _, line := range lines {
@@ -335,6 +347,8 @@ func ParseMBGP(lines []string) ([]MBGPEntry, error) {
 // BuildSnapshot assembles one router's cycle snapshot from its dumps,
 // dispatching each dump to the right parser by command. Unknown commands
 // are skipped. Every dump must share the target and timestamp.
+//
+//mantra:hotpath budget=4
 func BuildSnapshot(dumps []collect.Dump) (*Snapshot, error) {
 	if len(dumps) == 0 {
 		return nil, fmt.Errorf("tables: no dumps")

@@ -53,6 +53,7 @@ type dirWriter struct {
 	written map[seriesKey]int
 }
 
+//mantra:hotpath budget=1
 func segmentPath(dir string, seq uint64) string {
 	return filepath.Join(dir, fmt.Sprintf("tsdb-%020d.seg", seq))
 }
@@ -287,6 +288,7 @@ func (d *dirWriter) writeFrame(payload []byte) {
 	}
 }
 
+//mantra:hotpath budget=1
 func (d *dirWriter) openSegment() error {
 	f, err := os.OpenFile(segmentPath(d.dir, d.seq), os.O_CREATE|os.O_WRONLY|os.O_EXCL, 0o644)
 	if err != nil {

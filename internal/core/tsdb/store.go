@@ -80,6 +80,8 @@ func (st *Store) lookup(target, metric string) *series {
 // Append records one value point. Timestamps are unixnano and must be
 // appended in nondecreasing order per series (Mantra's cycle clock
 // guarantees this; the codec itself tolerates anything).
+//
+//mantra:hotpath
 func (st *Store) Append(target, metric string, t int64, v float64) {
 	st.appendPoint(target, metric, Point{T: t, V: v})
 }

@@ -1,0 +1,72 @@
+package lint
+
+import (
+	"encoding/json"
+	"go/token"
+	"io"
+)
+
+// Baseline mode: instead of failing on every finding, the driver diffs
+// the current run against a committed snapshot (the JSON findings
+// format, i.e. a -write-baseline run or a checked-in lint-baseline.json)
+// and fails only on findings that are NEW — so a legacy finding can be
+// burned down incrementally without blocking unrelated PRs, while no
+// fresh violation ever rides in under its cover.
+//
+// Matching is a multiset over (file, check, message), deliberately
+// line-agnostic: editing an unrelated part of a file shifts line numbers
+// but must not resurrect a baselined finding. Adding a second identical
+// violation in the same file still fails — the multiset counts.
+
+// ReadBaseline decodes a baseline file (the WriteJSON format).
+func ReadBaseline(r io.Reader) ([]Finding, error) {
+	var raw []jsonFinding
+	if err := json.NewDecoder(r).Decode(&raw); err != nil {
+		return nil, err
+	}
+	out := make([]Finding, 0, len(raw))
+	for _, f := range raw {
+		out = append(out, Finding{
+			Pos:   token.Position{Filename: f.File, Line: f.Line, Column: f.Column},
+			Check: f.Check, Message: f.Message,
+		})
+	}
+	return out, nil
+}
+
+// baselineKey is the line-agnostic identity of one finding.
+func baselineKey(f Finding) string {
+	return f.Pos.Filename + "\x00" + f.Check + "\x00" + f.Message
+}
+
+// DiffBaseline splits the current findings into those absent from the
+// baseline (newFindings — these fail the run) and reports which baseline
+// entries no longer occur (resolved — candidates for shrinking the
+// committed file). Both preserve input order.
+func DiffBaseline(current, baseline []Finding) (newFindings, resolved []Finding) {
+	counts := make(map[string]int, len(baseline))
+	for _, f := range baseline {
+		counts[baselineKey(f)]++
+	}
+	for _, f := range current {
+		k := baselineKey(f)
+		if counts[k] > 0 {
+			counts[k]--
+			continue
+		}
+		newFindings = append(newFindings, f)
+	}
+	// Whatever is left in counts was not matched by any current finding.
+	left := make(map[string]int, len(counts))
+	for k, n := range counts {
+		left[k] = n
+	}
+	for _, f := range baseline {
+		k := baselineKey(f)
+		if left[k] > 0 {
+			left[k]--
+			resolved = append(resolved, f)
+		}
+	}
+	return newFindings, resolved
+}

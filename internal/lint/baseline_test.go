@@ -1,0 +1,76 @@
+package lint
+
+import (
+	"bytes"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func bf(file string, line int, check, msg string) Finding {
+	return Finding{Pos: token.Position{Filename: file, Line: line, Column: 1}, Check: check, Message: msg}
+}
+
+func renderAll(fs []Finding) string {
+	var out []string
+	for _, f := range fs {
+		out = append(out, f.String())
+	}
+	return strings.Join(out, "\n")
+}
+
+func TestDiffBaseline(t *testing.T) {
+	baseline := []Finding{
+		bf("a.go", 10, "mapiter", "m1"),
+		bf("a.go", 20, "mapiter", "m1"), // duplicate identity: multiset of 2
+		bf("b.go", 5, "walerr", "m2"),
+	}
+	current := []Finding{
+		bf("a.go", 99, "mapiter", "m1"), // matches despite the line shift
+		bf("a.go", 12, "mapiter", "m1"),
+		bf("a.go", 13, "mapiter", "m1"), // third copy: one past the multiset
+		bf("c.go", 1, "floatsum", "m3"), // brand new
+	}
+	newF, resolved := DiffBaseline(current, baseline)
+	if len(newF) != 2 || newF[0].Pos.Line != 13 || newF[1].Check != "floatsum" {
+		t.Fatalf("newFindings = %v", newF)
+	}
+	if len(resolved) != 1 || resolved[0].Check != "walerr" {
+		t.Fatalf("resolved = %v", resolved)
+	}
+}
+
+func TestDiffBaselineEmptyBaseline(t *testing.T) {
+	current := []Finding{bf("a.go", 1, "mapiter", "m")}
+	newF, resolved := DiffBaseline(current, nil)
+	if renderAll(newF) != renderAll(current) || len(resolved) != 0 {
+		t.Fatalf("newF = %v, resolved = %v", newF, resolved)
+	}
+}
+
+// TestBaselineRoundTrip: WriteJSON output read back through ReadBaseline
+// diffs clean against the findings it snapshotted.
+func TestBaselineRoundTrip(t *testing.T) {
+	findings := []Finding{
+		bf("a.go", 10, "mapiter", "m1"),
+		bf("b.go", 5, "walerr", "m2"),
+	}
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, findings); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadBaseline(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	newF, resolved := DiffBaseline(findings, back)
+	if len(newF) != 0 || len(resolved) != 0 {
+		t.Fatalf("round-trip diff not clean: new=%v resolved=%v", newF, resolved)
+	}
+}
+
+func TestReadBaselineRejectsGarbage(t *testing.T) {
+	if _, err := ReadBaseline(strings.NewReader("{not json")); err == nil {
+		t.Fatal("garbage baseline accepted")
+	}
+}

@@ -1,0 +1,471 @@
+package lint
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Driver is mantralint v3's incremental front end. A cold run loads,
+// type-checks and analyzes every package; as it goes it writes one cache
+// entry per package — the raw (pre-suppression) local findings, the
+// allow directives, and the global-phase fact summary — keyed by a
+// content hash over the package's sources and the keys of its
+// module-internal dependency closure. A warm run hashes sources (cheap),
+// decodes entries for unchanged packages, and loads + re-analyzes only
+// the packages whose key moved.
+//
+// Correctness across the warm/cold split:
+//
+//   - Local analyzers' findings for a package depend only on that package
+//     and its dependency closure (facts flow along import edges), and the
+//     cache key covers exactly that closure — so a cached local finding
+//     list is valid iff the key matches.
+//   - The module-wide analyzers (hotalloc, lockorder) can change a
+//     package's findings when a *reverse* dependency changes (a new
+//     hot root upstream, a new lock edge elsewhere), so their findings
+//     are never cached: the global phase recomputes every run from the
+//     per-package summaries — cached or fresh, the same GlobalFindings
+//     code path — which is what keeps warm output byte-identical to cold.
+//   - Suppression and staleness are applied globally at the end, from the
+//     cached allow records, in the same per-line semantics RunAnalyzers
+//     uses.
+//
+// All positions in driver output (and in cache entries) are
+// module-root-relative, so entries are stable across checkouts and
+// directly diffable against a committed baseline.
+type Driver struct {
+	Mod *Module
+	// CacheDir holds the per-package entries; "" disables caching (every
+	// run is cold, output is identical either way).
+	CacheDir string
+	// Analyzers is the selected check set.
+	Analyzers []*Analyzer
+}
+
+// DriverStats describes what one run did.
+type DriverStats struct {
+	// Packages is the number of package directories in the module.
+	Packages int
+	// CacheHits is how many of them were served from cache entries.
+	CacheHits int
+	// Reanalyzed is how many were loaded and re-analyzed (Packages -
+	// CacheHits).
+	Reanalyzed int
+}
+
+// DriverResult is one run's output.
+type DriverResult struct {
+	// Findings is the post-suppression finding list, position-sorted,
+	// with module-root-relative paths.
+	Findings []Finding
+	// HotRoots is the sorted //mantra:hotpath root set discovered this
+	// run — the list the testing.AllocsPerRun gates are generated from.
+	HotRoots []string
+	Stats    DriverStats
+}
+
+// cacheSchema versions the entry encoding; bump on any change to what
+// entries contain or how keys are derived, and every entry goes stale.
+const cacheSchema = 1
+
+// cacheEntry is one package's cached analysis.
+type cacheEntry struct {
+	Schema  int    `json:"schema"`
+	Key     string `json:"key"`
+	RelPath string `json:"relPath"`
+	// Findings are the raw local-analyzer findings, pre-suppression.
+	Findings []jsonFinding `json:"findings"`
+	// Allows are the well-formed suppression directives; Defects the
+	// malformed ones (already findings).
+	Allows  []AllowRec    `json:"allows"`
+	Defects []jsonFinding `json:"defects"`
+	// Summary feeds the global phase.
+	Summary *PkgSummary `json:"summary"`
+}
+
+// Run executes the incremental analysis.
+func (d *Driver) Run() (*DriverResult, error) {
+	rels, err := d.Mod.PackageDirs()
+	if err != nil {
+		return nil, err
+	}
+
+	keys, err := d.packageKeys(rels)
+	if err != nil {
+		return nil, err
+	}
+
+	entries := make(map[string]*cacheEntry, len(rels))
+	var missed []string
+	for _, rel := range rels {
+		if e := d.readEntry(rel, keys[rel]); e != nil {
+			entries[rel] = e
+			continue
+		}
+		missed = append(missed, rel)
+	}
+
+	if err := d.analyze(missed, keys, entries); err != nil {
+		return nil, err
+	}
+
+	// Assemble: summaries from every entry feed the global phase; local
+	// findings come from the entries; suppression applies globally.
+	ran := make(map[string]bool)
+	globalWanted := false
+	for _, a := range d.Analyzers {
+		ran[a.Name] = true
+		if a.Name == "hotalloc" || a.Name == "lockorder" {
+			globalWanted = true
+		}
+	}
+
+	sums := make([]*PkgSummary, 0, len(rels))
+	var allows []AllowRec
+	var out, raw []Finding
+	for _, rel := range rels {
+		e := entries[rel]
+		sums = append(sums, e.Summary)
+		allows = append(allows, e.Allows...)
+		out = append(out, fromJSONFindings(e.Defects)...)
+		raw = append(raw, fromJSONFindings(e.Findings)...)
+	}
+	if globalWanted {
+		for _, fs := range GlobalFindings(sums) {
+			for _, f := range fs {
+				if ran[f.Check] {
+					raw = append(raw, f)
+				}
+			}
+		}
+	}
+
+	set := newAllowSet(allows)
+	for _, f := range raw {
+		if !set.suppresses(f) {
+			out = append(out, f)
+		}
+	}
+	out = append(out, set.stale(ran)...)
+	sortFindings(out)
+
+	return &DriverResult{
+		Findings: out,
+		HotRoots: HotRoots(sums),
+		Stats: DriverStats{
+			Packages:   len(rels),
+			CacheHits:  len(rels) - len(missed),
+			Reanalyzed: len(missed),
+		},
+	}, nil
+}
+
+// analyze loads and analyzes the missed packages, filling (and, when
+// caching is on, persisting) their entries. Loading is sequential — the
+// module loader memoizes dependency closures — analysis is parallel.
+func (d *Driver) analyze(missed []string, keys map[string]string, entries map[string]*cacheEntry) error {
+	if len(missed) == 0 {
+		return nil
+	}
+	pkgs := make([]*Package, len(missed))
+	for i, rel := range missed {
+		p, err := d.Mod.LoadPackage(rel)
+		if err != nil {
+			return err
+		}
+		pkgs[i] = p
+	}
+
+	// The Analysis spans everything loaded (missed packages plus the
+	// dependency closures pulled in to type-check them), so cross-package
+	// facts for the local analyzers are as complete as a full cold run.
+	a := NewAnalysis(d.Mod.Loaded())
+
+	// Only the local analyzers run per package here; the global pair is
+	// recomputed from summaries in Run, never cached.
+	var local []*Analyzer
+	for _, an := range d.Analyzers {
+		if an.Name != "hotalloc" && an.Name != "lockorder" {
+			local = append(local, an)
+		}
+	}
+
+	valid := validChecks()
+	fresh := make([]*cacheEntry, len(missed))
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	var wg sync.WaitGroup
+	for i, p := range pkgs {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int, p *Package) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			recs, defects := collectAllowRecs(p, valid)
+			var raw []Finding
+			for _, an := range local {
+				raw = append(raw, an.Run(a, p)...)
+			}
+			e := &cacheEntry{
+				Schema:   cacheSchema,
+				Key:      keys[p.RelPath],
+				RelPath:  p.RelPath,
+				Findings: toJSONFindings(raw),
+				Allows:   recs,
+				Defects:  toJSONFindings(defects),
+				Summary:  Summarize(p),
+			}
+			d.relativizeEntry(e)
+			fresh[i] = e
+		}(i, p)
+	}
+	wg.Wait()
+
+	for i, rel := range missed {
+		entries[rel] = fresh[i]
+		if d.CacheDir != "" {
+			if err := d.writeEntry(fresh[i]); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// packageKeys computes each package's cache key: a hash over the entry
+// schema, the selected check names, the toolchain version, the module
+// path, the package's own sources, and — recursively — the keys of its
+// module-internal imports. Any edit anywhere in the dependency closure
+// moves the key.
+func (d *Driver) packageKeys(rels []string) (map[string]string, error) {
+	infos := make(map[string]*dirScan, len(rels))
+	var checks []string
+	for _, a := range d.Analyzers {
+		checks = append(checks, a.Name)
+	}
+	sort.Strings(checks)
+	header := fmt.Sprintf("schema=%d\nchecks=%s\ngo=%s\nmodule=%s\n",
+		cacheSchema, strings.Join(checks, ","), runtime.Version(), d.Mod.Path)
+
+	for _, rel := range rels {
+		info, err := d.scanDir(rel)
+		if err != nil {
+			return nil, err
+		}
+		infos[rel] = info
+	}
+
+	keys := make(map[string]string, len(rels))
+	var keyOf func(rel string) string
+	keyOf = func(rel string) string {
+		if k, ok := keys[rel]; ok {
+			return k
+		}
+		info := infos[rel]
+		if info == nil {
+			// Import of a directory outside the package walk (or missing):
+			// a constant key keeps the referrer stable; the type-checker
+			// reports the real problem.
+			return "unresolved:" + rel
+		}
+		keys[rel] = "cycle:" + rel // placeholder; real cycles fail the load
+		h := sha256.New()
+		fmt.Fprintf(h, "%srel=%s\nself=%s\n", header, rel, info.selfHash)
+		for _, dep := range info.deps {
+			fmt.Fprintf(h, "dep=%s:%s\n", dep, keyOf(dep))
+		}
+		k := hex.EncodeToString(h.Sum(nil))
+		keys[rel] = k
+		return k
+	}
+	for _, rel := range rels {
+		keyOf(rel)
+	}
+	return keys, nil
+}
+
+// dirScan is one directory's hash inputs: a digest of its own sources
+// and its module-internal imports (as package rels).
+type dirScan struct {
+	selfHash string
+	deps     []string
+}
+
+// scanDir hashes a package directory's non-test Go sources and extracts
+// its module-internal imports, without type-checking.
+func (d *Driver) scanDir(rel string) (*dirScan, error) {
+	dir := filepath.Join(d.Mod.Root, rel)
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range ents {
+		name := e.Name()
+		if !e.IsDir() && strings.HasSuffix(name, ".go") && !strings.HasSuffix(name, "_test.go") {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+
+	h := sha256.New()
+	depSet := make(map[string]bool)
+	fset := token.NewFileSet()
+	for _, name := range names {
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(h, "file=%s:%d\n", name, len(data))
+		h.Write(data)
+		f, err := parser.ParseFile(fset, name, data, parser.ImportsOnly)
+		if err != nil {
+			continue // the loader will report the syntax error properly
+		}
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if path == d.Mod.Path {
+				depSet[""] = true
+			} else if rest, ok := strings.CutPrefix(path, d.Mod.Path+"/"); ok {
+				depSet[filepath.FromSlash(rest)] = true
+			}
+		}
+	}
+	var deps []string
+	for dep := range depSet {
+		if dep != rel {
+			deps = append(deps, dep)
+		}
+	}
+	sort.Strings(deps)
+	return &dirScan{selfHash: hex.EncodeToString(h.Sum(nil)), deps: deps}, nil
+}
+
+// entryPath maps a package rel to its cache file.
+func (d *Driver) entryPath(rel string) string {
+	name := "ROOT"
+	if rel != "" {
+		name = strings.ReplaceAll(filepath.ToSlash(rel), "/", "__")
+	}
+	return filepath.Join(d.CacheDir, name+".json")
+}
+
+// readEntry returns the cached entry for rel iff it exists, decodes, and
+// matches the wanted key exactly; anything else is a miss.
+func (d *Driver) readEntry(rel, key string) *cacheEntry {
+	if d.CacheDir == "" {
+		return nil
+	}
+	data, err := os.ReadFile(d.entryPath(rel))
+	if err != nil {
+		return nil
+	}
+	var e cacheEntry
+	if json.Unmarshal(data, &e) != nil {
+		return nil
+	}
+	if e.Schema != cacheSchema || e.Key != key || e.RelPath != rel || e.Summary == nil {
+		return nil
+	}
+	return &e
+}
+
+// writeEntry persists one entry, via a temp file so a crashed run never
+// leaves a torn entry behind.
+func (d *Driver) writeEntry(e *cacheEntry) error {
+	if err := os.MkdirAll(d.CacheDir, 0o755); err != nil {
+		return err
+	}
+	data, err := json.Marshal(e)
+	if err != nil {
+		return err
+	}
+	path := d.entryPath(e.RelPath)
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// relativizeEntry rewrites every absolute source path in an entry to be
+// module-root-relative, so entries survive checkout moves and driver
+// output diffs cleanly against a committed baseline.
+func (d *Driver) relativizeEntry(e *cacheEntry) {
+	rel := func(name string) string {
+		r, err := filepath.Rel(d.Mod.Root, name)
+		if err != nil || strings.HasPrefix(r, "..") {
+			return name
+		}
+		return filepath.ToSlash(r)
+	}
+	for i := range e.Findings {
+		e.Findings[i].File = rel(e.Findings[i].File)
+	}
+	for i := range e.Defects {
+		e.Defects[i].File = rel(e.Defects[i].File)
+	}
+	for i := range e.Allows {
+		e.Allows[i].Pos.File = rel(e.Allows[i].Pos.File)
+	}
+	for _, f := range e.Summary.Funcs {
+		f.End.File = rel(f.End.File)
+		for i := range f.Calls {
+			f.Calls[i].Pos.File = rel(f.Calls[i].Pos.File)
+		}
+		for i := range f.Allocs {
+			f.Allocs[i].Pos.File = rel(f.Allocs[i].Pos.File)
+		}
+		for i := range f.Locks {
+			f.Locks[i].Pos.File = rel(f.Locks[i].Pos.File)
+		}
+	}
+}
+
+// validChecks is the allow-comment validity set: every registered check
+// plus the implicit ones.
+func validChecks() map[string]bool {
+	valid := make(map[string]bool)
+	for _, a := range Analyzers() {
+		valid[a.Name] = true
+	}
+	for _, name := range ImplicitChecks() {
+		valid[name] = true
+	}
+	return valid
+}
+
+func toJSONFindings(fs []Finding) []jsonFinding {
+	out := make([]jsonFinding, 0, len(fs))
+	for _, f := range fs {
+		out = append(out, jsonFinding{
+			File: f.Pos.Filename, Line: f.Pos.Line, Column: f.Pos.Column,
+			Check: f.Check, Message: f.Message,
+		})
+	}
+	return out
+}
+
+func fromJSONFindings(fs []jsonFinding) []Finding {
+	out := make([]Finding, 0, len(fs))
+	for _, f := range fs {
+		out = append(out, Finding{
+			Pos:   token.Position{Filename: f.File, Line: f.Line, Column: f.Column},
+			Check: f.Check, Message: f.Message,
+		})
+	}
+	return out
+}

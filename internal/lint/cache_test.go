@@ -1,0 +1,179 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// The driver's correctness contract: a warm run's findings are
+// byte-identical to a cold run's, across edits, moves and deletions —
+// including the case where an edit in one package changes the GLOBAL
+// findings reported in another package that stayed cached.
+
+const cacheTestGoMod = "module cachetest\n\ngo 1.21\n"
+
+const cacheTestDep = `package a
+
+import "fmt"
+
+// Render allocates through fmt; it is hot only while some root
+// reaches it.
+func Render(n int) string {
+	return fmt.Sprintf("%d", n)
+}
+`
+
+const cacheTestRoot = `package b
+
+import "cachetest/a"
+
+//mantra:hotpath
+func Cycle() string {
+	return a.Render(1)
+}
+`
+
+func writeTree(t *testing.T, dir string, files map[string]string) {
+	t.Helper()
+	for rel, content := range files {
+		path := filepath.Join(dir, rel)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// runDriver loads the module fresh (as a new process would) and runs
+// the driver, returning rendered findings. Paths in findings are
+// module-root-relative, so renderings compare across runs and roots.
+func runDriver(t *testing.T, dir, cacheDir string) ([]string, DriverStats) {
+	t.Helper()
+	mod, err := NewModule(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := &Driver{Mod: mod, CacheDir: cacheDir, Analyzers: Analyzers()}
+	res, err := d.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]string, 0, len(res.Findings))
+	for _, f := range res.Findings {
+		out = append(out, f.String())
+	}
+	return out, res.Stats
+}
+
+// checkWarmEqualsCold runs the cached driver and a cache-less one over
+// the same tree and requires identical renderings.
+func checkWarmEqualsCold(t *testing.T, step, dir, cacheDir string) []string {
+	t.Helper()
+	warm, _ := runDriver(t, dir, cacheDir)
+	cold, _ := runDriver(t, dir, "")
+	if strings.Join(warm, "\n") != strings.Join(cold, "\n") {
+		t.Fatalf("%s: warm findings diverge from cold\nwarm: %v\ncold: %v", step, warm, cold)
+	}
+	return warm
+}
+
+func TestDriverCacheCorrectness(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks a module repeatedly")
+	}
+	dir := t.TempDir()
+	cache := t.TempDir()
+	writeTree(t, dir, map[string]string{
+		"go.mod": cacheTestGoMod,
+		"a/a.go": cacheTestDep,
+		"b/b.go": cacheTestRoot,
+	})
+
+	// Cold: everything analyzed, one hotalloc finding in the dep package.
+	findings, stats := runDriver(t, dir, cache)
+	if stats.Packages != 2 || stats.CacheHits != 0 || stats.Reanalyzed != 2 {
+		t.Fatalf("cold stats = %+v", stats)
+	}
+	if len(findings) != 1 || !strings.Contains(findings[0], "hotalloc") ||
+		!strings.HasPrefix(findings[0], filepath.FromSlash("a/a.go")) {
+		t.Fatalf("cold findings = %v", findings)
+	}
+
+	// Warm, nothing changed: all hits, byte-identical findings.
+	warm, stats := runDriver(t, dir, cache)
+	if stats.CacheHits != 2 || stats.Reanalyzed != 0 {
+		t.Fatalf("warm stats = %+v", stats)
+	}
+	if strings.Join(warm, "\n") != strings.Join(findings, "\n") {
+		t.Fatalf("warm findings = %v, cold = %v", warm, findings)
+	}
+
+	// Edit the ROOT package only: the dep stays cached (its key ignores
+	// reverse deps), yet its hotalloc finding must disappear, because the
+	// global phase recomputes from summaries every run.
+	writeTree(t, dir, map[string]string{
+		"b/b.go": strings.Replace(cacheTestRoot, "//mantra:hotpath\n", "", 1),
+	})
+	warm, stats = runDriver(t, dir, cache)
+	if stats.CacheHits != 1 || stats.Reanalyzed != 1 {
+		t.Fatalf("root-edit stats = %+v", stats)
+	}
+	if len(warm) != 0 {
+		t.Fatalf("no roots remain but findings = %v", warm)
+	}
+	checkWarmEqualsCold(t, "root edit", dir, cache)
+
+	// Edit the DEP package: its key moves, and the root's key moves with
+	// it (dep-closure hashing), so both re-analyze.
+	writeTree(t, dir, map[string]string{
+		"a/a.go": strings.Replace(cacheTestDep, "return fmt.Sprintf",
+			"fmt.Sprint(n)\n\treturn fmt.Sprintf", 1),
+		"b/b.go": cacheTestRoot,
+	})
+	warm, stats = runDriver(t, dir, cache)
+	if stats.CacheHits != 0 || stats.Reanalyzed != 2 {
+		t.Fatalf("dep-edit stats = %+v", stats)
+	}
+	if len(warm) != 2 {
+		t.Fatalf("dep edit findings = %v, want the two fmt sites", warm)
+	}
+	checkWarmEqualsCold(t, "dep edit", dir, cache)
+
+	// Move: same bytes under a new file name is a different package
+	// fingerprint, and findings must carry the new path.
+	if err := os.Rename(filepath.Join(dir, "a/a.go"), filepath.Join(dir, "a/render.go")); err != nil {
+		t.Fatal(err)
+	}
+	warm = checkWarmEqualsCold(t, "move", dir, cache)
+	if len(warm) != 2 || !strings.HasPrefix(warm[0], filepath.FromSlash("a/render.go")) {
+		t.Fatalf("move findings = %v", warm)
+	}
+
+	// Corrupt one cache entry: it must read as a miss, not as poison.
+	entries, err := filepath.Glob(filepath.Join(cache, "*.json"))
+	if err != nil || len(entries) == 0 {
+		t.Fatalf("cache entries = %v, %v", entries, err)
+	}
+	if err := os.WriteFile(entries[0], []byte("{truncated"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	checkWarmEqualsCold(t, "corrupt entry", dir, cache)
+
+	// Delete the root package: its stale cache entry is ignored and the
+	// dep cools back down to no findings.
+	if err := os.RemoveAll(filepath.Join(dir, "b")); err != nil {
+		t.Fatal(err)
+	}
+	warm, stats = runDriver(t, dir, cache)
+	if stats.Packages != 1 {
+		t.Fatalf("delete stats = %+v", stats)
+	}
+	if len(warm) != 0 {
+		t.Fatalf("deleted the only root but findings = %v", warm)
+	}
+	checkWarmEqualsCold(t, "delete", dir, cache)
+}

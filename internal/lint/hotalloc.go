@@ -1,0 +1,39 @@
+package lint
+
+// hotAllocAnalyzer flags allocation sites on declared hot paths: starting
+// from the //mantra:hotpath root set (the engine's cycle chain, the
+// tsdb append path, the WAL frame writer, the tables diff path), it
+// walks the module's static call graph and reports composite literals,
+// append/make/new growth and interface boxing in loops, string<->[]byte
+// conversions, fmt calls, and escaping closure captures in every
+// reachable function whose allocation-site count exceeds its budget.
+//
+// Budgets (//mantra:hotpath budget=N) are pinned at the current count,
+// so a hot function's existing allocations are grandfathered explicitly
+// while any new one fails the build — the static complement of the
+// testing.AllocsPerRun gates generated from the same root set.
+//
+// The analysis is module-wide: the hot set and every finding are
+// computed once per Analysis over the per-package fact summaries, then
+// routed to the package each function lives in. The same computation
+// runs over cached summaries in the warm driver, so cached findings are
+// byte-identical to fresh ones.
+var hotAllocAnalyzer = &Analyzer{
+	Name: "hotalloc",
+	Doc:  "allocation site reachable from a //mantra:hotpath root beyond the function's allocation budget",
+	Run:  runHotAlloc,
+}
+
+func runHotAlloc(a *Analysis, p *Package) []Finding {
+	return filterCheck(a.globalFindings()[p.RelPath], "hotalloc")
+}
+
+func filterCheck(fs []Finding, check string) []Finding {
+	var out []Finding
+	for _, f := range fs {
+		if f.Check == check {
+			out = append(out, f)
+		}
+	}
+	return out
+}

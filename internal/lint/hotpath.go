@@ -1,0 +1,129 @@
+package lint
+
+import (
+	"go/ast"
+	"strconv"
+	"strings"
+)
+
+// The hot-path annotation contract (DESIGN.md §14): a function is
+// declared a hot-path root by a marker in its doc comment,
+//
+//	//mantra:hotpath
+//	//mantra:hotpath budget=3
+//
+// and hotalloc walks the static call graph from the declared roots,
+// flagging allocation sites in every function it can reach. The budget
+// is the number of allocation sites the annotated function itself is
+// allowed (default 0); functions reached transitively always have
+// budget 0 unless they carry their own marker. Budgets are meant to be
+// pinned at the current site count, so any *new* allocation on a hot
+// path fails the build while the existing ones are grandfathered
+// explicitly rather than silently.
+const hotpathMarker = "//mantra:hotpath"
+
+// hotMark is one parsed //mantra:hotpath annotation.
+type hotMark struct {
+	budget int
+	line   int
+}
+
+// parseHotMark parses one marker comment. ok is false when the comment
+// is not a marker at all; err carries a human-readable defect when it is
+// a marker but malformed.
+func parseHotMark(text string) (budget int, ok bool, errMsg string) {
+	if !strings.HasPrefix(text, hotpathMarker) {
+		return 0, false, ""
+	}
+	rest := strings.TrimPrefix(text, hotpathMarker)
+	if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+		return 0, false, "" // e.g. //mantra:hotpathy — not ours
+	}
+	fields := strings.Fields(rest)
+	if len(fields) == 0 {
+		return 0, true, ""
+	}
+	if len(fields) > 1 {
+		return 0, true, "marker takes at most one argument (budget=N)"
+	}
+	val, found := strings.CutPrefix(fields[0], "budget=")
+	if !found {
+		return 0, true, "unknown marker argument " + quote(fields[0]) + " (want budget=N)"
+	}
+	n, err := strconv.Atoi(val)
+	if err != nil || n < 0 {
+		return 0, true, "budget " + quote(val) + " is not a non-negative integer"
+	}
+	return n, true, ""
+}
+
+// hotpathAnalyzer validates the annotation contract itself. A marker
+// that silently fails to register a root would quietly shrink hotalloc's
+// coverage, so every defect in a marker is a build failure:
+//
+//   - a marker not attached to a function declaration's doc comment
+//     (dangling: inside a body, on a type, floating between decls);
+//   - a malformed budget argument;
+//   - duplicate markers on one function.
+var hotpathAnalyzer = &Analyzer{
+	Name: "hotpath",
+	Doc:  "malformed or dangling //mantra:hotpath annotation (the marker would silently not register a hot-path root)",
+	Run:  runHotpath,
+}
+
+func runHotpath(a *Analysis, p *Package) []Finding {
+	var out []Finding
+	for _, file := range p.Files {
+		// Comment groups attached as some FuncDecl's Doc are the valid
+		// anchor points; every marker elsewhere is dangling.
+		attached := make(map[*ast.CommentGroup]bool)
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if ok && fd.Doc != nil {
+				attached[fd.Doc] = true
+				marks := 0
+				for _, c := range fd.Doc.List {
+					_, isMark, errMsg := parseHotMark(c.Text)
+					if !isMark {
+						continue
+					}
+					marks++
+					if errMsg != "" {
+						out = append(out, p.finding("hotpath", c.Pos(), "bad //mantra:hotpath on %s: %s", fd.Name.Name, errMsg))
+					}
+					if marks == 2 {
+						out = append(out, p.finding("hotpath", c.Pos(), "duplicate //mantra:hotpath on %s; one marker per function", fd.Name.Name))
+					}
+				}
+			}
+		}
+		for _, cg := range file.Comments {
+			if attached[cg] {
+				continue
+			}
+			for _, c := range cg.List {
+				if _, isMark, _ := parseHotMark(c.Text); isMark {
+					out = append(out, p.finding("hotpath", c.Pos(),
+						"dangling //mantra:hotpath: the marker must be part of a function declaration's doc comment to register a root"))
+				}
+			}
+		}
+	}
+	return out
+}
+
+// funcHotMark returns the hot-path marker on a function's doc comment,
+// if any. Malformed markers still register (with the parsed-or-zero
+// budget) so the hotpath analyzer's defect report and the root set
+// cannot disagree about whether a root exists.
+func funcHotMark(p *Package, fd *ast.FuncDecl) (hotMark, bool) {
+	if fd.Doc == nil {
+		return hotMark{}, false
+	}
+	for _, c := range fd.Doc.List {
+		if budget, ok, _ := parseHotMark(c.Text); ok {
+			return hotMark{budget: budget, line: p.Fset.Position(c.Pos()).Line}, true
+		}
+	}
+	return hotMark{}, false
+}

@@ -81,6 +81,27 @@ type Package struct {
 type Analysis struct {
 	Pkgs  []*Package
 	Graph *CallGraph
+
+	// The global phase (hotalloc hot-set reachability, the lockorder
+	// acquisition graph) runs once per Analysis over per-package fact
+	// summaries, lazily on first demand; per-package analyzer Runs then
+	// just pick out their slice. The warm driver feeds the identical
+	// computation cached summaries, so the two paths cannot diverge.
+	globalOnce sync.Once
+	global     map[string][]Finding
+}
+
+// globalFindings returns the module-wide analyzers' raw findings,
+// grouped by package RelPath, computing them on first call.
+func (a *Analysis) globalFindings() map[string][]Finding {
+	a.globalOnce.Do(func() {
+		sums := make([]*PkgSummary, 0, len(a.Pkgs))
+		for _, p := range a.Pkgs {
+			sums = append(sums, Summarize(p))
+		}
+		a.global = GlobalFindings(sums)
+	})
+	return a.global
 }
 
 // NewAnalysis builds the shared context: the static call graph over pkgs
@@ -109,7 +130,10 @@ func Analyzers() []*Analyzer {
 		floatSumAnalyzer,
 		globalRandAnalyzer,
 		goLeakAnalyzer,
+		hotAllocAnalyzer,
+		hotpathAnalyzer,
 		lockHeldAnalyzer,
+		lockOrderAnalyzer,
 		mapIterAnalyzer,
 		sharedMutAnalyzer,
 		walErrAnalyzer,

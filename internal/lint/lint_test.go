@@ -127,6 +127,10 @@ func TestSharedMutFixture(t *testing.T) {
 }
 func TestGoLeakFixture(t *testing.T)   { checkFixture(t, "goleak", "internal/netsim") }
 func TestWalTaintFixture(t *testing.T) { checkFixture(t, "waltaint", "internal/core/logger") }
+func TestHotAllocFixture(t *testing.T) { checkFixture(t, "hotalloc", "internal/netsim") }
+func TestLockOrderFixture(t *testing.T) {
+	checkFixture(t, "lockorder", "internal/netsim")
+}
 
 // TestAllowStaleFixture: an allow whose line no longer violates the
 // named check is itself reported, and the report is itself allowable.
@@ -241,6 +245,53 @@ func TestEngineRegressShapes(t *testing.T) {
 	}
 }
 
+// TestLockOrderRegress pins the PR 6 session-write wedge: an AB/BA
+// inversion between the session and write-queue mutexes, living in
+// internal/core/collect — outside lockheld's scoped package set, which
+// is exactly why lockorder runs module-wide. Both legs must report.
+func TestLockOrderRegress(t *testing.T) {
+	checkFixture(t, "lockorderregress", "internal/core/collect")
+	p := loadFixture(t, "lockorderregress", "internal/core/collect")
+	lockorder := 0
+	for _, f := range RunAnalyzers([]*Package{p}, Analyzers()) {
+		if f.Check == "lockorder" {
+			lockorder++
+		}
+	}
+	if lockorder < 2 {
+		t.Fatalf("lockorder findings = %d, want both legs of the PR 6 wedge", lockorder)
+	}
+}
+
+// TestHotpathDefects asserts the marker-defect cases directly (a want
+// annotation appended to a marker comment would parse as the marker's
+// argument, so that fixture cannot self-annotate).
+func TestHotpathDefects(t *testing.T) {
+	p := loadFixture(t, "hotpathdefects", "internal/netsim")
+	var msgs []string
+	for _, f := range RunAnalyzers([]*Package{p}, Analyzers()) {
+		if f.Check != "hotpath" {
+			t.Errorf("unexpected finding: %s", f)
+			continue
+		}
+		msgs = append(msgs, f.Message)
+	}
+	if len(msgs) != 5 {
+		t.Fatalf("hotpath defects = %d (%v), want 5", len(msgs), msgs)
+	}
+	for i, wantSub := range []string{
+		"dangling //mantra:hotpath",
+		`budget "zero" is not a non-negative integer`,
+		"marker takes at most one argument",
+		"duplicate //mantra:hotpath on dup",
+		"dangling //mantra:hotpath",
+	} {
+		if !strings.Contains(msgs[i], wantSub) {
+			t.Errorf("hotpath defect %d = %q, want substring %q", i, msgs[i], wantSub)
+		}
+	}
+}
+
 func TestByName(t *testing.T) {
 	as, err := ByName([]string{"mapiter", "walerr"})
 	if err != nil || len(as) != 2 || as[0].Name != "mapiter" || as[1].Name != "walerr" {
@@ -251,8 +302,9 @@ func TestByName(t *testing.T) {
 	}
 	names := CheckNames()
 	wantNames := []string{
-		"floatsum", "globalrand", "goleak", "lockheld", "mapiter",
-		"sharedmut", "walerr", "wallclock", "waltaint",
+		"floatsum", "globalrand", "goleak", "hotalloc", "hotpath",
+		"lockheld", "lockorder", "mapiter", "sharedmut", "walerr",
+		"wallclock", "waltaint",
 	}
 	if strings.Join(names, ",") != strings.Join(wantNames, ",") {
 		t.Fatalf("CheckNames = %v, want %v", names, wantNames)
@@ -277,5 +329,62 @@ func TestModuleSelfClean(t *testing.T) {
 	}
 	for _, f := range RunAnalyzers(pkgs, Analyzers()) {
 		t.Errorf("finding on clean tree: %s", f)
+	}
+}
+
+// TestHotRootsPinned pins the //mantra:hotpath root set. The
+// AllocsPerRun gates in hotpath_gate_test.go (repo root) exercise the
+// dynamic side of the key roots; this list is the static side, so a
+// marker silently added, moved or dropped shows up as a diff here and
+// keeps the two views from drifting. Update both together.
+func TestHotRootsPinned(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module")
+	}
+	pkgs, err := fixtureModule(t).LoadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sums := make([]*PkgSummary, 0, len(pkgs))
+	for _, p := range pkgs {
+		sums = append(sums, Summarize(p))
+	}
+	want := []string{
+		"(*repro.Monitor).stageCollect",
+		"(*repro.Monitor).stageLog",
+		"(*repro.Monitor).stageNormalize",
+		"(*repro/internal/core/collect.Collector).Collect",
+		"(*repro/internal/core/collect.Session).readUntil",
+		"(*repro/internal/core/collect.Session).send",
+		"(*repro/internal/core/engine.Engine).Run",
+		"(*repro/internal/core/engine.Engine).finishCycle",
+		"(*repro/internal/core/logger.Logger).Append",
+		"(*repro/internal/core/logger.Store).append",
+		"(*repro/internal/core/logger.Store).openSegment",
+		"(*repro/internal/core/logger.Store).rotate",
+		"(*repro/internal/core/process.RouteStability).Observe",
+		"(*repro/internal/core/tsdb.Store).Append",
+		"(*repro/internal/core/tsdb.dirWriter).openSegment",
+		"repro/internal/addr.Parse",
+		"repro/internal/addr.ParsePrefix",
+		"repro/internal/core/collect.CollectAll",
+		"repro/internal/core/collect.Login",
+		"repro/internal/core/collect.Preprocess",
+		"repro/internal/core/collect.ValidateDump",
+		"repro/internal/core/logger.encodePayload",
+		"repro/internal/core/logger.segmentName",
+		"repro/internal/core/tables.BuildSnapshot",
+		"repro/internal/core/tables.ParseDVMRPRoutes",
+		"repro/internal/core/tables.ParseIGMP",
+		"repro/internal/core/tables.ParseMBGP",
+		"repro/internal/core/tables.ParseMSDP",
+		"repro/internal/core/tables.ParseMroute",
+		"repro/internal/core/tables.parseUptime",
+		"repro/internal/core/tsdb.segmentPath",
+	}
+	got := HotRoots(sums)
+	if strings.Join(got, "\n") != strings.Join(want, "\n") {
+		t.Fatalf("hot-path root set drifted:\ngot:\n%s\nwant:\n%s",
+			strings.Join(got, "\n"), strings.Join(want, "\n"))
 	}
 }

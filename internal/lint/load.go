@@ -91,10 +91,10 @@ func modulePath(gomod string) (string, error) {
 	return "", fmt.Errorf("lint: no module directive in %s", gomod)
 }
 
-// LoadAll loads every package directory under the module root, skipping
-// testdata, vendor, hidden and underscore directories. The result is
-// sorted by RelPath.
-func (m *Module) LoadAll() ([]*Package, error) {
+// PackageDirs enumerates every package directory under the module root,
+// skipping testdata, vendor, hidden and underscore directories. The
+// result is sorted by RelPath ("" for the root package).
+func (m *Module) PackageDirs() ([]string, error) {
 	var rels []string
 	err := filepath.WalkDir(m.Root, func(path string, d os.DirEntry, err error) error {
 		if err != nil {
@@ -128,6 +128,16 @@ func (m *Module) LoadAll() ([]*Package, error) {
 		return nil, err
 	}
 	sort.Strings(rels)
+	return rels, nil
+}
+
+// LoadAll loads every package directory under the module root. The
+// result is sorted by RelPath.
+func (m *Module) LoadAll() ([]*Package, error) {
+	rels, err := m.PackageDirs()
+	if err != nil {
+		return nil, err
+	}
 	var out []*Package
 	for _, rel := range rels {
 		p, err := m.load(rel)
@@ -137,6 +147,26 @@ func (m *Module) LoadAll() ([]*Package, error) {
 		out = append(out, p)
 	}
 	return out, nil
+}
+
+// LoadPackage loads (or returns the already-loaded) package at rel —
+// the driver's entry point for re-analyzing just the packages whose
+// cache entries went stale. Loading pulls the module-internal dependency
+// closure in for type information as a side effect.
+func (m *Module) LoadPackage(rel string) (*Package, error) { return m.load(rel) }
+
+// Loaded returns every package loaded so far, sorted by RelPath: the
+// explicitly requested ones plus the dependency closures pulled in to
+// type-check them.
+func (m *Module) Loaded() []*Package {
+	var out []*Package
+	for _, p := range m.pkgs {
+		if p != nil {
+			out = append(out, p)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].RelPath < out[j].RelPath })
+	return out
 }
 
 func hasGoFiles(dir string) (bool, error) {

@@ -1,0 +1,102 @@
+// Fixture for the hotalloc analyzer: declared roots, call-graph
+// reachability, per-function budgets, each allocation kind, and the
+// //mantralint:allow escape hatch. Loaded as internal/netsim so no
+// package-scoped analyzer interferes.
+package netsim
+
+import "fmt"
+
+type box struct{ n int }
+
+// sink is an interface-taking callee for the boxing case.
+func sink(v any) { _ = v }
+
+// render is reachable from the cycle root with the default budget 0:
+// its one allocation site reports.
+func render(n int) string {
+	return fmt.Sprintf("%d", n) // want `fmt.Sprintf call \(formats through interfaces, allocates\) in netsim.render \(reachable from //mantra:hotpath root netsim.cycle; 1 allocation site\(s\), budget 0\)`
+}
+
+// cycle is a declared root; its budget of 1 grandfathers the append
+// growth below, so cycle itself stays silent while its callees are
+// walked.
+//
+//mantra:hotpath budget=1
+func cycle(items []int) []string {
+	var out []string
+	for _, n := range items {
+		out = append(out, render(n))
+	}
+	return out
+}
+
+// publish is a root with the default budget 0: boxing an int into
+// sink's interface parameter inside the loop reports.
+//
+//mantra:hotpath
+func publish(items []int) {
+	for _, n := range items {
+		sink(n) // want `argument boxed into interface parameter of sink per loop iteration in netsim.publish \(itself a //mantra:hotpath root`
+	}
+}
+
+// frame's two sites (the copying conversion and the capturing closure)
+// are exactly covered by its budget: silent, by design.
+//
+//mantra:hotpath budget=2
+func frame(payload string) func() []byte {
+	raw := []byte(payload)
+	return func() []byte { return raw }
+}
+
+// over is one site past its budget: when the count exceeds the budget,
+// every site reports, budget included in the message.
+//
+//mantra:hotpath budget=1
+func over(items []string) map[string]int {
+	m := make(map[string]int)
+	for _, s := range items {
+		b := []byte(s) // want `conversion \[\]byte\(\.\.\.\) copies its operand in netsim.over \(itself a //mantra:hotpath root; 2 allocation site\(s\), budget 1\)`
+		m[string(b)]++ // want `conversion string\(\.\.\.\) copies its operand`
+	}
+	return m
+}
+
+// gauge demonstrates the escape hatch: both sites on the allow line
+// (append growth and the composite literal) are suppressed.
+//
+//mantra:hotpath
+func gauge(items []int) []box {
+	var out []box
+	for _, n := range items {
+		out = append(out, box{n}) //mantralint:allow hotalloc fixture: the escape hatch must silence exactly this line
+	}
+	return out
+}
+
+// scan pins the loop-span precision fix: a composite literal used as
+// the range OPERAND evaluates once, before the first iteration, and
+// must not count as a per-iteration site (only the loop body
+// re-executes). This was a live false positive on stripEcho's
+// delimiter table.
+//
+//mantra:hotpath
+func scan(items []int) int {
+	n := 0
+	for range []int{1, 2, 4, 8} {
+		n++
+	}
+	for _, it := range items {
+		n += it
+	}
+	return n
+}
+
+// coldSetup allocates freely but is reachable from no root: silent.
+func coldSetup(n int) []string {
+	out := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, fmt.Sprint(i))
+	}
+	return out
+}

@@ -1,0 +1,26 @@
+// Fixture for the hotpath marker checks. A want annotation appended to
+// a marker comment would parse as the marker's argument, so this
+// fixture cannot self-annotate; TestHotpathDefects matches the findings
+// directly.
+package netsim
+
+// A floating marker: the blank line detaches it from ok's doc comment,
+// so it registers nothing.
+//
+//mantra:hotpath
+
+func ok() {}
+
+//mantra:hotpath budget=zero
+func badBudget() {}
+
+//mantra:hotpath budget=1 extra
+func twoArgs() {}
+
+//mantra:hotpath
+//mantra:hotpath
+func dup() {}
+
+func body() {
+	//mantra:hotpath
+}

@@ -33,6 +33,8 @@ func (m *Monitor) engineStages() engine.Stages {
 // stageCollect runs the resilient collection of one target (breaker
 // check, retries, dump validation). Safe for concurrent use across
 // targets — the collector serializes its own bookkeeping.
+//
+//mantra:hotpath
 func (m *Monitor) stageCollect(it *engine.Item, now time.Time) {
 	it.Res = m.collector.Collect(it.Target, m.Commands, now)
 }
@@ -40,6 +42,8 @@ func (m *Monitor) stageCollect(it *engine.Item, now time.Time) {
 // stageNormalize maps the raw dumps onto the local tables. A parse
 // failure counts against the target's breaker: a router emitting
 // unparseable dumps is as unhealthy as one refusing logins.
+//
+//mantra:hotpath budget=1
 func (m *Monitor) stageNormalize(it *engine.Item, now time.Time) {
 	sn, err := tables.BuildSnapshot(it.Res.Dumps)
 	if err != nil {
@@ -54,6 +58,8 @@ func (m *Monitor) stageNormalize(it *engine.Item, now time.Time) {
 
 // stageLog appends the cycle to the delta log and the durable archive;
 // a failed target gets an explicit gap marker instead.
+//
+//mantra:hotpath
 func (m *Monitor) stageLog(it *engine.Item, now time.Time) {
 	if it.Snapshot == nil {
 		reason := ""
