@@ -23,7 +23,9 @@ fmt-check:
 # and the suppression syntax. The cache directory makes warm runs
 # re-analyze only packages whose content hash (self + dependency
 # closure) moved; findings are byte-identical to a cold run, and
-# deleting the directory forces one.
+# deleting the directory forces one. Exit codes: 0 clean, 1 findings,
+# 2 internal/load error — CI distinguishes "fix the code" from "fix
+# the invocation" on that split.
 mantralint:
 	$(GO) run ./cmd/mantralint -cache .mantralint-cache ./...
 
@@ -91,10 +93,13 @@ bench-json:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./... | $(GO) run ./cmd/benchjson -out BENCH_lint.json
 	@echo "wrote BENCH_lint.json"
 
-# Short fuzz passes over the dump validator and pre-processor.
+# Short fuzz passes over the dump validator, the pre-processor, and the
+# lint fact-summary extractor (no panics; byte-identical summaries
+# across independent parse/check passes).
 fuzz:
 	$(GO) test ./internal/core/collect -fuzz FuzzValidateDump -fuzztime 30s
 	$(GO) test ./internal/core/collect -fuzz FuzzPreprocess -fuzztime 30s
+	$(GO) test ./internal/lint -fuzz FuzzSummaryExtract -fuzztime 30s
 
 # The chaos suite under the race detector with shuffled test order: the
 # 220-cycle fault-injection run, the breaker lifecycle, and the scripted

@@ -34,38 +34,67 @@
 //
 //	//mantralint:allow <check> <reason>
 //
-// See DESIGN.md §8–§9 and §14 for the invariants each check encodes and
-// when a suppression is legitimate.
+// Exit codes are part of the tool's contract (CI and the Makefile key
+// off them):
+//
+//	0  the lint ran and found nothing
+//	1  the lint ran and reported findings (after baseline subtraction)
+//	2  the lint itself failed: bad flags, unknown check names, module
+//	   load errors, or unwritable output files
+//
+// See DESIGN.md §8–§9, §14 and §15 for the invariants each check
+// encodes and when a suppression is legitimate.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
 	"repro/internal/lint"
 )
 
+// Exit codes; run returns them rather than calling os.Exit so tests can
+// drive the whole CLI in-process.
+const (
+	exitClean    = 0 // ran, no findings
+	exitFindings = 1 // ran, findings reported
+	exitError    = 2 // the lint itself failed (flags, load, output I/O)
+)
+
 func main() {
-	checks := flag.String("checks", "", "comma-separated subset of checks to run (default: all)")
-	dir := flag.String("dir", ".", "directory inside the module to lint")
-	list := flag.Bool("list", false, "list registered checks and exit")
-	debug := flag.Bool("debug", false, "print type-check diagnostics (analysis is best-effort under them; disables -cache)")
-	jsonOut := flag.Bool("json", false, "print findings as a JSON array instead of text")
-	sarifPath := flag.String("sarif", "", "also write findings as SARIF 2.1.0 to this file")
-	cacheDir := flag.String("cache", "", "per-package finding/fact cache directory (empty: no cache)")
-	baselinePath := flag.String("baseline", "", "fail only on findings absent from this baseline file")
-	writeBaseline := flag.String("write-baseline", "", "write current findings to this baseline file and exit 0")
-	hotroots := flag.Bool("hotroots", false, "print the //mantra:hotpath root set and exit")
-	stats := flag.Bool("stats", false, "report package/cache-hit counts to stderr")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("mantralint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	checks := fs.String("checks", "", "comma-separated subset of checks to run (default: all)")
+	dir := fs.String("dir", ".", "directory inside the module to lint")
+	list := fs.Bool("list", false, "list registered checks and exit")
+	debug := fs.Bool("debug", false, "print type-check diagnostics (analysis is best-effort under them; disables -cache)")
+	jsonOut := fs.Bool("json", false, "print findings as a JSON array instead of text")
+	sarifPath := fs.String("sarif", "", "also write findings as SARIF 2.1.0 to this file")
+	cacheDir := fs.String("cache", "", "per-package finding/fact cache directory (empty: no cache)")
+	baselinePath := fs.String("baseline", "", "fail only on findings absent from this baseline file")
+	writeBaseline := fs.String("write-baseline", "", "write current findings to this baseline file and exit 0")
+	hotroots := fs.Bool("hotroots", false, "print the //mantra:hotpath root set and exit")
+	stats := fs.Bool("stats", false, "report package/cache-hit counts to stderr")
+	if err := fs.Parse(args); err != nil {
+		return exitError
+	}
+	fail := func(err error) int {
+		fmt.Fprintln(stderr, "mantralint:", err)
+		return exitError
+	}
 
 	if *list {
 		for _, a := range lint.Analyzers() {
-			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+			fmt.Fprintf(stdout, "%-12s %s\n", a.Name, a.Doc)
 		}
-		return
+		return exitClean
 	}
 
 	analyzers := lint.Analyzers()
@@ -73,13 +102,13 @@ func main() {
 		var err error
 		analyzers, err = lint.ByName(strings.Split(*checks, ","))
 		if err != nil {
-			fail(err)
+			return fail(err)
 		}
 	}
 
 	mod, err := lint.NewModule(*dir)
 	if err != nil {
-		fail(err)
+		return fail(err)
 	}
 	cache := *cacheDir
 	if *debug {
@@ -90,25 +119,25 @@ func main() {
 	d := &lint.Driver{Mod: mod, CacheDir: cache, Analyzers: analyzers}
 	res, err := d.Run()
 	if err != nil {
-		fail(err)
+		return fail(err)
 	}
 	if *debug {
 		for _, p := range mod.Loaded() {
 			for _, te := range p.TypeErrors {
-				fmt.Fprintf(os.Stderr, "mantralint: typecheck %s: %v\n", p.RelPath, te)
+				fmt.Fprintf(stderr, "mantralint: typecheck %s: %v\n", p.RelPath, te)
 			}
 		}
 	}
 	if *debug || *stats {
-		fmt.Fprintf(os.Stderr, "mantralint: %d package(s), %d cached, %d re-analyzed\n",
+		fmt.Fprintf(stderr, "mantralint: %d package(s), %d cached, %d re-analyzed\n",
 			res.Stats.Packages, res.Stats.CacheHits, res.Stats.Reanalyzed)
 	}
 
 	if *hotroots {
 		for _, r := range res.HotRoots {
-			fmt.Println(r)
+			fmt.Fprintln(stdout, r)
 		}
-		return
+		return exitClean
 	}
 
 	findings := res.Findings
@@ -116,57 +145,57 @@ func main() {
 	if *writeBaseline != "" {
 		f, err := os.Create(*writeBaseline)
 		if err != nil {
-			fail(err)
+			return fail(err)
 		}
 		werr := lint.WriteJSON(f, findings)
 		if cerr := f.Close(); werr == nil {
 			werr = cerr
 		}
 		if werr != nil {
-			fail(werr)
+			return fail(werr)
 		}
-		fmt.Fprintf(os.Stderr, "mantralint: wrote %d finding(s) to %s\n", len(findings), *writeBaseline)
-		return
+		fmt.Fprintf(stderr, "mantralint: wrote %d finding(s) to %s\n", len(findings), *writeBaseline)
+		return exitClean
 	}
 
 	if *sarifPath != "" {
 		f, err := os.Create(*sarifPath)
 		if err != nil {
-			fail(err)
+			return fail(err)
 		}
 		werr := lint.WriteSARIF(f, findings)
 		if cerr := f.Close(); werr == nil {
 			werr = cerr
 		}
 		if werr != nil {
-			fail(fmt.Errorf("sarif: %w", werr))
+			return fail(fmt.Errorf("sarif: %w", werr))
 		}
 	}
 
 	if *baselinePath != "" {
 		bf, err := os.Open(*baselinePath)
 		if err != nil {
-			fail(err)
+			return fail(err)
 		}
 		baseline, err := lint.ReadBaseline(bf)
 		bf.Close()
 		if err != nil {
-			fail(fmt.Errorf("baseline: %w", err))
+			return fail(fmt.Errorf("baseline: %w", err))
 		}
 		newFindings, resolved := lint.DiffBaseline(findings, baseline)
 		if len(resolved) > 0 {
-			fmt.Fprintf(os.Stderr, "mantralint: %d baseline finding(s) resolved — shrink the baseline\n", len(resolved))
+			fmt.Fprintf(stderr, "mantralint: %d baseline finding(s) resolved — shrink the baseline\n", len(resolved))
 		}
 		findings = newFindings
 	}
 
 	if *jsonOut {
-		if err := lint.WriteJSON(os.Stdout, findings); err != nil {
-			fail(fmt.Errorf("json: %w", err))
+		if err := lint.WriteJSON(stdout, findings); err != nil {
+			return fail(fmt.Errorf("json: %w", err))
 		}
 	} else {
 		for _, f := range findings {
-			fmt.Println(f)
+			fmt.Fprintln(stdout, f)
 		}
 	}
 	if len(findings) > 0 {
@@ -174,12 +203,8 @@ func main() {
 		if *baselinePath != "" {
 			kind = "new finding(s) not in baseline"
 		}
-		fmt.Fprintf(os.Stderr, "mantralint: %d %s\n", len(findings), kind)
-		os.Exit(1)
+		fmt.Fprintf(stderr, "mantralint: %d %s\n", len(findings), kind)
+		return exitFindings
 	}
-}
-
-func fail(err error) {
-	fmt.Fprintln(os.Stderr, "mantralint:", err)
-	os.Exit(2)
+	return exitClean
 }

@@ -126,6 +126,9 @@ type Engine struct {
 	states map[string]*targetState
 	cycles int
 	conc   int
+	// Cumulative per-stage timing instrumentation — local to this
+	// engine's life, deliberately not part of any state transfer.
+	//mantralint:allow statecov stage timing totals are instrumentation, not monitoring state; transfers restart them
 	totals map[Stage]*StageStat
 	last   *CycleReport
 }
@@ -167,6 +170,8 @@ func (e *Engine) state(name string) *targetState {
 }
 
 // Latest returns the most recent snapshot recorded for a target, or nil.
+//
+//mantra:statetransfer component=engine seam=export
 func (e *Engine) Latest(name string) *tables.Snapshot {
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -178,6 +183,8 @@ func (e *Engine) Latest(name string) *tables.Snapshot {
 
 // SetLatest records a target's most recent snapshot out of band — the
 // aggregate stage and archive recovery use it.
+//
+//mantra:statetransfer component=engine seam=import
 func (e *Engine) SetLatest(name string, sn *tables.Snapshot) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -186,6 +193,8 @@ func (e *Engine) SetLatest(name string, sn *tables.Snapshot) {
 
 // Stability returns a target's route-stability tracker, or nil before
 // its first successful cycle.
+//
+//mantra:statetransfer component=engine seam=export
 func (e *Engine) Stability(name string) *process.RouteStability {
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -214,6 +223,8 @@ func (e *Engine) ObserveStability(sn *tables.Snapshot) {
 
 // StabilityTrackers returns the current per-target stability trackers —
 // the checkpoint export path.
+//
+//mantra:statetransfer component=engine seam=export
 func (e *Engine) StabilityTrackers() map[string]*process.RouteStability {
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -230,6 +241,8 @@ func (e *Engine) StabilityTrackers() map[string]*process.RouteStability {
 // tracker, leaving every other target's untouched — the shard-handoff
 // transfer path, where a survivor engine grafts a moved target's
 // tracker in next to its own live ones.
+//
+//mantra:statetransfer component=engine seam=import
 func (e *Engine) SetStability(name string, rs *process.RouteStability) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -238,6 +251,8 @@ func (e *Engine) SetStability(name string, rs *process.RouteStability) {
 
 // ImportStability replaces targets' stability trackers wholesale — the
 // checkpoint recovery path.
+//
+//mantra:statetransfer component=engine seam=import
 func (e *Engine) ImportStability(trackers map[string]*process.RouteStability) {
 	e.mu.Lock()
 	defer e.mu.Unlock()

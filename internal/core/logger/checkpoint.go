@@ -22,6 +22,8 @@ import (
 )
 
 // ckptPayload is the serialized checkpoint contents.
+//
+//mantra:codec pair=ckpt-payload magic=ckptMagic shape=ffce7c983bc79249
 type ckptPayload struct {
 	// Seq is the last WAL sequence number the checkpoint covers.
 	Seq uint64
@@ -110,6 +112,8 @@ func (s *Store) Recover() *RecoveredArchive {
 // guarantees this by checkpointing between cycles. After a successful
 // write, checkpoints beyond the retention count and segments covered by
 // every retained checkpoint are pruned.
+//
+//mantra:sink serialization
 func (s *Store) WriteCheckpoint(l *Logger, extra []byte, now time.Time) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()

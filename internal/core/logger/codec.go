@@ -85,6 +85,17 @@ func appendTime(b []byte, t time.Time) []byte {
 	return appendU32(b, uint32(t.Nanosecond()))
 }
 
+// boolByte is the codec's one-byte bool encoding. Routing the field
+// read through a call keeps it visible to codecsym's field-flow
+// extraction (a bare if-condition read emits no bytes by itself).
+func boolByte(v bool) byte {
+	if v {
+		return 1
+	}
+	return 0
+}
+
+//mantra:codec pair=walpair role=encode type=tables.PairEntry magic=segMagic shape=4691f57f4641d9b4
 func appendPair(b []byte, e tables.PairEntry) []byte {
 	b = appendU32(b, uint32(e.Source))
 	b = appendU32(b, uint32(e.Group))
@@ -95,15 +106,12 @@ func appendPair(b []byte, e tables.PairEntry) []byte {
 	return appendTime(b, e.Since)
 }
 
+//mantra:codec pair=walroute role=encode type=tables.RouteEntry magic=segMagic shape=2ae0e88bfd8eabb5
 func appendRoute(b []byte, e tables.RouteEntry) []byte {
 	b = appendU32(b, uint32(e.Prefix.Addr))
 	b = append(b, byte(e.Prefix.Len))
 	b = appendU32(b, uint32(e.Gateway))
-	local := byte(0)
-	if e.Local {
-		local = 1
-	}
-	b = append(b, local)
+	b = append(b, boolByte(e.Local))
 	b = appendVarint(b, int64(e.Metric))
 	b = appendVarint(b, int64(e.Uptime))
 	return appendTime(b, e.Since)
@@ -112,6 +120,7 @@ func appendRoute(b []byte, e tables.RouteEntry) []byte {
 // encodePayload renders a record's payload (everything inside the frame).
 //
 //mantra:hotpath budget=1
+//mantra:codec pair=walrecord role=encode type=walRecord magic=segMagic shape=353c833e13fee140
 func encodePayload(r walRecord) []byte {
 	b := make([]byte, 0, 64)
 	b = appendUvarint(b, r.Seq)
@@ -271,6 +280,7 @@ func (r *byteReader) count(min int) int {
 	return int(n)
 }
 
+//mantra:codec pair=walpair role=decode type=tables.PairEntry magic=segMagic
 func (r *byteReader) pair() tables.PairEntry {
 	var e tables.PairEntry
 	e.Source = addr.IP(r.u32())
@@ -293,6 +303,7 @@ func (r *byteReader) prefix() addr.Prefix {
 	return addr.Prefix{Addr: a, Len: l}
 }
 
+//mantra:codec pair=walroute role=decode type=tables.RouteEntry magic=segMagic
 func (r *byteReader) route() tables.RouteEntry {
 	var e tables.RouteEntry
 	e.Prefix = r.prefix()
@@ -305,6 +316,8 @@ func (r *byteReader) route() tables.RouteEntry {
 }
 
 // decodePayload parses one record payload.
+//
+//mantra:codec pair=walrecord role=decode type=walRecord magic=segMagic
 func decodePayload(b []byte) (walRecord, error) {
 	r := &byteReader{b: b}
 	var out walRecord

@@ -23,6 +23,8 @@ import (
 )
 
 // pairKey identifies a pair-table entry.
+//
+//mantra:codec pair=ckpt-pairkey magic=ckptMagic shape=0d1f78c4141e06d8
 type pairKey struct {
 	Source addr.IP
 	Group  addr.IP
@@ -42,6 +44,8 @@ type RouteDelta struct {
 }
 
 // CycleRecord is one logged monitoring cycle for one target.
+//
+//mantra:codec pair=ckpt-cyclerecord magic=ckptMagic shape=fb72130746e3a759
 type CycleRecord struct {
 	At     time.Time
 	Pairs  PairDelta
@@ -56,6 +60,8 @@ type CycleRecord struct {
 
 // GapMark records one failed collection cycle: no snapshot arrived at At,
 // so the delta chain has an explicit hole there instead of a silent one.
+//
+//mantra:codec pair=ckpt-gapmark magic=ckptMagic shape=79b9c1d781df45e6
 type GapMark struct {
 	At     time.Time
 	Reason string
@@ -243,6 +249,7 @@ func (l *Logger) Materialized(target string) (*tables.Snapshot, bool) {
 		if !e.Since.IsZero() {
 			e.Uptime = at.Sub(e.Since)
 		}
+		//mantralint:allow sertaint sortPairs below orders the table before the snapshot leaves
 		sn.Pairs = append(sn.Pairs, e)
 	}
 	sn.Routes = make(tables.RouteTable, 0, len(tl.lastRoutes))
@@ -250,6 +257,7 @@ func (l *Logger) Materialized(target string) (*tables.Snapshot, bool) {
 		if !e.Since.IsZero() {
 			e.Uptime = at.Sub(e.Since)
 		}
+		//mantralint:allow sertaint sortRoutes below orders the table before the snapshot leaves
 		sn.Routes = append(sn.Routes, e)
 	}
 	sortPairs(sn.Pairs)
@@ -366,6 +374,8 @@ func (l *Logger) StorageStats(target string) (deltaEntries, fullEntries uint64, 
 }
 
 // TargetState is one target's serialized history.
+//
+//mantra:codec pair=ckpt-loggertarget magic=ckptMagic shape=6f4556766cbca7d4
 type TargetState struct {
 	Records []CycleRecord
 	Gaps    []GapMark
@@ -375,11 +385,15 @@ type TargetState struct {
 
 // State is the complete serialized form of a Logger — the payload of the
 // durable archive's checkpoints.
+//
+//mantra:codec pair=ckpt-loggerstate magic=ckptMagic shape=2ba9fae4a5734fd2
 type State struct {
 	Targets map[string]TargetState
 }
 
 // ExportState captures the logger's full state for checkpointing.
+//
+//mantra:statetransfer component=logger seam=export
 func (l *Logger) ExportState() *State {
 	st := &State{Targets: make(map[string]TargetState, len(l.targets))}
 	for name, tl := range l.targets {
@@ -395,6 +409,8 @@ func (l *Logger) ExportState() *State {
 // FromState rebuilds a logger positioned to continue appending: the
 // materialized per-target tables and storage counters are replayed from
 // the recorded delta chain.
+//
+//mantra:statetransfer component=logger seam=import
 func FromState(st *State) *Logger {
 	l := New()
 	if st == nil {
@@ -416,6 +432,8 @@ func FromState(st *State) *Logger {
 // handoff transfer unit — or false if the logger has never seen it.
 // Slices are copied: the export must stay stable while the exporting
 // shard keeps appending.
+//
+//mantra:statetransfer component=logger seam=export
 func (l *Logger) ExportTarget(name string) (TargetState, bool) {
 	tl := l.targets[name]
 	if tl == nil {
@@ -433,6 +451,8 @@ func (l *Logger) ExportTarget(name string) (TargetState, bool) {
 // materialized tables and storage counters are rebuilt by replaying the
 // recorded delta chain, exactly as FromState does for a whole logger,
 // so Append continues the chain seamlessly.
+//
+//mantra:statetransfer component=logger seam=import
 func (l *Logger) ImportTarget(name string, ts TargetState) {
 	delete(l.targets, name)
 	tl := l.target(name)
@@ -444,6 +464,8 @@ func (l *Logger) ImportTarget(name string, ts TargetState) {
 }
 
 // Save writes the complete log to w (gob-encoded).
+//
+//mantra:sink serialization
 func (l *Logger) Save(w io.Writer) error {
 	return gob.NewEncoder(w).Encode(l.ExportState())
 }

@@ -235,6 +235,7 @@ func (s *Store) AppendGap(target string, at time.Time, reason string) error {
 // buffer itself is the one deliberate per-record allocation.
 //
 //mantra:hotpath budget=2
+//mantra:sink serialization
 func (s *Store) append(rec walRecord) error {
 	if s.seg == nil {
 		if err := s.openSegment(s.seq + 1); err != nil {

@@ -19,6 +19,8 @@ import (
 // State is the exportable form of a Processor. All fields are plain data
 // so the state gob-encodes; Series pointers are deep-copied on export and
 // import, never shared with a live processor.
+//
+//mantra:codec pair=ckpt-procstate shape=eb07b6abc56b8bfd
 type State struct {
 	SenderThresholdKbps float64
 	SpikeFactor         float64
@@ -44,6 +46,8 @@ type State struct {
 // OpenEpisodeState is the exportable form of one in-progress anomaly
 // episode: which ring entry it updates and the baseline frozen at
 // detection time that resolution is judged against.
+//
+//mantra:codec pair=ckpt-openepisode shape=e555d28bcb060756
 type OpenEpisodeState struct {
 	Target string
 	Kind   string
@@ -63,6 +67,8 @@ func copySeries(s *Series) *Series {
 }
 
 // ExportState deep-copies the processor's accumulated state.
+//
+//mantra:statetransfer component=processor seam=export
 func (p *Processor) ExportState() *State {
 	st := &State{
 		SenderThresholdKbps: p.SenderThresholdKbps,
@@ -124,6 +130,8 @@ func (p *Processor) ExportState() *State {
 // of st. It mutates the receiver in place — consumers holding the
 // *Processor (the HTTP server does) observe the restored state without
 // re-wiring.
+//
+//mantra:statetransfer component=processor seam=import
 func (p *Processor) ImportState(st *State) {
 	if st == nil {
 		return
@@ -183,6 +191,8 @@ func (p *Processor) ImportState(st *State) {
 
 // PrefixState is the exportable per-prefix history of a RouteStability
 // tracker.
+//
+//mantra:codec pair=ckpt-prefixstate shape=5ea21842285c6a93
 type PrefixState struct {
 	Prefix       addr.Prefix
 	Present      int
@@ -193,6 +203,8 @@ type PrefixState struct {
 }
 
 // StabilityState is the exportable form of a RouteStability tracker.
+//
+//mantra:codec pair=ckpt-stabilitystate shape=e1eaa417f40abb62
 type StabilityState struct {
 	Cycles   int
 	Last     []addr.Prefix
@@ -202,6 +214,8 @@ type StabilityState struct {
 // ExportState copies the tracker's accumulated state. Both slices are
 // sorted by prefix: the export gob-encodes straight into checkpoints, so
 // map-iteration order here would make checkpoint bytes differ run to run.
+//
+//mantra:statetransfer component=stability seam=export
 func (rs *RouteStability) ExportState() *StabilityState {
 	st := &StabilityState{Cycles: rs.cycles}
 	for p := range rs.last {
@@ -223,6 +237,8 @@ func (rs *RouteStability) ExportState() *StabilityState {
 }
 
 // StabilityFromState rebuilds a tracker from exported state.
+//
+//mantra:statetransfer component=stability seam=import
 func StabilityFromState(st *StabilityState) *RouteStability {
 	rs := NewRouteStability()
 	if st == nil {

@@ -25,6 +25,8 @@ import (
 // TargetState is the exportable processing state of one target: the
 // transfer unit for shard handoff. All fields are plain data (gob-safe)
 // and deep-copied on export and import.
+//
+//mantra:codec pair=handoff-targetstate shape=88116d599d34e3ff
 type TargetState struct {
 	Target string
 	Series map[Metric]*Series
@@ -46,6 +48,8 @@ type TargetState struct {
 // OpenTransfer is one in-progress episode in a TargetState: the index
 // of its record in the Anomalies slice and the frozen baseline it
 // resolves against.
+//
+//mantra:codec pair=handoff-opentransfer shape=abc195e293ebf3d7
 type OpenTransfer struct {
 	Kind   string
 	Index  int
@@ -54,6 +58,8 @@ type OpenTransfer struct {
 
 // ExportTarget deep-copies one target's processing state, or returns
 // nil if the processor has never seen the target.
+//
+//mantra:statetransfer component=processor seam=export
 func (p *Processor) ExportTarget(target string) *TargetState {
 	ts, okSeries := p.series[target]
 	routes, okRoute := p.lastRoute[target]
@@ -104,6 +110,8 @@ func (p *Processor) ExportTarget(target string) *TargetState {
 // same episodes already in this ring (e.g. from a previous ownership
 // stint) remain; fleet views dedup by (target, kind, open-time) keeping
 // the highest local ID. A nil st simply removes the target's state.
+//
+//mantra:statetransfer component=processor seam=import
 func (p *Processor) ImportTarget(target string, st *TargetState) {
 	delete(p.series, target)
 	delete(p.lastRoute, target)

@@ -266,6 +266,7 @@ func (c *shardCore) exportOne(name string) *checkpoint {
 	return ck
 }
 
+//mantra:statetransfer root=handoff-export
 func (c *shardCore) exportInto(ck *checkpoint, name string) {
 	if st := c.proc.ExportTarget(name); st != nil {
 		ck.proc[name] = st
@@ -287,6 +288,8 @@ func (c *shardCore) exportInto(ck *checkpoint, name string) {
 // importTarget splices one target's checkpointed state into this core —
 // the receiving side of a handoff. now anchors the restored breaker's
 // cooldown.
+//
+//mantra:statetransfer root=handoff-import
 func (c *shardCore) importTarget(name string, ck *checkpoint, now time.Time) {
 	c.proc.ImportTarget(name, ck.proc[name])
 	if ts, ok := ck.logs[name]; ok {
@@ -308,6 +311,8 @@ func (c *shardCore) importTarget(name string, ck *checkpoint, now time.Time) {
 // The delta logger keeps its (now stale) records — fleet views read
 // through the assignment map, so they are unreachable, and a later
 // re-import replaces them wholesale.
+//
+//mantra:statetransfer root=handoff-remove
 func (c *shardCore) removeTarget(name string) {
 	c.proc.ImportTarget(name, nil)
 	c.eng.SetStability(name, nil)

@@ -61,6 +61,8 @@ type BlockInfo struct {
 // EncodeBlock seals pts into a block. Points are stored in slice order;
 // appends are time-monotonic in Mantra, which is what makes the
 // header's FirstT/LastT usable for range skipping.
+//
+//mantra:codec pair=tsdbblock role=encode type=BlockInfo magic=blockVersion shape=7fceb720dd01397c
 func EncodeBlock(pts []Point) []byte {
 	var w bitWriter
 	var (
@@ -220,6 +222,8 @@ func (r *headerReader) u64() uint64 {
 }
 
 // decodeHeader reads the header, returning the info and the bitstream.
+//
+//mantra:codec pair=tsdbblock role=decode type=BlockInfo magic=blockVersion
 func decodeHeader(b []byte) (BlockInfo, []byte, error) {
 	r := &headerReader{b: b}
 	if v := r.byte(); r.err == nil && v != blockVersion {
@@ -228,6 +232,8 @@ func decodeHeader(b []byte) (BlockInfo, []byte, error) {
 	var info BlockInfo
 	count := r.uvarint()
 	values := r.uvarint()
+	info.Count = int(count)
+	info.ValueCount = int(values)
 	info.FirstT = int64(r.u64())
 	info.LastT = int64(r.u64())
 	info.FirstVT = int64(r.u64())
@@ -249,8 +255,6 @@ func decodeHeader(b []byte) (BlockInfo, []byte, error) {
 	if r.off+int(streamLen) != len(b) {
 		return BlockInfo{}, nil, ErrBadBlock
 	}
-	info.Count = int(count)
-	info.ValueCount = int(values)
 	return info, b[r.off:], nil
 }
 

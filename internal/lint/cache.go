@@ -31,7 +31,8 @@ import (
 //     and its dependency closure (facts flow along import edges), and the
 //     cache key covers exactly that closure — so a cached local finding
 //     list is valid iff the key matches.
-//   - The module-wide analyzers (hotalloc, lockorder) can change a
+//   - The module-wide analyzers (hotalloc, lockorder, codecsym,
+//     statecov, sertaint) can change a
 //     package's findings when a *reverse* dependency changes (a new
 //     hot root upstream, a new lock edge elsewhere), so their findings
 //     are never cached: the global phase recomputes every run from the
@@ -77,7 +78,8 @@ type DriverResult struct {
 
 // cacheSchema versions the entry encoding; bump on any change to what
 // entries contain or how keys are derived, and every entry goes stale.
-const cacheSchema = 1
+// (v2: field-flow facts — structs, codec/transfer/sink marks, taint.)
+const cacheSchema = 2
 
 // cacheEntry is one package's cached analysis.
 type cacheEntry struct {
@@ -126,7 +128,7 @@ func (d *Driver) Run() (*DriverResult, error) {
 	globalWanted := false
 	for _, a := range d.Analyzers {
 		ran[a.Name] = true
-		if a.Name == "hotalloc" || a.Name == "lockorder" {
+		if isGlobalCheck(a.Name) {
 			globalWanted = true
 		}
 	}
@@ -145,6 +147,7 @@ func (d *Driver) Run() (*DriverResult, error) {
 		for _, fs := range GlobalFindings(sums) {
 			for _, f := range fs {
 				if ran[f.Check] {
+					//mantralint:allow sertaint sortFindings orders the result before it is reported
 					raw = append(raw, f)
 				}
 			}
@@ -192,11 +195,11 @@ func (d *Driver) analyze(missed []string, keys map[string]string, entries map[st
 	// facts for the local analyzers are as complete as a full cold run.
 	a := NewAnalysis(d.Mod.Loaded())
 
-	// Only the local analyzers run per package here; the global pair is
+	// Only the local analyzers run per package here; the global set is
 	// recomputed from summaries in Run, never cached.
 	var local []*Analyzer
 	for _, an := range d.Analyzers {
-		if an.Name != "hotalloc" && an.Name != "lockorder" {
+		if !isGlobalCheck(an.Name) {
 			local = append(local, an)
 		}
 	}
@@ -254,8 +257,8 @@ func (d *Driver) packageKeys(rels []string) (map[string]string, error) {
 		checks = append(checks, a.Name)
 	}
 	sort.Strings(checks)
-	header := fmt.Sprintf("schema=%d\nchecks=%s\ngo=%s\nmodule=%s\n",
-		cacheSchema, strings.Join(checks, ","), runtime.Version(), d.Mod.Path)
+	header := fmt.Sprintf("schema=%d\nchecks=%s\ngo=%s\nmodule=%s\nimpl=%s\n",
+		cacheSchema, strings.Join(checks, ","), runtime.Version(), d.Mod.Path, implFingerprint())
 
 	for _, rel := range rels {
 		info, err := d.scanDir(rel)
@@ -432,6 +435,35 @@ func (d *Driver) relativizeEntry(e *cacheEntry) {
 		for i := range f.Locks {
 			f.Locks[i].Pos.File = rel(f.Locks[i].Pos.File)
 		}
+		if f.Codec != nil {
+			f.Codec.Pos.File = rel(f.Codec.Pos.File)
+		}
+		if f.Transfer != nil {
+			f.Transfer.Pos.File = rel(f.Transfer.Pos.File)
+		}
+		for i := range f.FieldFlow {
+			f.FieldFlow[i].Pos.File = rel(f.FieldFlow[i].Pos.File)
+		}
+		if f.Taint != nil {
+			for i := range f.Taint.Calls {
+				f.Taint.Calls[i].Pos.File = rel(f.Taint.Calls[i].Pos.File)
+			}
+			for i := range f.Taint.Sources {
+				f.Taint.Sources[i].Pos.File = rel(f.Taint.Sources[i].Pos.File)
+			}
+		}
+	}
+	for _, s := range e.Summary.Structs {
+		s.Pos.File = rel(s.Pos.File)
+		for i := range s.Fields {
+			s.Fields[i].Pos.File = rel(s.Fields[i].Pos.File)
+		}
+		if s.Codec != nil {
+			s.Codec.Pos.File = rel(s.Codec.Pos.File)
+		}
+	}
+	for i := range e.Summary.Defects {
+		e.Summary.Defects[i].File = rel(e.Summary.Defects[i].File)
 	}
 }
 

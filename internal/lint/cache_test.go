@@ -177,3 +177,231 @@ func TestDriverCacheCorrectness(t *testing.T) {
 	}
 	checkWarmEqualsCold(t, "delete", dir, cache)
 }
+
+// --- v4: global findings from field-flow facts must survive caching ---------
+
+const codecCacheEncode = `package a
+
+type Rec struct {
+	A uint64
+	B uint64
+}
+
+//mantra:codec pair=rec role=encode type=Rec
+func EncodeRec(r Rec) []byte {
+	b := append([]byte(nil), byte(r.A))
+	b = append(b, byte(r.B))
+	return b
+}
+`
+
+const codecCacheDecode = `package b
+
+import "cachetest/a"
+
+//mantra:codec pair=rec role=decode type=a.Rec
+func DecodeRec(buf []byte) a.Rec {
+	var r a.Rec
+	r.A = uint64(buf[0])
+	r.B = uint64(buf[1])
+	return r
+}
+`
+
+// TestCacheCrossPackageCodecDrift edits only the decode package of a
+// codec pair whose encode half lives elsewhere. The encode package
+// stays cached, yet the drift finding — computed in the global phase
+// from both packages' summaries — must appear, and warm must equal
+// cold.
+func TestCacheCrossPackageCodecDrift(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks a module repeatedly")
+	}
+	dir := t.TempDir()
+	cache := t.TempDir()
+	writeTree(t, dir, map[string]string{
+		"go.mod": cacheTestGoMod,
+		"a/a.go": codecCacheEncode,
+		"b/b.go": codecCacheDecode,
+	})
+
+	// Cold baseline: the only codecsym finding is the unpinned-shape
+	// bootstrap nudge on the encode half.
+	findings, _ := runDriver(t, dir, cache)
+	if len(findings) != 1 || !strings.Contains(findings[0], "no pinned shape") {
+		t.Fatalf("baseline findings = %v", findings)
+	}
+
+	// Drift: the decode half silently stops reading B.
+	writeTree(t, dir, map[string]string{
+		"b/b.go": strings.Replace(codecCacheDecode, "\tr.B = uint64(buf[1])\n", "", 1),
+	})
+	warm, stats := runDriver(t, dir, cache)
+	if stats.CacheHits != 1 || stats.Reanalyzed != 1 {
+		t.Fatalf("drift-edit stats = %+v (encode package should stay cached)", stats)
+	}
+	var drift bool
+	for _, f := range warm {
+		drift = drift || strings.Contains(f, "writes B but decode b.DecodeRec never reads it")
+	}
+	if !drift {
+		t.Fatalf("cross-package drift not reported: %v", warm)
+	}
+	checkWarmEqualsCold(t, "codec drift", dir, cache)
+}
+
+const statecovCacheComponent = `package a
+
+type Store struct {
+	data map[string][]byte
+}
+
+//mantra:statetransfer component=store seam=export
+func (s *Store) ExportTarget(name string) []byte {
+	return s.data[name]
+}
+
+//mantra:statetransfer component=store seam=import
+func (s *Store) ImportTarget(name string, b []byte) {
+	s.data[name] = b
+}
+`
+
+const statecovCacheRoots = `package b
+
+import "cachetest/a"
+
+//mantra:statetransfer root=checkpoint-export
+func CheckpointExport(s *a.Store, names []string) map[string][]byte {
+	out := make(map[string][]byte, len(names))
+	for _, n := range names {
+		out[n] = s.ExportTarget(n)
+	}
+	return out
+}
+
+//mantra:statetransfer root=checkpoint-import
+func CheckpointImport(s *a.Store, ck map[string][]byte) {
+	for n, b := range ck {
+		s.ImportTarget(n, b)
+	}
+}
+
+//mantra:statetransfer root=handoff-export
+func HandoffExport(s *a.Store, name string) []byte {
+	return s.ExportTarget(name)
+}
+
+//mantra:statetransfer root=handoff-import
+func HandoffImport(s *a.Store, name string, b []byte) {
+	s.ImportTarget(name, b)
+}
+`
+
+// TestCacheStatecovRootEdit drops a seam call from the handoff root
+// package. The component package stays cached, yet the new coverage
+// finding must land there — at the seam declaration inside the CACHED
+// package — and warm must equal cold.
+func TestCacheStatecovRootEdit(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks a module repeatedly")
+	}
+	dir := t.TempDir()
+	cache := t.TempDir()
+	writeTree(t, dir, map[string]string{
+		"go.mod": cacheTestGoMod,
+		"a/a.go": statecovCacheComponent,
+		"b/b.go": statecovCacheRoots,
+	})
+
+	findings, _ := runDriver(t, dir, cache)
+	if len(findings) != 0 {
+		t.Fatalf("baseline findings = %v", findings)
+	}
+
+	// The bug shape: the handoff-export root no longer moves the store.
+	writeTree(t, dir, map[string]string{
+		"b/b.go": strings.Replace(statecovCacheRoots,
+			"\treturn s.ExportTarget(name)\n", "\treturn nil\n", 1),
+	})
+	warm, stats := runDriver(t, dir, cache)
+	if stats.CacheHits != 1 || stats.Reanalyzed != 1 {
+		t.Fatalf("root-edit stats = %+v (component package should stay cached)", stats)
+	}
+	var dropped bool
+	for _, f := range warm {
+		dropped = dropped || (strings.HasPrefix(f, filepath.FromSlash("a/a.go")) &&
+			strings.Contains(f, "no export seam is reachable from the handoff-export root"))
+	}
+	if !dropped {
+		t.Fatalf("dropped-from-handoff not reported in the cached package: %v", warm)
+	}
+	checkWarmEqualsCold(t, "root edit", dir, cache)
+}
+
+// TestCacheImplFingerprintInvalidation swaps the analyzer-implementation
+// hash between runs: every entry written under the old fingerprint must
+// read as a miss, because cached findings embody the old analyzer
+// semantics.
+func TestCacheImplFingerprintInvalidation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks a module repeatedly")
+	}
+	dir := t.TempDir()
+	cache := t.TempDir()
+	writeTree(t, dir, map[string]string{
+		"go.mod": cacheTestGoMod,
+		"a/a.go": cacheTestDep,
+		"b/b.go": cacheTestRoot,
+	})
+
+	runDriver(t, dir, cache)
+	if _, stats := runDriver(t, dir, cache); stats.CacheHits != 2 {
+		t.Fatalf("pre-swap warm stats = %+v", stats)
+	}
+
+	old := implFingerprint
+	implFingerprint = func() string { return "fuzzed-analyzer-build" }
+	defer func() { implFingerprint = old }()
+
+	findings, stats := runDriver(t, dir, cache)
+	if stats.CacheHits != 0 || stats.Reanalyzed != 2 {
+		t.Fatalf("post-swap stats = %+v (old-fingerprint entries must miss)", stats)
+	}
+	if len(findings) != 1 || !strings.Contains(findings[0], "hotalloc") {
+		t.Fatalf("post-swap findings = %v", findings)
+	}
+	// And the new fingerprint's entries are themselves reusable.
+	if _, stats := runDriver(t, dir, cache); stats.CacheHits != 2 {
+		t.Fatalf("post-swap warm stats = %+v", stats)
+	}
+}
+
+// TestModuleWarmColdIdentity is the nightly CI job's assertion run
+// locally: over this repository's full module, a warm cached run's
+// findings are byte-identical to a cold uncached run's.
+func TestModuleWarmColdIdentity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the full module three times")
+	}
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache := t.TempDir()
+	cold, _ := runDriver(t, root, "")
+	seed, stats := runDriver(t, root, cache)
+	if stats.CacheHits != 0 {
+		t.Fatalf("seed run hit a fresh cache: %+v", stats)
+	}
+	warm, stats := runDriver(t, root, cache)
+	if stats.Reanalyzed != 0 || stats.CacheHits != stats.Packages {
+		t.Fatalf("warm run missed: %+v", stats)
+	}
+	if strings.Join(seed, "\n") != strings.Join(cold, "\n") {
+		t.Fatalf("seed diverges from cold\nseed: %v\ncold: %v", seed, cold)
+	}
+	if strings.Join(warm, "\n") != strings.Join(cold, "\n") {
+		t.Fatalf("warm diverges from cold\nwarm: %v\ncold: %v", warm, cold)
+	}
+}

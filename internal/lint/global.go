@@ -7,21 +7,42 @@ import (
 	"strings"
 )
 
-// The global phase: the two module-wide analyses (hotalloc, lockorder)
-// computed over per-package fact summaries. Both the cold path (Analysis
-// over loaded packages) and the warm path (Driver over cached
-// summaries) funnel through GlobalFindings, so the two views cannot
-// diverge.
+// The global phase: the module-wide analyses (hotalloc, lockorder,
+// codecsym, statecov, sertaint) computed over per-package fact
+// summaries. Both the cold path (Analysis over loaded packages) and the
+// warm path (Driver over cached summaries) funnel through
+// GlobalFindings, so the two views cannot diverge.
 
-// GlobalFindings runs hotalloc and lockorder over the summaries and
+// isGlobalCheck reports whether a check runs in the global phase — its
+// findings are recomputed from summaries every run and never cached
+// per-package (a reverse dependency can change them).
+func isGlobalCheck(name string) bool {
+	switch name {
+	case "hotalloc", "lockorder", "codecsym", "statecov", "sertaint":
+		return true
+	}
+	return false
+}
+
+// GlobalFindings runs the module-wide analyses over the summaries and
 // returns raw (pre-suppression) findings grouped by the RelPath of the
 // package each finding's function lives in.
 func GlobalFindings(sums []*PkgSummary) map[string][]Finding {
 	idx := newSumIndex(sums)
 	out := make(map[string][]Finding)
 	add := func(rel string, f Finding) { out[rel] = append(out[rel], f) }
+	// Marker defects were pre-rendered at summary time; re-emitting them
+	// here puts the cold and warm paths on the same line.
+	for _, s := range sums {
+		for _, f := range fromJSONFindings(s.Defects) {
+			add(s.RelPath, f)
+		}
+	}
 	hotAllocFindings(idx, add)
 	lockOrderFindings(idx, add)
+	codecSymFindings(idx, add)
+	stateCovFindings(idx, add)
+	serTaintFindings(idx, add)
 	return out
 }
 
@@ -43,18 +64,27 @@ func HotRoots(sums []*PkgSummary) []string {
 
 // sumIndex is the name-keyed view of all summaries.
 type sumIndex struct {
-	funcs map[string]*FuncSum // FullName → summary
-	rel   map[string]string   // FullName → owning package RelPath
-	names []string            // sorted FullNames, for deterministic iteration
+	funcs     map[string]*FuncSum   // FullName → summary
+	rel       map[string]string     // FullName → owning package RelPath
+	names     []string              // sorted FullNames, for deterministic iteration
+	structs   map[string]*StructSum // full type name → tracked struct
+	structRel map[string]string     // full type name → owning package RelPath
 }
 
 func newSumIndex(sums []*PkgSummary) *sumIndex {
-	idx := &sumIndex{funcs: make(map[string]*FuncSum), rel: make(map[string]string)}
+	idx := &sumIndex{
+		funcs: make(map[string]*FuncSum), rel: make(map[string]string),
+		structs: make(map[string]*StructSum), structRel: make(map[string]string),
+	}
 	for _, s := range sums {
 		for _, f := range s.Funcs {
 			idx.funcs[f.Name] = f
 			idx.rel[f.Name] = s.RelPath
 			idx.names = append(idx.names, f.Name)
+		}
+		for _, st := range s.Structs {
+			idx.structs[st.Name] = st
+			idx.structRel[st.Name] = s.RelPath
 		}
 	}
 	sort.Strings(idx.names)

@@ -1,0 +1,92 @@
+package lint
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"runtime/debug"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// The cache key must move when the *analyzers* change, not just the
+// analyzed sources: a warm cache populated by yesterday's mantralint
+// must not answer for today's. Check names alone cannot see an edited
+// analyzer body, so the key folds in a fingerprint of the
+// implementation itself.
+//
+// Two strategies, in preference order:
+//
+//  1. From a source checkout (the `make lint` / `go run` / `go test`
+//     path, and the only place a stale-after-edit cache can exist):
+//     hash this package's non-test sources, located via runtime.Caller.
+//  2. From an installed binary whose sources are gone: the module build
+//     info (VCS revision + dirty flag), which moves with any release.
+//
+// When neither resolves, the fingerprint degrades to a constant — no
+// worse than the pre-v4 behavior — and the cacheSchema constant remains
+// the manual override.
+
+// implFingerprint returns the analyzer-implementation hash folded into
+// every cache key. It is a variable so tests can simulate an analyzer
+// edit without rewriting source files.
+var implFingerprint = implHash
+
+var implHashOnce = sync.OnceValue(func() string {
+	if h, ok := implSourceHash(); ok {
+		return h
+	}
+	if info, ok := debug.ReadBuildInfo(); ok {
+		for _, s := range info.Settings {
+			if s.Key == "vcs.revision" {
+				return "vcs:" + s.Value
+			}
+		}
+		if info.Main.Version != "" && info.Main.Version != "(devel)" {
+			return "mod:" + info.Main.Version
+		}
+	}
+	return "unknown"
+})
+
+func implHash() string {
+	return implHashOnce()
+}
+
+// implSourceHash hashes the lint package's own non-test .go files.
+func implSourceHash() (string, bool) {
+	_, self, _, ok := runtime.Caller(0)
+	if !ok {
+		return "", false
+	}
+	dir := filepath.Dir(self)
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return "", false
+	}
+	var names []string
+	for _, e := range ents {
+		name := e.Name()
+		if !e.IsDir() && strings.HasSuffix(name, ".go") && !strings.HasSuffix(name, "_test.go") {
+			names = append(names, name)
+		}
+	}
+	if len(names) == 0 {
+		return "", false
+	}
+	sort.Strings(names)
+	h := sha256.New()
+	for _, name := range names {
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			return "", false
+		}
+		fmt.Fprintf(h, "file=%s:%d\n", name, len(data))
+		h.Write(data)
+	}
+	return hex.EncodeToString(h.Sum(nil))[:16], true
+}

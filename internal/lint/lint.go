@@ -14,7 +14,12 @@
 // graph over every loaded package plus derived facts (which functions
 // block, which loop without a stop path) — and the analyzers consult it,
 // so a mutex held across a call chain ending in a channel send is found
-// even when the send is three frames down in another package.
+// even when the send is three frames down in another package. The
+// module-wide checks (hotalloc, lockorder, codecsym, statecov,
+// sertaint) run once per Analysis over per-package fact summaries —
+// field-flow events, state-transfer marks and determinism-taint graphs
+// extracted alongside the call facts (DESIGN.md §15) — and route each
+// finding to the package it lives in.
 //
 // The suite is stdlib-only (go/parser, go/ast, go/types): the module has
 // zero dependencies and must stay buildable offline. Findings are
@@ -127,6 +132,7 @@ type Analyzer struct {
 // Analyzers returns the full registry in stable (name) order.
 func Analyzers() []*Analyzer {
 	return []*Analyzer{
+		codecSymAnalyzer,
 		floatSumAnalyzer,
 		globalRandAnalyzer,
 		goLeakAnalyzer,
@@ -135,7 +141,9 @@ func Analyzers() []*Analyzer {
 		lockHeldAnalyzer,
 		lockOrderAnalyzer,
 		mapIterAnalyzer,
+		serTaintAnalyzer,
 		sharedMutAnalyzer,
+		stateCovAnalyzer,
 		walErrAnalyzer,
 		wallClockAnalyzer,
 		walTaintAnalyzer,

@@ -302,9 +302,9 @@ func TestByName(t *testing.T) {
 	}
 	names := CheckNames()
 	wantNames := []string{
-		"floatsum", "globalrand", "goleak", "hotalloc", "hotpath",
-		"lockheld", "lockorder", "mapiter", "sharedmut", "walerr",
-		"wallclock", "waltaint",
+		"codecsym", "floatsum", "globalrand", "goleak", "hotalloc",
+		"hotpath", "lockheld", "lockorder", "mapiter", "sertaint",
+		"sharedmut", "statecov", "walerr", "wallclock", "waltaint",
 	}
 	if strings.Join(names, ",") != strings.Join(wantNames, ",") {
 		t.Fatalf("CheckNames = %v, want %v", names, wantNames)
@@ -386,5 +386,92 @@ func TestHotRootsPinned(t *testing.T) {
 	if strings.Join(got, "\n") != strings.Join(want, "\n") {
 		t.Fatalf("hot-path root set drifted:\ngot:\n%s\nwant:\n%s",
 			strings.Join(got, "\n"), strings.Join(want, "\n"))
+	}
+}
+
+func TestCodecSymFixture(t *testing.T) { checkFixture(t, "codecsym", "internal/netsim") }
+
+func TestStateCovFixture(t *testing.T) { checkFixture(t, "statecov", "internal/netsim") }
+
+func TestSerTaintFixture(t *testing.T) { checkFixture(t, "sertaint", "internal/netsim") }
+
+// TestCodecSymRegressShape keeps the codec-field-drift bug shape
+// permanently detectable against a miniature WAL record codec.
+func TestCodecSymRegressShape(t *testing.T) {
+	checkFixture(t, "codecsymregress", "internal/core/logger")
+	p := loadFixture(t, "codecsymregress", "internal/core/logger")
+	n := 0
+	for _, f := range RunAnalyzers([]*Package{p}, Analyzers()) {
+		if f.Check == "codecsym" {
+			n++
+		}
+	}
+	if n == 0 {
+		t.Fatal("codec drift shape no longer detected")
+	}
+}
+
+// TestStateCovRegressShape keeps the dropped-from-handoff bug shape
+// permanently detectable against a miniature shard core.
+func TestStateCovRegressShape(t *testing.T) {
+	checkFixture(t, "statecovregress", "internal/core/shard")
+	p := loadFixture(t, "statecovregress", "internal/core/shard")
+	n := 0
+	for _, f := range RunAnalyzers([]*Package{p}, Analyzers()) {
+		if f.Check == "statecov" {
+			n++
+		}
+	}
+	if n == 0 {
+		t.Fatal("handoff-drop shape no longer detected")
+	}
+}
+
+// TestSerTaintRegressShape keeps the map-order-into-checkpoint bug shape
+// permanently detectable across two call hops.
+func TestSerTaintRegressShape(t *testing.T) {
+	checkFixture(t, "sertaintregress", "internal/core/logger")
+	p := loadFixture(t, "sertaintregress", "internal/core/logger")
+	n := 0
+	for _, f := range RunAnalyzers([]*Package{p}, Analyzers()) {
+		if f.Check == "sertaint" {
+			n++
+		}
+	}
+	if n == 0 {
+		t.Fatal("map-order-into-checkpoint shape no longer detected")
+	}
+}
+
+// TestMarkDefects asserts the v4 marker-defect reports directly (a want
+// annotation appended to a marker comment would corrupt the marker's own
+// argument parse, so this fixture cannot self-annotate).
+func TestMarkDefects(t *testing.T) {
+	p := loadFixture(t, "markdefects", "internal/netsim")
+	findings := RunAnalyzers([]*Package{p}, Analyzers())
+	var msgs []string
+	for _, f := range findings {
+		msgs = append(msgs, fmt.Sprintf("[%s] %s", f.Check, f.Message))
+	}
+	for _, wantSub := range []string{
+		`[codecsym] dangling //mantra:codec`,
+		`[codecsym] bad //mantra:codec on defectNoType: missing type=<struct>`,
+		`[codecsym] bad //mantra:codec on defectBadRole: role must be encode or decode`,
+		`[codecsym] bad //mantra:codec on defectDecodeShape: shape= belongs on the encode marker`,
+		`[statecov] bad //mantra:statetransfer on defectRootAndComponent: `,
+		`[statecov] bad //mantra:statetransfer on defectBadSeam: `,
+		`[sertaint] bad //mantra:sink on defectBadSink: want exactly "serialization", got "compression"`,
+		`[codecsym] bad //mantra:codec on type defectPinned: role= is for function markers; a type pin is role-less`,
+	} {
+		found := false
+		for _, m := range msgs {
+			if strings.Contains(m, wantSub) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("no defect containing %q in:\n%s", wantSub, strings.Join(msgs, "\n"))
+		}
 	}
 }

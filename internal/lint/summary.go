@@ -77,12 +77,30 @@ type FuncSum struct {
 	Calls  []CallRef   `json:"calls,omitempty"`
 	Allocs []AllocSite `json:"allocs,omitempty"`
 	Locks  []LockEv    `json:"locks,omitempty"`
+
+	// v4 field-flow facts (DESIGN.md §15).
+	Codec    *CodecMark    `json:"codec,omitempty"`
+	Transfer *TransferMark `json:"transfer,omitempty"`
+	Sink     string        `json:"sink,omitempty"`
+	// FieldFlow is the codec's ordered target-field event sequence.
+	FieldFlow []FieldEv `json:"fieldFlow,omitempty"`
+	// Fields records which tracked-struct fields the function touches.
+	Fields []FieldUse `json:"fields,omitempty"`
+	// Taint is the function's determinism-taint graph.
+	Taint *TaintSum `json:"taint,omitempty"`
 }
 
 // PkgSummary is one package's facts for the global phase.
 type PkgSummary struct {
 	RelPath string     `json:"relPath"`
 	Funcs   []*FuncSum `json:"funcs"`
+	// Structs are the package's tracked structs: codec shape pins and
+	// transfer-seam receivers.
+	Structs []*StructSum `json:"structs,omitempty"`
+	// Defects are marker defects (dangling or malformed //mantra:codec,
+	// //mantra:statetransfer, //mantra:sink comments), pre-rendered as
+	// findings so the warm path replays them from cache.
+	Defects []jsonFinding `json:"markDefects,omitempty"`
 }
 
 // Summarize extracts a package's global-phase facts from its AST. The
@@ -91,6 +109,10 @@ type PkgSummary struct {
 // spawned goroutine and are excluded.
 func Summarize(p *Package) *PkgSummary {
 	sum := &PkgSummary{RelPath: p.RelPath}
+	marks := collectPkgMarks(p)
+	seamLines := seamAllowLines(p)
+	sum.Structs = marks.structs
+	sum.Defects = toJSONFindings(marks.defects)
 	for _, file := range p.Files {
 		for _, decl := range file.Decls {
 			fd, ok := decl.(*ast.FuncDecl)
@@ -111,6 +133,16 @@ func Summarize(p *Package) *PkgSummary {
 				fs.HotBudget = mark.budget
 				fs.HotLine = mark.line
 			}
+			if fm := marks.funcs[fd]; fm != nil {
+				fs.Codec = fm.codec
+				fs.Transfer = fm.transfer
+				fs.Sink = fm.sink
+				if fm.codec != nil {
+					fs.FieldFlow = fieldFlowEvents(p, fd, fm.codec)
+				}
+			}
+			fs.Fields = fieldUses(p, fd, marks.tracked)
+			fs.Taint = taintSummary(p, fd, seamLines)
 			summarizeBody(p, fd, fs)
 			sum.Funcs = append(sum.Funcs, fs)
 		}

@@ -1,0 +1,196 @@
+// Fixture for the codecsym analyzer: a symmetric pair with a pinned
+// shape (clean), a decode half that dropped a field, a pair whose halves
+// read fields in different orders, an unpinned pair, halves versioning
+// against different magic constants, a healthy type pin, a type pin
+// whose struct grew a field after pinning, and the allow escape hatch.
+// Loaded as internal/netsim; codecsym is module-wide and unscoped.
+package netsim
+
+// Two format-version constants so the magic-mismatch case has something
+// to disagree about.
+const (
+	frameMagic = "NSIM0001"
+	blobMagic  = "NSIM0002"
+)
+
+// --- shared little codec toolkit -----------------------------------------
+
+func putU64(b []byte, v uint64) []byte {
+	return append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24),
+		byte(v>>32), byte(v>>40), byte(v>>48), byte(v>>56))
+}
+
+func putByte(b []byte, v byte) []byte { return append(b, v) }
+
+func putStr(b []byte, s string) []byte {
+	b = putU64(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+type reader struct {
+	b   []byte
+	off int
+}
+
+func (r *reader) u64() uint64 {
+	v := uint64(r.b[r.off])
+	r.off += 8
+	return v
+}
+
+func (r *reader) byte() byte {
+	v := r.b[r.off]
+	r.off++
+	return v
+}
+
+func (r *reader) str() string {
+	n := int(r.u64())
+	s := string(r.b[r.off : r.off+n])
+	r.off += n
+	return s
+}
+
+// --- clean pair: same fields, same order, shape pinned --------------------
+
+type frame struct {
+	Seq  uint64
+	Kind byte
+	Name string
+}
+
+//mantra:codec pair=frame role=encode type=frame magic=frameMagic shape=618de10ecb9d7655
+func encodeFrame(f frame) []byte {
+	b := make([]byte, 0, 32)
+	b = putU64(b, f.Seq)
+	b = putByte(b, f.Kind)
+	b = putStr(b, f.Name)
+	return b
+}
+
+//mantra:codec pair=frame role=decode type=frame magic=frameMagic
+func decodeFrame(r *reader) frame {
+	var f frame
+	f.Seq = r.u64()
+	f.Kind = r.byte()
+	f.Name = r.str()
+	return f
+}
+
+// --- drift: decode dropped the Flags field --------------------------------
+
+type driftRec struct {
+	ID    uint64
+	Flags string
+	Note  string
+}
+
+//mantra:codec pair=drift role=encode type=driftRec magic=frameMagic shape=253513a5b77f0db5
+func encodeDrift(e driftRec) []byte {
+	b := make([]byte, 0, 32)
+	b = putU64(b, e.ID)
+	b = putStr(b, e.Flags)
+	b = putStr(b, e.Note)
+	return b
+}
+
+//mantra:codec pair=drift role=decode type=driftRec magic=frameMagic
+func decodeDrift(r *reader) driftRec { // want `codec pair "drift": encode \(netsim.encodeDrift, codecsym.go\) writes Flags but decode netsim.decodeDrift never reads it`
+	var e driftRec
+	e.ID = r.u64()
+	e.Note = r.str()
+	return e
+}
+
+// --- order: both halves touch both fields, in opposite orders -------------
+
+type orderRec struct {
+	A uint64
+	B uint64
+}
+
+//mantra:codec pair=order role=encode type=orderRec magic=frameMagic shape=bd5d0e1b100476aa
+func encodeOrder(e orderRec) []byte {
+	b := make([]byte, 0, 16)
+	b = putU64(b, e.A)
+	b = putU64(b, e.B)
+	return b
+}
+
+//mantra:codec pair=order role=decode type=orderRec magic=frameMagic
+func decodeOrder(r *reader) orderRec { // want `codec pair "order": field order diverges at position 1 — encode \(codecsym.go\) writes A, decode reads B; the wire bytes will be misparsed silently`
+	var e orderRec
+	e.B = r.u64()
+	e.A = r.u64()
+	return e
+}
+
+// --- unpinned: symmetric but no shape= on the encode half -----------------
+
+type loosePair struct {
+	V uint64
+}
+
+//mantra:codec pair=loose role=encode type=loosePair magic=frameMagic
+func encodeLoose(e loosePair) []byte { // want `codec pair "loose" has no pinned shape; pin the current encode order with shape=`
+	return putU64(nil, e.V)
+}
+
+//mantra:codec pair=loose role=decode type=loosePair magic=frameMagic
+func decodeLoose(r *reader) loosePair {
+	var e loosePair
+	e.V = r.u64()
+	return e
+}
+
+// --- magic: halves version against different constants --------------------
+
+type magicRec struct {
+	V uint64
+}
+
+//mantra:codec pair=magicsplit role=encode type=magicRec magic=frameMagic shape=358b6e508818407d
+func encodeMagicSplit(e magicRec) []byte {
+	return putU64(nil, e.V)
+}
+
+//mantra:codec pair=magicsplit role=decode type=magicRec magic=blobMagic
+func decodeMagicSplit(r *reader) magicRec { // want `codec pair "magicsplit" halves resolve different magic values \(encode frameMagic="NSIM0001", decode blobMagic="NSIM0002"\); both halves must version against one constant`
+	var e magicRec
+	e.V = r.u64()
+	return e
+}
+
+// --- type pin, healthy: gob-style struct with its shape pinned ------------
+
+// blob rides inside a gob stream, so field IDENTITY is the wire
+// contract; the pin freezes name+type of every field.
+//
+//mantra:codec pair=blob magic=blobMagic shape=f859d838548eb00e
+type blob struct {
+	Kind  string
+	Bytes []byte
+}
+
+// --- type pin, drifted: the struct grew a field after pinning -------------
+
+//mantra:codec pair=grown magic=blobMagic shape=08e0f0778652c328
+type grownBlob struct { // want `serialized shape of "grown" changed \(computed [0-9a-f]{16}, pinned 08e0f0778652c328\); if the wire format moved, bump blobMagic and re-pin shape=`
+	Kind  string
+	Bytes []byte
+	Extra uint32
+}
+
+// --- allow escape hatch: a deliberately encode-only pair ------------------
+
+type oneWay struct {
+	V uint64
+}
+
+// The export format is write-only by design (external consumers decode
+// it); the allow pins that decision.
+//
+//mantra:codec pair=oneway role=encode type=oneWay magic=frameMagic shape=358b6e508818407d
+func encodeOneWay(e oneWay) []byte { //mantralint:allow codecsym the oneway format is decoded by external tooling only
+	return putU64(nil, e.V)
+}

@@ -1,0 +1,56 @@
+// Regression fixture: the codec-field-drift bug shape against a
+// miniature WAL record codec. The decode half silently dropped the
+// Reason field — exactly the drift that misparses every later field in
+// the frame — and the encode order no longer matches the pinned shape.
+// Loaded as internal/core/logger so re-introducing the shape in the
+// real WAL codec fails `make lint` identically.
+package logger
+
+import "encoding/binary"
+
+const miniMagic = "MWAL0002"
+
+type miniRecord struct {
+	Seq    uint64
+	Target string
+	Reason string
+}
+
+func miniAppendStr(b []byte, s string) []byte {
+	b = binary.AppendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+//mantra:codec pair=minirecord role=encode type=miniRecord magic=miniMagic shape=1111111111111111
+func encodeMini(r miniRecord) []byte { // want `serialized shape of "minirecord" changed \(computed [0-9a-f]{16}, pinned 1111111111111111\); if the wire format moved, bump miniMagic and re-pin shape=`
+	b := binary.AppendUvarint(nil, r.Seq)
+	b = miniAppendStr(b, r.Target)
+	b = miniAppendStr(b, r.Reason)
+	return b
+}
+
+type miniReader struct {
+	b   []byte
+	off int
+}
+
+func (r *miniReader) uvarint() uint64 {
+	v, n := binary.Uvarint(r.b[r.off:])
+	r.off += n
+	return v
+}
+
+func (r *miniReader) str() string {
+	n := int(r.uvarint())
+	s := string(r.b[r.off : r.off+n])
+	r.off += n
+	return s
+}
+
+//mantra:codec pair=minirecord role=decode type=miniRecord magic=miniMagic
+func decodeMini(r *miniReader) miniRecord { // want `codec pair "minirecord": encode \(logger.encodeMini, codecsymregress.go\) writes Reason but decode logger.decodeMini never reads it`
+	var out miniRecord
+	out.Seq = r.uvarint()
+	out.Target = r.str()
+	return out
+}

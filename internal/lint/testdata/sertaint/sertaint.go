@@ -1,0 +1,156 @@
+// Fixture for the sertaint analyzer: map-range, select-arm and
+// goroutine accumulation orders plus unseamed wall-clock values flowing
+// into serialization sinks — directly, through a call, and through a
+// channel — with sorted/seamed negatives and both escape hatches (a
+// sertaint allow and a wallclock seam allow). Loaded as
+// internal/netsim; sertaint is module-wide and unscoped.
+package netsim
+
+import (
+	"encoding/gob"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+)
+
+// --- map-iteration order straight into a JSON body -------------------------
+
+func dumpTables(tables map[string]int) []byte {
+	var names []string
+	for name := range tables {
+		names = append(names, name) // want `value accumulated in map-iteration order flows into json.Marshal \(sertaint.go:\d+\); serialized bytes must not depend on nondeterministic order — sort, seam, or restructure before serializing`
+	}
+	b, _ := json.Marshal(names)
+	return b
+}
+
+// --- negative control: sorting launders the order --------------------------
+
+func dumpTablesSorted(tables map[string]int) []byte {
+	var names []string
+	for name := range tables {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	b, _ := json.Marshal(names)
+	return b
+}
+
+// --- interprocedural: the taint crosses a call into an HTTP response -------
+
+func routeNames(routes map[string]bool) []string {
+	var out []string
+	for name := range routes {
+		out = append(out, name) // want `value accumulated in map-iteration order flows into the HTTP response body \(fmt.Fprint\*\) \(sertaint.go:\d+\)`
+	}
+	return out
+}
+
+func serveRoutes(w http.ResponseWriter, routes map[string]bool) {
+	fmt.Fprintf(w, "%v\n", routeNames(routes))
+}
+
+// --- select-arm arrival order into a module-declared sink ------------------
+
+// persist frames and writes a blob; the marker is what makes it a sink.
+//
+//mantra:sink serialization
+func persist(w io.Writer, b []byte) {
+	w.Write(b)
+}
+
+func drainResults(w io.Writer, a, b chan string) {
+	var log []byte
+	for i := 0; i < 8; i++ {
+		select {
+		case s := <-a:
+			log = append(log, s...) // want `value accumulated in select-arm arrival order flows into netsim.persist \(declared //mantra:sink serialization\) \(sertaint.go:\d+\)`
+		case s := <-b:
+			log = append(log, s...) // want `value accumulated in select-arm arrival order flows into netsim.persist \(declared //mantra:sink serialization\)`
+		}
+	}
+	persist(w, log)
+}
+
+// --- goroutine-completion order into a JSON body ---------------------------
+
+func gatherParallel(targets []string) []byte {
+	var (
+		mu  sync.Mutex
+		wg  sync.WaitGroup
+		got []string
+	)
+	for _, t := range targets {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			mu.Lock()
+			got = append(got, t) // want `value accumulated in goroutine-completion order flows into json.Marshal \(sertaint.go:\d+\)`
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	b, _ := json.Marshal(got)
+	return b
+}
+
+// --- unseamed wall-clock value into a gob checkpoint -----------------------
+
+type stamp struct {
+	At time.Time
+}
+
+func writeStamp(enc *gob.Encoder) error {
+	s := stamp{At: time.Now()} // want `unseamed wall-clock reading \(time.Now\) flows into \(\*gob.Encoder\).Encode \(sertaint.go:\d+\)` `time.Now reads the wall clock`
+	return enc.Encode(s)
+}
+
+// --- channel propagation: taint rides a struct-typed channel ---------------
+
+type report struct {
+	Lines []string
+}
+
+func produceReport(m map[string]int, ch chan report) {
+	var r report
+	for k := range m {
+		r.Lines = append(r.Lines, k) // want `value accumulated in map-iteration order flows into json.Marshal \(sertaint.go:\d+\)`
+	}
+	ch <- r
+}
+
+func consumeReport(ch chan report) []byte {
+	for r := range ch {
+		b, _ := json.Marshal(r)
+		return b
+	}
+	return nil
+}
+
+// --- escape hatch 1: a reasoned sertaint allow -----------------------------
+
+// The peer set is a debugging dump whose order is explicitly
+// documented as unstable; the allow records that decision.
+func dumpPeersUnordered(peers map[string]int) []byte {
+	var names []string
+	for name := range peers {
+		//mantralint:allow sertaint the peer dump is a debug endpoint with documented-unstable order
+		names = append(names, name)
+	}
+	b, _ := json.Marshal(names)
+	return b
+}
+
+// --- escape hatch 2: a wallclock seam allow doubles as a sertaint seam -----
+
+// snapshotAt is the composition root's clock seam: the one sanctioned
+// wall-clock acquisition, so the stamped value is not tainted.
+func snapshotAt(enc *gob.Encoder) error {
+	//mantralint:allow wallclock composition-root clock seam for checkpoint stamps
+	s := stamp{At: time.Now()}
+	return enc.Encode(s)
+}

@@ -1,0 +1,45 @@
+// Regression fixture: the map-order-into-checkpoint bug shape. A
+// materialized table is rebuilt by ranging a map, travels through an
+// intermediate framing helper, and lands in the checkpoint blob writer
+// — two call hops between the nondeterministic accumulation and the
+// marked serialization sink. Loaded as internal/core/logger so
+// re-introducing the shape in the real checkpoint path fails
+// `make lint` identically.
+package logger
+
+import "encoding/binary"
+
+type miniSnapshot struct {
+	Pairs []string
+}
+
+// materialize rebuilds a snapshot from the live table map; the slice
+// order is the map's iteration order.
+func materialize(table map[string]bool) miniSnapshot {
+	var sn miniSnapshot
+	for k := range table {
+		sn.Pairs = append(sn.Pairs, k) // want `value accumulated in map-iteration order flows into logger.writeBlob \(declared //mantra:sink serialization\) \(sertaintregress.go:\d+\)` `append to sn.Pairs in map-iteration order with no later sort`
+	}
+	return sn
+}
+
+// frame length-prefixes the snapshot's pairs — the intermediate hop.
+func frame(sn miniSnapshot) []byte {
+	b := binary.AppendUvarint(nil, uint64(len(sn.Pairs)))
+	for _, p := range sn.Pairs {
+		b = binary.AppendUvarint(b, uint64(len(p)))
+		b = append(b, p...)
+	}
+	return b
+}
+
+// writeBlob is the checkpoint blob writer.
+//
+//mantra:sink serialization
+func writeBlob(b []byte) int {
+	return len(b)
+}
+
+func checkpointTable(table map[string]bool) int {
+	return writeBlob(frame(materialize(table)))
+}

@@ -1,0 +1,194 @@
+// Fixture for the statecov analyzer: a fully covered component (clean),
+// a per-target field no seam touches, a component with no import seam, a
+// component whose export seam fell off every transfer root, a dead extra
+// seam, seams split across two receiver types, and the allow escape
+// hatch. All five transfer roots are declared locally so reachability is
+// judged inside the fixture. Loaded as internal/netsim; statecov is
+// module-wide and unscoped.
+package netsim
+
+// --- fully covered component ----------------------------------------------
+
+type ledger struct {
+	entries map[string]int
+}
+
+//mantra:statetransfer component=ledger seam=export
+func (l *ledger) Export() map[string]int {
+	out := make(map[string]int, len(l.entries))
+	for k, v := range l.entries {
+		out[k] = v
+	}
+	return out
+}
+
+//mantra:statetransfer component=ledger seam=export
+func (l *ledger) ExportOne(name string) (int, bool) {
+	v, ok := l.entries[name]
+	return v, ok
+}
+
+//mantra:statetransfer component=ledger seam=import
+func (l *ledger) Import(st map[string]int) {
+	l.entries = make(map[string]int, len(st))
+	for k, v := range st {
+		l.entries[k] = v
+	}
+}
+
+//mantra:statetransfer component=ledger seam=remove
+func (l *ledger) Remove(name string) {
+	delete(l.entries, name)
+}
+
+// deadExport is a third export seam no transfer root ever calls.
+//
+//mantra:statetransfer component=ledger seam=export
+func (l *ledger) deadExport() int { // want `seam \(\*ledger\).deadExport of component "ledger" is reachable from no transfer root; dead transfer code, or a root is missing the call`
+	return len(l.entries)
+}
+
+// --- orphan field: tags is outside every seam's closure --------------------
+
+type tracker struct {
+	state map[string]int
+	// tags is per-target state too, but no seam moves it.
+	tags map[string][]string // want `per-target field netsim.tracker.tags is never touched by component "tracker"'s export seams` `per-target field netsim.tracker.tags is never touched by component "tracker"'s import seams`
+}
+
+//mantra:statetransfer component=tracker seam=export
+func (t *tracker) Export() map[string]int {
+	out := make(map[string]int, len(t.state))
+	for k, v := range t.state {
+		out[k] = v
+	}
+	return out
+}
+
+//mantra:statetransfer component=tracker seam=import
+func (t *tracker) Import(st map[string]int) {
+	t.state = make(map[string]int, len(st))
+	for k, v := range st {
+		t.state[k] = v
+	}
+}
+
+// --- export-only component -------------------------------------------------
+
+type gauge struct {
+	readings map[string]float64
+}
+
+//mantra:statetransfer component=gauge seam=export
+func (g *gauge) Export() map[string]float64 { // want `component "gauge" declares no import seam; state that cannot round-trip is lost on recovery`
+	out := make(map[string]float64, len(g.readings))
+	for k, v := range g.readings {
+		out[k] = v
+	}
+	return out
+}
+
+// --- dropped component: export seam fell off every root path ---------------
+
+type archive struct {
+	blobs map[string][]byte
+}
+
+//mantra:statetransfer component=archive seam=export
+func (a *archive) Export() map[string][]byte { // want `component "archive": no export seam is reachable from the checkpoint-export root; the component is silently dropped from that transfer path` `component "archive": no export seam is reachable from the handoff-export root; the component is silently dropped from that transfer path` `seam \(\*archive\).Export of component "archive" is reachable from no transfer root`
+	out := make(map[string][]byte, len(a.blobs))
+	for k, v := range a.blobs {
+		out[k] = v
+	}
+	return out
+}
+
+//mantra:statetransfer component=archive seam=import
+func (a *archive) Import(st map[string][]byte) {
+	a.blobs = st
+}
+
+// --- seams split across two receiver types ---------------------------------
+
+type splitA struct {
+	vals map[string]int
+}
+
+type splitB struct {
+	vals map[string]int
+}
+
+//mantra:statetransfer component=split seam=export
+func (s *splitA) Export() map[string]int { // want `component "split" seams span multiple receiver types \(\[repro/internal/netsim.splitA repro/internal/netsim.splitB\]\); declare one component per stateful type`
+	return s.vals
+}
+
+//mantra:statetransfer component=split seam=import
+func (s *splitB) Import(st map[string]int) {
+	s.vals = st
+}
+
+// --- allow escape hatch: an export-only component, by design ---------------
+
+type mirror struct {
+	copies map[string]string
+}
+
+// The mirror is rebuilt from the primary on recovery; importing it
+// would just duplicate the primary's import.
+//
+//mantra:statetransfer component=mirror seam=export
+func (m *mirror) Export() map[string]string { //mantralint:allow statecov the mirror is derived state, rebuilt from the primary on recovery
+	return m.copies
+}
+
+// --- transfer roots ---------------------------------------------------------
+
+var (
+	theLedger  ledger
+	theTracker tracker
+	theGauge   gauge
+	theArchive archive
+	theSplitA  splitA
+	theSplitB  splitB
+	theMirror  mirror
+)
+
+//mantra:statetransfer root=checkpoint-export
+func checkpointExport() map[string]int {
+	_ = theTracker.Export()
+	_ = theGauge.Export()
+	_ = theSplitA.Export()
+	_ = theMirror.Export()
+	return theLedger.Export()
+}
+
+//mantra:statetransfer root=checkpoint-import
+func checkpointImport(st map[string]int) {
+	theLedger.Import(st)
+	theTracker.Import(st)
+	theSplitB.Import(st)
+	theArchive.Import(nil)
+}
+
+//mantra:statetransfer root=handoff-export
+func handoffExport(name string) (int, bool) {
+	_ = theTracker.Export()
+	_ = theGauge.Export()
+	_ = theSplitA.Export()
+	_ = theMirror.Export()
+	return theLedger.ExportOne(name)
+}
+
+//mantra:statetransfer root=handoff-import
+func handoffImport(st map[string]int) {
+	theLedger.Import(st)
+	theTracker.Import(st)
+	theSplitB.Import(st)
+	theArchive.Import(nil)
+}
+
+//mantra:statetransfer root=handoff-remove
+func handoffRemove(name string) {
+	theLedger.Remove(name)
+}

@@ -1,0 +1,82 @@
+// Regression fixture: the dropped-from-handoff bug shape against a
+// miniature shard core. The worker's exportInto gathers the logger's
+// per-target state but forgot the processor's — the exact omission that
+// silently loses a moved target's series on handoff. Loaded as
+// internal/core/shard so re-introducing the shape in the real core
+// fails `make lint` identically.
+package shard
+
+type miniLog struct {
+	records map[string][]string
+}
+
+//mantra:statetransfer component=minilog seam=export
+func (l *miniLog) ExportTarget(name string) []string {
+	return l.records[name]
+}
+
+//mantra:statetransfer component=minilog seam=import
+func (l *miniLog) ImportTarget(name string, recs []string) {
+	l.records[name] = recs
+}
+
+type miniProc struct {
+	series map[string][]float64
+}
+
+//mantra:statetransfer component=miniproc seam=export
+func (p *miniProc) ExportTarget(name string) []float64 { // want `component "miniproc": no export seam is reachable from the handoff-export root; the component is silently dropped from that transfer path`
+	return p.series[name]
+}
+
+//mantra:statetransfer component=miniproc seam=import
+func (p *miniProc) ImportTarget(name string, s []float64) {
+	p.series[name] = s
+}
+
+type miniCore struct {
+	log  miniLog
+	proc miniProc
+}
+
+type miniCheckpoint struct {
+	logs   map[string][]string
+	series map[string][]float64
+}
+
+//mantra:statetransfer root=handoff-export
+func (c *miniCore) exportInto(ck *miniCheckpoint, name string) {
+	ck.logs[name] = c.log.ExportTarget(name)
+	// BUG (deliberate): c.proc.ExportTarget(name) is no longer called —
+	// the processor's series silently stop moving with the target.
+}
+
+//mantra:statetransfer root=handoff-import
+func (c *miniCore) importTarget(ck *miniCheckpoint, name string) {
+	c.log.ImportTarget(name, ck.logs[name])
+	c.proc.ImportTarget(name, ck.series[name])
+}
+
+//mantra:statetransfer root=handoff-remove
+func (c *miniCore) removeTarget(name string) {
+	c.log.ImportTarget(name, nil)
+	c.proc.ImportTarget(name, nil)
+}
+
+//mantra:statetransfer root=checkpoint-export
+func (c *miniCore) checkpoint(ck *miniCheckpoint, names []string) {
+	for _, name := range names {
+		ck.logs[name] = c.log.ExportTarget(name)
+		ck.series[name] = c.proc.ExportTarget(name)
+	}
+}
+
+//mantra:statetransfer root=checkpoint-import
+func (c *miniCore) recover(ck *miniCheckpoint) {
+	for name, recs := range ck.logs {
+		c.log.ImportTarget(name, recs)
+	}
+	for name, s := range ck.series {
+		c.proc.ImportTarget(name, s)
+	}
+}
